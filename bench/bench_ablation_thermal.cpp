@@ -1,0 +1,64 @@
+// Ablation A3 — temperature-dependent leakage feedback.
+//
+// The paper stresses using "a detailed temperature-dependent leakage model"
+// (Liao et al.) rather than a constant per-line leakage. This ablation runs
+// the 4 MB grid with the thermal feedback enabled vs. leakage pinned at the
+// reference temperature, showing how much the reported savings move.
+
+#include <iostream>
+
+#include "cdsim/common/table.hpp"
+#include "cdsim/sim/experiment.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace {
+
+cdsim::sim::RunMetrics run(const cdsim::workload::Benchmark& bench,
+                           cdsim::decay::Technique tech, bool feedback) {
+  using namespace cdsim;
+  decay::DecayConfig d;
+  d.technique = tech;
+  d.decay_time = 512 * 1024;
+  sim::SystemConfig cfg = sim::make_system_config(4 * MiB, d);
+  cfg.instructions_per_core = 1500000;
+  cfg.thermal_feedback = feedback;
+  return sim::run_config(cfg, bench);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cdsim;
+  const auto& bench = workload::benchmark_by_name("facerec");
+
+  std::cout << "Ablation: thermal feedback on leakage (facerec, 4MB, "
+               "decay 512K)\n\n";
+
+  TextTable t;
+  t.row()
+      .cell("technique")
+      .cell("thermal feedback")
+      .cell("avg L2 temp (K)")
+      .cell("energy reduction");
+  for (const auto tech :
+       {decay::Technique::kProtocol, decay::Technique::kDecay}) {
+    for (const bool fb : {true, false}) {
+      const sim::RunMetrics base =
+          run(bench, decay::Technique::kBaseline, fb);
+      const sim::RunMetrics m = run(bench, tech, fb);
+      t.row()
+          .cell(std::string(decay::to_string(tech)))
+          .cell(fb ? "on" : "off (T = T0)")
+          .cell(m.avg_l2_temp_kelvin, 1)
+          .pct((base.energy - m.energy) / base.energy);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nNote: with feedback on, blocks settle below the reference\n"
+               "temperature T0, so absolute leakage (and thus the absolute\n"
+               "saving) is slightly smaller than the pinned-T0 model reports;\n"
+               "the technique ordering is unchanged. Hotter floorplans would\n"
+               "move the comparison the other way, which is why the paper\n"
+               "insists on temperature-dependent leakage.\n";
+  return 0;
+}

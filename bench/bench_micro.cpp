@@ -1,0 +1,66 @@
+// google-benchmark microbenchmarks for the simulator's hot paths: tag-array
+// lookup, MSHR traffic, event-queue throughput, and workload generation.
+// These guard the simulator's own performance (a slow simulator caps the
+// experiment sweep sizes).
+
+#include <benchmark/benchmark.h>
+
+#include "cdsim/cache/mshr.hpp"
+#include "cdsim/cache/tag_array.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/rng.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace {
+
+using namespace cdsim;
+
+void BM_TagArrayLookup(benchmark::State& state) {
+  cache::TagArray<int> tags(cache::Geometry(1 * MiB, 64, 8));
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 4096; ++i) {
+    const Addr a = rng.below(1 << 22) * 64;
+    tags.install(tags.pick_victim(a), a, 0);
+  }
+  Xoshiro256 probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tags.find(probe.below(1 << 22) * 64));
+  }
+}
+BENCHMARK(BM_TagArrayLookup);
+
+void BM_MshrAllocateComplete(benchmark::State& state) {
+  cache::MshrFile mshr(16);
+  Addr a = 0;
+  for (auto _ : state) {
+    auto& e = mshr.allocate(a, false, 0);
+    mshr.merge(e, false, [](Cycle) {});
+    mshr.complete(a, 1);
+    a += 64;
+  }
+}
+BENCHMARK(BM_MshrAllocateComplete);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  EventQueue eq;
+  for (auto _ : state) {
+    eq.schedule_in(1, [] {});
+    eq.step();
+  }
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const auto& bench = workload::benchmark_suite()[static_cast<std::size_t>(
+      state.range(0))];
+  auto stream = workload::make_stream(bench, 0, 42);
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream->next(now += 3));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->DenseRange(0, 5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

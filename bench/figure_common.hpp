@@ -1,0 +1,48 @@
+#pragma once
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every figure bench sweeps (a subset of) the paper's grid — 6 benchmarks x
+// {1,2,4,8} MB x 7 techniques + baseline — through one ExperimentRunner,
+// which persists results to cdsim_results.cache so the whole bench suite
+// pays for each configuration exactly once.
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "cdsim/common/table.hpp"
+#include "cdsim/sim/experiment.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace cdsim::bench {
+
+/// Prints one paper figure: rows = techniques, columns = total cache sizes
+/// (the paper's BM1/BM2/BM4/BM8 groups), cell = suite-average metric.
+inline void print_size_sweep_figure(
+    const std::string& title, const std::string& metric_name,
+    const std::function<double(const sim::RelativeMetrics&)>& metric,
+    int precision = 1) {
+  sim::ExperimentRunner runner;
+  std::cout << title << "\n";
+  std::cout << "(suite average over " << workload::benchmark_suite().size()
+            << " benchmarks, " << runner.instructions_per_core()
+            << " instructions/core; columns are total L2 capacity)\n\n";
+
+  TextTable t;
+  auto& header = t.row().cell("technique");
+  for (const std::uint64_t size : sim::paper_cache_sizes()) {
+    header.cell(std::to_string(size / MiB) + "MB");
+  }
+  (void)metric_name;
+  for (const auto& tech : sim::paper_technique_set()) {
+    auto& row = t.row().cell(tech.label());
+    for (const std::uint64_t size : sim::paper_cache_sizes()) {
+      const sim::RelativeMetrics r = runner.suite_average(size, tech);
+      row.pct(metric(r), precision);
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace cdsim::bench

@@ -1,0 +1,91 @@
+// custom_workload — using the library beyond the paper's six benchmarks.
+//
+// Builds a synthetic model of an OLTP-style server workload (large shared
+// read-mostly buffer pool, hot private scratch, modest log streaming) from
+// scratch with SyntheticConfig, then evaluates every leakage technique on
+// it. Demonstrates that the evaluation harness is fully parameterizable —
+// the benchmark suite is just six presets of the same generator.
+
+#include <cstdio>
+#include <iostream>
+
+#include "cdsim/common/table.hpp"
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/sim/experiment.hpp"
+
+int main() {
+  using namespace cdsim;
+
+  // An OLTP-ish profile: big shared read-mostly pool with a hot front,
+  // pointer-heavy private transactions, a steady log stream.
+  workload::SyntheticConfig oltp;
+  oltp.name = "oltp-like";
+  oltp.mem_fraction = 0.34;
+  oltp.store_fraction = 0.30;
+  oltp.dependent_fraction = 0.45;  // B-tree descent is pointer chasing
+  oltp.p_private = 0.35;
+  oltp.p_shared_rw = 0.10;
+  oltp.p_shared_ro = 0.35;
+  oltp.p_stream2 = 0.0;
+  oltp.gen_lines = 512;            // transaction scratch, short generations
+  oltp.gen_accesses = 60000;
+  oltp.num_generations = 20;
+  oltp.hot_fraction = 0.20;
+  oltp.hot_probability = 0.90;
+  oltp.shared_rw_lines = 1024;     // lock/meta pages, migratory
+  oltp.shared_chunk_lines = 16;
+  oltp.shared_run = 4000;
+  oltp.shared_write_fraction = 0.50;
+  oltp.shared_ro_lines = 16384;    // 1 MiB buffer pool
+  oltp.shared_ro_hot_lines = 512;
+  oltp.shared_ro_sweep_fraction = 0.08;
+  oltp.stream_lines = 128;         // redo log, always hot
+  oltp.stream_wrap_cycles = 48 * 1024;
+  oltp.stream_write_fraction = 0.70;
+
+  const workload::Benchmark bench{oltp, /*scientific=*/false};
+
+  std::printf("custom_workload: %s on a 4-core CMP, 4MB total L2\n\n",
+              oltp.name.c_str());
+
+  // Baseline first; then each technique, reusing the same config.
+  auto run_one = [&](decay::Technique tech, Cycle dt) {
+    decay::DecayConfig d{tech, dt, 4};
+    sim::SystemConfig cfg = sim::make_system_config(4 * MiB, d);
+    cfg.instructions_per_core = 1200000;
+    return sim::run_config(cfg, bench);
+  };
+
+  const sim::RunMetrics base = run_one(decay::Technique::kBaseline, 0);
+
+  TextTable t;
+  t.row()
+      .cell("technique")
+      .cell("occupation")
+      .cell("energy reduction")
+      .cell("IPC loss")
+      .cell("L2 miss rate");
+  for (const auto& [tech, dt] :
+       {std::pair{decay::Technique::kProtocol, Cycle{0}},
+        std::pair{decay::Technique::kDecay, Cycle{512 * 1024}},
+        std::pair{decay::Technique::kDecay, Cycle{64 * 1024}},
+        std::pair{decay::Technique::kSelectiveDecay, Cycle{512 * 1024}},
+        std::pair{decay::Technique::kSelectiveDecay, Cycle{64 * 1024}}}) {
+    const sim::RunMetrics m = run_one(tech, dt);
+    const sim::RelativeMetrics r = sim::relative_to(base, m);
+    decay::DecayConfig label{tech, dt, 4};
+    t.row()
+        .cell(label.label())
+        .pct(r.occupation)
+        .pct(r.energy_reduction)
+        .pct(r.ipc_loss)
+        .pct(r.miss_rate);
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nRead-mostly residency (buffer pool) dies clean, so Selective Decay\n"
+      "captures most of full Decay's saving at a fraction of its IPC cost\n"
+      "on this profile.\n");
+  return 0;
+}

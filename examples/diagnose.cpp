@@ -1,0 +1,118 @@
+// diagnose — internal-counters dump for one configuration.
+//
+// Usage: diagnose <benchmark> <technique> <decay_time_k> [instr]
+// Prints the per-L2 counters, bus/memory pressure, and energy ledger that
+// the figure-level metrics summarize. Useful for calibrating workloads.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/sim/experiment.hpp"
+
+using namespace cdsim;
+
+int main(int argc, char** argv) {
+  const std::string bench_name = argc > 1 ? argv[1] : "mpeg2dec";
+  const std::string tech_name = argc > 2 ? argv[2] : "decay";
+  const Cycle decay_k = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 512;
+  const std::uint64_t instr =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 4000000;
+
+  decay::DecayConfig d;
+  if (tech_name == "baseline") d.technique = decay::Technique::kBaseline;
+  else if (tech_name == "protocol") d.technique = decay::Technique::kProtocol;
+  else if (tech_name == "decay") d.technique = decay::Technique::kDecay;
+  else d.technique = decay::Technique::kSelectiveDecay;
+  d.decay_time = decay_k * 1024;
+
+  sim::SystemConfig cfg = sim::make_system_config(4 * MiB, d);
+  cfg.instructions_per_core = instr;
+
+  const auto& bench = workload::benchmark_by_name(bench_name);
+  sim::CmpSystem sys(cfg, bench);
+  const sim::RunMetrics m = sys.run();
+
+  std::printf("=== %s / %s / %lluMB / %llu instr/core ===\n",
+              m.benchmark.c_str(), m.technique.c_str(),
+              (unsigned long long)(m.total_l2_bytes / MiB),
+              (unsigned long long)instr);
+  std::printf("cycles            %llu\n", (unsigned long long)m.cycles);
+  std::printf("IPC               %.3f\n", m.ipc);
+  std::printf("occupation        %.3f\n", m.l2_occupation);
+  std::printf("L2 accesses       %llu\n", (unsigned long long)m.l2_accesses);
+  std::printf("L2 misses         %llu (%.2f%%)\n",
+              (unsigned long long)m.l2_misses, 100.0 * m.l2_miss_rate);
+  std::printf("  decay-induced   %llu\n",
+              (unsigned long long)m.l2_decay_induced_misses);
+  std::printf("decay turnoffs    %llu\n",
+              (unsigned long long)m.l2_decay_turnoffs);
+  std::printf("coherence invals  %llu\n",
+              (unsigned long long)m.l2_coherence_invals);
+  std::printf("writebacks        %llu\n",
+              (unsigned long long)m.l2_writebacks);
+  std::printf("AMAT              %.1f cycles\n", m.amat);
+  std::printf("mem bytes         %llu (%.3f B/cyc)\n",
+              (unsigned long long)m.mem_bytes, m.mem_bandwidth);
+  std::printf("bus utilization   %.1f%%\n", 100.0 * m.bus_utilization);
+  std::printf("avg L2 temp       %.1f K\n", m.avg_l2_temp_kelvin);
+
+  std::printf("\nper-L2 counters:\n");
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    const auto& st = sys.l2(c).stats();
+    std::printf(
+        "  L2[%u] rh=%llu rm=%llu wh=%llu wm=%llu ev=%llu wb=%llu "
+        "inv=%llu boff=%llu dmiss=%llu retries=%llu upg=%llu\n",
+        c, (unsigned long long)st.read_hits.value(),
+        (unsigned long long)st.read_misses.value(),
+        (unsigned long long)st.write_hits.value(),
+        (unsigned long long)st.write_misses.value(),
+        (unsigned long long)st.evictions.value(),
+        (unsigned long long)st.writebacks.value(),
+        (unsigned long long)st.coherence_invals.value(),
+        (unsigned long long)st.decay_turnoffs.value(),
+        (unsigned long long)st.decay_induced_misses.value(),
+        (unsigned long long)sys.l2(c).transient_retries(),
+        (unsigned long long)sys.l2(c).upgrades());
+  }
+  std::printf("\ndecay-induced misses by region (agg): priv=%llu rw=%llu ro=%llu stream=%llu\n",
+      [&]{unsigned long long v=0; for (CoreId c=0;c<cfg.num_cores;++c) v+=sys.l2(c).stats().decay_induced_by_region[1].value(); return v;}(),
+      [&]{unsigned long long v=0; for (CoreId c=0;c<cfg.num_cores;++c) v+=sys.l2(c).stats().decay_induced_by_region[2].value(); return v;}(),
+      [&]{unsigned long long v=0; for (CoreId c=0;c<cfg.num_cores;++c) v+=sys.l2(c).stats().decay_induced_by_region[3].value(); return v;}(),
+      [&]{unsigned long long v=0; for (CoreId c=0;c<cfg.num_cores;++c) v+=sys.l2(c).stats().decay_induced_by_region[4].value(); return v;}());
+
+  std::printf("\nper-core stalls (cycles):\n");
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    using SR = core::CoreModel::StallReason;
+    const auto& cm = sys.core_model(c);
+    std::printf("  core[%u] total=%llu dep=%llu lq=%llu rob=%llu port=%llu store=%llu\n",
+                c, (unsigned long long)cm.stall_cycles(),
+                (unsigned long long)cm.stall_breakdown(SR::kDep),
+                (unsigned long long)cm.stall_breakdown(SR::kLoadQueue),
+                (unsigned long long)cm.stall_breakdown(SR::kRob),
+                (unsigned long long)cm.stall_breakdown(SR::kPort),
+                (unsigned long long)cm.stall_breakdown(SR::kStore));
+  }
+
+  std::printf("\nper-L1 counters:\n");
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    const auto& st = sys.l1(c).stats();
+    std::printf("  L1[%u] rh=%llu rm=%llu wh=%llu wm=%llu binv=%llu\n", c,
+                (unsigned long long)st.read_hits.value(),
+                (unsigned long long)st.read_misses.value(),
+                (unsigned long long)st.write_hits.value(),
+                (unsigned long long)st.write_misses.value(),
+                (unsigned long long)st.backinvals.value());
+  }
+
+  std::printf("\nenergy ledger (eu):\n");
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    const auto comp = static_cast<power::Component>(i);
+    std::printf("  %-16s %.3e\n", std::string(power::to_string(comp)).c_str(),
+                m.ledger.get(comp));
+  }
+  std::printf("  %-16s %.3e\n", "TOTAL", m.ledger.total());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// leakage_explorer — energy/performance trade-off exploration.
+//
+// For one benchmark and cache size, sweeps the decay interval across both
+// decay flavours and prints the energy-reduction / IPC-loss frontier plus a
+// simple energy-delay product score — the analysis behind the paper's
+// conclusion that "larger decay time might be a better choice from the
+// Energy-Delay point of view" (§VI).
+//
+//   $ ./leakage_explorer [benchmark] [total_l2_mb] [instructions_per_core]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cdsim/common/table.hpp"
+#include "cdsim/sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdsim;
+
+  const std::string bench_name = argc > 1 ? argv[1] : "VOLREND";
+  const std::uint64_t size_mb = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                         : 4;
+  const std::uint64_t instr =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1500000;
+
+  const auto& bench = workload::benchmark_by_name(bench_name);
+  sim::ExperimentRunner runner(instr);
+  const std::uint64_t size = size_mb * MiB;
+
+  std::printf("leakage_explorer: %s, %lluMB total L2, %llu instr/core\n\n",
+              bench.config.name.c_str(),
+              static_cast<unsigned long long>(size_mb),
+              static_cast<unsigned long long>(instr));
+
+  TextTable t;
+  t.row()
+      .cell("technique")
+      .cell("energy reduction")
+      .cell("IPC loss")
+      .cell("relative ED product");
+
+  double best_ed = 1e18;
+  std::string best;
+  for (const auto tech :
+       {decay::Technique::kProtocol, decay::Technique::kDecay,
+        decay::Technique::kSelectiveDecay}) {
+    for (const Cycle dt :
+         {512u * 1024u, 256u * 1024u, 128u * 1024u, 64u * 1024u}) {
+      decay::DecayConfig d{tech, dt, 4};
+      const sim::RelativeMetrics r = runner.relative(bench, size, d);
+      // ED relative to baseline: (1 - saving) * (1 / (1 - ipc_loss)).
+      const double ed = (1.0 - r.energy_reduction) / (1.0 - r.ipc_loss);
+      t.row().cell(d.label()).pct(r.energy_reduction).pct(r.ipc_loss).cell(
+          ed, 3);
+      if (ed < best_ed) {
+        best_ed = ed;
+        best = d.label();
+      }
+      if (tech == decay::Technique::kProtocol) break;  // no decay time
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nBest Energy-Delay: %s (ED = %.3f of baseline)\n",
+              best.c_str(), best_ed);
+  return 0;
+}

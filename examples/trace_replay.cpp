@@ -1,0 +1,108 @@
+// trace_replay — driving the hierarchy with an explicit access trace.
+//
+// Uses ScriptedWorkload to replay a hand-written producer/consumer sharing
+// pattern and prints how each leakage technique handles it. This is the
+// entry point users with their own traces would start from.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "cdsim/bus/snoop_bus.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/table.hpp"
+#include "cdsim/core/core_model.hpp"
+#include "cdsim/mem/memory.hpp"
+#include "cdsim/sim/l1_cache.hpp"
+#include "cdsim/sim/l2_cache.hpp"
+#include "cdsim/workload/scripted.hpp"
+
+#include <memory>
+
+namespace {
+
+using namespace cdsim;
+
+/// Builds a per-core script: core 0 produces (stores) a block of lines,
+/// cores 1..3 consume (load) it, plus per-core private churn.
+std::vector<workload::MemOp> make_script(CoreId core) {
+  std::vector<workload::MemOp> ops;
+  const Addr shared = 0x20000000000ull;  // shared region tag
+  const Addr priv = 0x10000000000ull + (static_cast<Addr>(core) << 32);
+  for (Addr i = 0; i < 64; ++i) {
+    if (core == 0) {
+      ops.push_back({AccessType::kStore, shared + i * 64, 3, false, 1});
+    } else {
+      ops.push_back({AccessType::kLoad, shared + i * 64, 3, false, 1});
+    }
+    // Private churn between shared touches.
+    for (Addr k = 0; k < 4; ++k) {
+      ops.push_back(
+          {AccessType::kLoad, priv + ((i * 4 + k) % 512) * 64, 2, false, 0});
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("trace_replay: producer/consumer script on 4 cores, 1MB L2\n\n");
+
+  // Direct low-level replay through the cache hierarchy.
+  EventQueue eq;
+  mem::MemoryController memc(eq, mem::MemoryConfig{});
+  bus::SnoopBus bus(eq, bus::BusConfig{}, memc);
+  std::vector<std::unique_ptr<sim::L1Cache>> l1s;
+  std::vector<std::unique_ptr<sim::L2Cache>> l2s;
+  std::vector<std::unique_ptr<workload::ScriptedWorkload>> scripts;
+  std::vector<std::unique_ptr<core::CoreModel>> cores;
+
+  decay::DecayConfig d{decay::Technique::kSelectiveDecay, 32 * 1024, 4};
+  sim::L2Config l2cfg;
+  l2cfg.size_bytes = 256 * KiB;
+  for (CoreId c = 0; c < 4; ++c) {
+    l1s.push_back(std::make_unique<sim::L1Cache>(eq, sim::L1Config{}, c));
+    l2s.push_back(std::make_unique<sim::L2Cache>(eq, l2cfg, d, c, bus,
+                                                 l1s.back().get()));
+    l1s.back()->connect_l2(l2s.back().get());
+    bus.attach(l2s.back().get());
+    l2s.back()->start();
+    scripts.push_back(
+        std::make_unique<workload::ScriptedWorkload>(make_script(c)));
+    cores.push_back(std::make_unique<core::CoreModel>(
+        eq, core::CoreConfig{}, c, *scripts.back(), *l1s.back(), 60000));
+  }
+
+  unsigned done = 0;
+  for (auto& core : cores) core->start([&] { ++done; });
+  while (done < 4) {
+    if (!eq.step()) break;
+  }
+  for (auto& l2 : l2s) l2->stop();
+
+  TextTable t;
+  t.row()
+      .cell("core")
+      .cell("IPC")
+      .cell("L2 state of shared block")
+      .cell("L2 occupation")
+      .cell("coherence invals");
+  for (CoreId c = 0; c < 4; ++c) {
+    t.row()
+        .cell(std::to_string(c))
+        .cell(cores[c]->ipc(eq.now()), 3)
+        .cell(std::string(
+            coherence::to_string(l2s[c]->line_state(0x20000000000ull))))
+        .pct(l2s[c]->occupation(eq.now()))
+        .cell(std::to_string(l2s[c]->stats().coherence_invals.value()));
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nCore 0's stores repeatedly invalidate the consumers' copies; the\n"
+      "Protocol technique would power those lines off for free, while the\n"
+      "selective-decay config used here additionally harvests idle clean\n"
+      "lines after 32K cycles.\n");
+  return 0;
+}

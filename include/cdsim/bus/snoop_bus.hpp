@@ -1,0 +1,290 @@
+#pragma once
+// Shared split-transaction snoopy bus connecting the private L2 caches.
+//
+// Model (matches the paper's §V platform): a pipelined shared bus clocked at
+// half the core clock with high bandwidth; coherence acts directly among the
+// L2 caches. A transaction's life is:
+//
+//   request -> [round-robin arbitration, bus busy wait] -> grant
+//          -> address phase (bus occupied, snoop broadcast resolves
+//             atomically at the grant cycle)
+//          -> data source latency (dirty-owner flush or memory read)
+//          -> data phase (bus occupied per line-transfer beats)
+//          -> completion callback at the requester
+//
+// Snooping is atomic-at-grant: all other caches observe and apply the
+// transaction at the grant cycle, which serializes coherence decisions in
+// bus order — exactly the property a physical snoopy bus provides.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cdsim/coherence/mesi.hpp"
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/stats.hpp"
+#include "cdsim/common/types.hpp"
+#include "cdsim/mem/memory.hpp"
+
+namespace cdsim::bus {
+
+struct BusConfig {
+  /// Cycles from request to earliest possible grant (arbiter latency).
+  Cycle arbitration_latency = 2;
+  /// Cycles the bus is held for the address/snoop phase of any transaction.
+  Cycle address_phase = 2;
+  /// Data beats: bytes moved per core cycle once a transfer starts. The
+  /// paper's 57 GB/s at a ~3.5 GHz core is ~16 B/core-cycle.
+  std::uint32_t bytes_per_cycle = 16;
+  /// Latency for a dirty owner to start flushing after grant.
+  Cycle cache_to_cache_latency = 10;
+};
+
+/// What a snooping cache reports back during the address phase.
+struct SnoopReply {
+  bool had_line = false;      ///< Held valid data (drives S vs E fill).
+  bool supplied_data = false; ///< Is the dirty owner and will flush.
+};
+
+/// Interface implemented by every agent that snoops the bus (the L2
+/// controllers). `snoop` must apply the coherence side effects immediately
+/// (atomic-at-grant semantics) and return what happened.
+class Snooper {
+ public:
+  virtual ~Snooper() = default;
+  virtual SnoopReply snoop(coherence::BusTxKind kind, Addr line_addr,
+                           CoreId requester) = 0;
+};
+
+/// Completion report for one bus transaction.
+struct BusResult {
+  Cycle granted_at = 0;
+  /// Cycle the requested line is available at the requester (fills), or the
+  /// transaction fully retired (upgrades / write-backs).
+  Cycle done_at = 0;
+  /// Another L2 held the line at snoop time (requester fills S, not E).
+  bool shared = false;
+  /// Data came from a dirty owner's flush rather than memory.
+  bool supplied_by_cache = false;
+};
+
+/// Callbacks and guards attached to one bus transaction.
+struct RequestHooks {
+  /// Fires at BusResult::done_at (data delivered / transaction retired).
+  std::function<void(const BusResult&)> on_done;
+  /// Fires at the grant cycle, after the snoop broadcast resolved. L2
+  /// controllers use this to install the line's tag+state atomically in
+  /// bus order (data arrives later), which keeps coherence exact across
+  /// overlapping split transactions.
+  std::function<void(const BusResult&)> on_grant;
+  /// Checked at the grant cycle before anything happens. Returning false
+  /// drops the transaction (no snoop, no occupancy, no traffic) — used to
+  /// cancel a TD turn-off write-back whose data already reached memory via
+  /// a snoop flush (see coherence::SnoopOutcome::cancel_turnoff_wb), and to
+  /// abandon a BusUpgr whose S line was invalidated while queued.
+  std::function<bool()> validator;
+  /// Fires at the grant cycle when the validator dropped the transaction,
+  /// so the requester can fall back (e.g. reissue an upgrade as BusRdX).
+  std::function<void()> on_cancel;
+};
+
+/// The shared snoopy bus.
+class SnoopBus {
+ public:
+  using Completion = std::function<void(const BusResult&)>;
+
+  SnoopBus(EventQueue& eq, const BusConfig& cfg, mem::MemoryController& mem)
+      : eq_(eq), cfg_(cfg), mem_(mem) {}
+
+  SnoopBus(const SnoopBus&) = delete;
+  SnoopBus& operator=(const SnoopBus&) = delete;
+
+  /// Registers a snooping agent. The agent's position in attach order is
+  /// its round-robin arbitration slot. Must be called before any request.
+  void attach(Snooper* s) {
+    CDSIM_ASSERT(s != nullptr);
+    snoopers_.push_back(s);
+    queues_.emplace_back();
+  }
+
+  [[nodiscard]] std::size_t num_agents() const noexcept {
+    return snoopers_.size();
+  }
+
+  /// Issues a transaction on behalf of `requester` (index in attach order).
+  /// `bytes` is the payload size (a line for fills/write-backs, 0 for
+  /// upgrades). `on_done` fires at BusResult::done_at.
+  void request(coherence::BusTxKind kind, Addr line_addr, CoreId requester,
+               std::uint32_t bytes, Completion on_done) {
+    RequestHooks hooks;
+    hooks.on_done = std::move(on_done);
+    request(kind, line_addr, requester, bytes, std::move(hooks));
+  }
+
+  /// Full-control variant with grant hook and cancellation validator.
+  void request(coherence::BusTxKind kind, Addr line_addr, CoreId requester,
+               std::uint32_t bytes, RequestHooks hooks) {
+    CDSIM_ASSERT(requester < queues_.size());
+    queues_[requester].push_back(
+        Pending{kind, line_addr, requester, bytes, std::move(hooks)});
+    ++queued_;
+    schedule_arbitration();
+  }
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t transactions(coherence::BusTxKind k) const {
+    return tx_count_[static_cast<std::size_t>(k)].value();
+  }
+  [[nodiscard]] std::uint64_t total_transactions() const {
+    std::uint64_t n = 0;
+    for (const auto& c : tx_count_) n += c.value();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+    return bytes_.value();
+  }
+  /// Fraction of cycles the bus was occupied over [0, now]. The last
+  /// transaction may extend past `now`; the ratio is clamped to 1.
+  [[nodiscard]] double utilization(Cycle now) const {
+    const double u =
+        safe_div(static_cast<double>(busy_cycles_), static_cast<double>(now));
+    return u > 1.0 ? 1.0 : u;
+  }
+
+  /// Transactions dropped by their validator (cancelled write-backs).
+  [[nodiscard]] std::uint64_t cancelled_transactions() const noexcept {
+    return cancelled_.value();
+  }
+
+ private:
+  struct Pending {
+    coherence::BusTxKind kind;
+    Addr line_addr;
+    CoreId requester;
+    std::uint32_t bytes;
+    RequestHooks hooks;
+  };
+
+  [[nodiscard]] Cycle transfer_cycles(std::uint32_t bytes) const noexcept {
+    return bytes == 0 ? 0
+                      : (bytes + cfg_.bytes_per_cycle - 1) /
+                            cfg_.bytes_per_cycle;
+  }
+
+  /// Arms an arbitration event if transactions are waiting and none armed.
+  void schedule_arbitration() {
+    if (arb_armed_ || queued_ == 0) return;
+    arb_armed_ = true;
+    const Cycle now = eq_.now();
+    Cycle grant = now + cfg_.arbitration_latency;
+    if (grant < free_at_) grant = free_at_;
+    eq_.schedule_at(grant, [this] {
+      arb_armed_ = false;
+      grant_next();
+      schedule_arbitration();
+    });
+  }
+
+  /// Picks the next requester round-robin and executes its transaction's
+  /// address phase (snoop) at the current cycle.
+  void grant_next() {
+    if (queued_ == 0) return;
+    const std::size_t n = queues_.size();
+    std::size_t who = next_rr_;
+    for (std::size_t i = 0; i < n; ++i, who = (who + 1) % n) {
+      if (!queues_[who].empty()) break;
+    }
+    CDSIM_ASSERT(!queues_[who].empty());
+    next_rr_ = (who + 1) % n;
+    Pending tx = std::move(queues_[who].front());
+    queues_[who].pop_front();
+    --queued_;
+    execute(std::move(tx));
+  }
+
+  void execute(Pending tx) {
+    const Cycle granted = eq_.now();
+
+    // A cancelled transaction vanishes before the address phase: no snoop,
+    // no occupancy, no memory traffic.
+    if (tx.hooks.validator && !tx.hooks.validator()) {
+      cancelled_.inc();
+      if (tx.hooks.on_cancel) tx.hooks.on_cancel();
+      return;
+    }
+    tx_count_[static_cast<std::size_t>(tx.kind)].inc();
+
+    BusResult res;
+    res.granted_at = granted;
+
+    // Address/snoop phase: all *other* agents observe the transaction now.
+    // (Write-backs are point-to-point to memory; no snoop needed, but they
+    // are still broadcast for protocol completeness — third parties ignore
+    // them, see coherence::apply_snoop.)
+    for (std::size_t i = 0; i < snoopers_.size(); ++i) {
+      if (static_cast<CoreId>(i) == tx.requester) continue;
+      const SnoopReply r = snoopers_[i]->snoop(tx.kind, tx.line_addr,
+                                               tx.requester);
+      res.shared = res.shared || r.had_line;
+      res.supplied_by_cache = res.supplied_by_cache || r.supplied_data;
+    }
+
+    Cycle done = granted + cfg_.address_phase;
+    const Cycle beats = transfer_cycles(tx.bytes);
+
+    switch (tx.kind) {
+      case coherence::BusTxKind::kBusRd:
+      case coherence::BusTxKind::kBusRdX: {
+        if (res.supplied_by_cache) {
+          // Dirty owner flushes: data to requester and memory (MESI flush
+          // updates memory so the requester may install clean).
+          done += cfg_.cache_to_cache_latency + beats;
+          mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+        } else {
+          // Memory supplies.
+          done = mem_.schedule_read(granted + cfg_.address_phase, tx.bytes);
+        }
+        break;
+      }
+      case coherence::BusTxKind::kBusUpgr:
+        // Invalidation-only: done after the address phase.
+        break;
+      case coherence::BusTxKind::kWriteBack:
+        done += beats;
+        mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+        break;
+    }
+
+    // Bus occupancy: address phase always; data phase when data moved on
+    // the shared bus (fills and write-backs).
+    const Cycle occupied_until = granted + cfg_.address_phase + beats;
+    busy_cycles_ += occupied_until - granted;
+    free_at_ = occupied_until;
+    bytes_.inc(tx.bytes);
+
+    res.done_at = done;
+    if (tx.hooks.on_grant) tx.hooks.on_grant(res);
+    if (tx.hooks.on_done) {
+      eq_.schedule_at(done,
+                      [cb = std::move(tx.hooks.on_done), res] { cb(res); });
+    }
+  }
+
+  EventQueue& eq_;
+  BusConfig cfg_;
+  mem::MemoryController& mem_;
+  std::vector<Snooper*> snoopers_;
+  std::vector<std::deque<Pending>> queues_;
+  std::size_t next_rr_ = 0;
+  std::size_t queued_ = 0;
+  bool arb_armed_ = false;
+  Cycle free_at_ = 0;
+  Counter tx_count_[4];
+  Counter bytes_;
+  Counter cancelled_;
+  Cycle busy_cycles_ = 0;
+};
+
+}  // namespace cdsim::bus

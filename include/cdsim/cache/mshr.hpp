@@ -1,0 +1,99 @@
+#pragma once
+// Miss Status Holding Registers.
+//
+// An MSHR file lets a cache service hits (and merge further misses to the
+// same line) while earlier misses are outstanding. Each entry tracks one
+// in-flight line fill plus the requests waiting on it. Capacity pressure is
+// part of the timing model: when the file is full the cache must stall new
+// misses, which is how limited memory-level parallelism reaches the core.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/types.hpp"
+
+namespace cdsim::cache {
+
+/// Callback invoked when the fill a waiter was merged into completes.
+/// `fill_done` is the cycle the data became available.
+using FillCallback = std::function<void(Cycle fill_done)>;
+
+/// One outstanding line fill.
+struct MshrEntry {
+  Addr line_addr = 0;
+  bool is_write = false;  ///< Fetch was issued for ownership (BusRdX).
+  Cycle allocated_at = 0;
+  std::vector<FillCallback> waiters;
+};
+
+/// Fixed-capacity MSHR file keyed by line address.
+class MshrFile {
+ public:
+  explicit MshrFile(std::uint32_t capacity) : capacity_(capacity) {
+    CDSIM_ASSERT(capacity >= 1);
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t in_use() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] bool full() const noexcept { return in_use() >= capacity_; }
+
+  /// Entry for `line_addr`, or nullptr when no fill is outstanding.
+  [[nodiscard]] MshrEntry* find(Addr line_addr) {
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Allocates an entry for a new outstanding fill. Precondition: !full()
+  /// and no entry exists for this line (merge instead).
+  MshrEntry& allocate(Addr line_addr, bool is_write, Cycle now) {
+    CDSIM_ASSERT_MSG(!full(), "MSHR allocate on full file");
+    CDSIM_ASSERT_MSG(find(line_addr) == nullptr,
+                     "MSHR allocate with existing entry (merge instead)");
+    MshrEntry& e = entries_[line_addr];
+    e.line_addr = line_addr;
+    e.is_write = is_write;
+    e.allocated_at = now;
+    ++allocations_;
+    return e;
+  }
+
+  /// Merges a waiter into an existing entry. If the merged request needs
+  /// ownership, the entry is promoted to a write fetch (the controller
+  /// must upgrade the bus request if it has not been granted yet).
+  void merge(MshrEntry& e, bool is_write, FillCallback cb) {
+    if (is_write) e.is_write = true;
+    e.waiters.push_back(std::move(cb));
+    ++merges_;
+  }
+
+  /// Completes the fill for `line_addr`: invokes all waiters with
+  /// `fill_done` and frees the entry. Waiters run in merge order.
+  void complete(Addr line_addr, Cycle fill_done) {
+    auto it = entries_.find(line_addr);
+    CDSIM_ASSERT_MSG(it != entries_.end(), "MSHR complete on absent entry");
+    // Move waiters out first: a waiter may synchronously allocate a new
+    // MSHR entry (even for the same line).
+    std::vector<FillCallback> waiters = std::move(it->second.waiters);
+    entries_.erase(it);
+    for (auto& cb : waiters) cb(fill_done);
+  }
+
+  /// Statistics: lifetime totals.
+  [[nodiscard]] std::uint64_t total_allocations() const noexcept {
+    return allocations_;
+  }
+  [[nodiscard]] std::uint64_t total_merges() const noexcept { return merges_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::unordered_map<Addr, MshrEntry> entries_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace cdsim::cache

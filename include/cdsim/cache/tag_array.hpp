@@ -1,0 +1,145 @@
+#pragma once
+// Generic set-associative tag array with true-LRU replacement.
+//
+// The array owns validity, tag, and LRU ordering; the `Payload` template
+// parameter carries whatever per-line metadata the controller needs (MESI
+// state, decay bookkeeping, ...). Lookup never allocates; allocation is an
+// explicit two-step: pick_victim() then install().
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cdsim/cache/geometry.hpp"
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/types.hpp"
+
+namespace cdsim::cache {
+
+/// One way of one set, as exposed to controllers.
+template <typename Payload>
+struct Line {
+  bool valid = false;
+  Addr tag = 0;  ///< Full line address (see Geometry::tag).
+  Payload payload{};
+};
+
+/// Set-associative array of Line<Payload> with true-LRU.
+///
+/// LRU is kept as a per-line monotonic timestamp; victim selection scans the
+/// set's ways (ways <= 16 in practice, so a scan beats a linked list).
+template <typename Payload>
+class TagArray {
+ public:
+  explicit TagArray(const Geometry& geo)
+      : geo_(geo),
+        lines_(geo.num_lines()),
+        lru_stamp_(geo.num_lines(), 0) {}
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geo_; }
+
+  /// Finds the valid line holding `addr`'s tag. Does not touch LRU.
+  [[nodiscard]] Line<Payload>* find(Addr addr) {
+    const Addr t = geo_.tag(addr);
+    const std::uint64_t base = geo_.set_index(addr) * geo_.ways();
+    for (std::uint32_t w = 0; w < geo_.ways(); ++w) {
+      Line<Payload>& ln = lines_[base + w];
+      if (ln.valid && ln.tag == t) return &ln;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const Line<Payload>* find(Addr addr) const {
+    return const_cast<TagArray*>(this)->find(addr);
+  }
+
+  /// Marks `addr`'s line most-recently used. Caller must know it exists.
+  void touch(Addr addr) {
+    Line<Payload>* ln = find(addr);
+    CDSIM_ASSERT_MSG(ln != nullptr, "touch() on absent line");
+    lru_stamp_[index_of(ln)] = ++clock_;
+  }
+
+  /// Selects the victim way for installing `addr`'s line: an invalid way if
+  /// any, otherwise the LRU valid way. The returned line may be valid — the
+  /// caller is responsible for eviction side effects before install().
+  [[nodiscard]] Line<Payload>& pick_victim(Addr addr) {
+    const std::uint64_t base = geo_.set_index(addr) * geo_.ways();
+    Line<Payload>* victim = nullptr;
+    std::uint64_t best = UINT64_MAX;
+    for (std::uint32_t w = 0; w < geo_.ways(); ++w) {
+      Line<Payload>& ln = lines_[base + w];
+      if (!ln.valid) return ln;
+      if (lru_stamp_[base + w] < best) {
+        best = lru_stamp_[base + w];
+        victim = &ln;
+      }
+    }
+    CDSIM_ASSERT(victim != nullptr);
+    return *victim;
+  }
+
+  /// Like pick_victim, but only considers ways satisfying `evictable`
+  /// (invalid ways always qualify). Returns nullptr when every valid way is
+  /// pinned — the caller must then skip the install (e.g. a set whose every
+  /// way has a fill in flight).
+  template <typename Pred>
+  [[nodiscard]] Line<Payload>* pick_victim_if(Addr addr, Pred evictable) {
+    const std::uint64_t base = geo_.set_index(addr) * geo_.ways();
+    Line<Payload>* victim = nullptr;
+    std::uint64_t best = UINT64_MAX;
+    for (std::uint32_t w = 0; w < geo_.ways(); ++w) {
+      Line<Payload>& ln = lines_[base + w];
+      if (!ln.valid) return &ln;
+      if (evictable(ln) && lru_stamp_[base + w] < best) {
+        best = lru_stamp_[base + w];
+        victim = &ln;
+      }
+    }
+    return victim;
+  }
+
+  /// Installs `addr`'s line into `slot` (obtained from pick_victim) and
+  /// marks it MRU. Returns the installed line.
+  Line<Payload>& install(Line<Payload>& slot, Addr addr, Payload payload) {
+    slot.valid = true;
+    slot.tag = geo_.tag(addr);
+    slot.payload = std::move(payload);
+    lru_stamp_[index_of(&slot)] = ++clock_;
+    return slot;
+  }
+
+  /// Invalidates a line (does not reset its payload).
+  void invalidate(Line<Payload>& ln) { ln.valid = false; }
+
+  /// Number of currently valid lines (O(lines); use for assertions/tests).
+  [[nodiscard]] std::uint64_t count_valid() const {
+    std::uint64_t n = 0;
+    for (const auto& ln : lines_) n += ln.valid ? 1 : 0;
+    return n;
+  }
+
+  /// Applies `fn` to every valid line. Used by decay sweeps and checkers.
+  void for_each_valid(const std::function<void(Line<Payload>&)>& fn) {
+    for (auto& ln : lines_) {
+      if (ln.valid) fn(ln);
+    }
+  }
+
+  /// Total ways in the array (valid or not).
+  [[nodiscard]] std::uint64_t capacity_lines() const noexcept {
+    return lines_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t index_of(const Line<Payload>* ln) const noexcept {
+    return static_cast<std::size_t>(ln - lines_.data());
+  }
+
+  Geometry geo_;
+  std::vector<Line<Payload>> lines_;
+  std::vector<std::uint64_t> lru_stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace cdsim::cache

@@ -1,0 +1,237 @@
+#pragma once
+// MESI coherence protocol extended with the turn-off mechanism of
+// Monchiero/Canal/González (ICPP'09), Figure 2.
+//
+// The protocol logic is expressed as *pure functions* over an explicit state
+// enum: given a state and an input (processor op, snooped bus transaction,
+// or turn-off signal), they return the next state plus the set of actions
+// the controller must perform (supply data, write back, invalidate the upper
+// level, ...). Keeping the FSM side-effect-free makes the paper's Table I
+// and Figure 2 directly testable, transition by transition.
+//
+// States:
+//   I  — Invalid. Under any gating technique an invalid line is also
+//        *powered off* (the valid bit gates Vdd, paper §III).
+//   S  — Shared: clean, possibly replicated in other L2s.
+//   E  — Exclusive: clean, only copy among the L2s.
+//   M  — Modified: dirty, only copy; memory is stale.
+//   TC — Transient Clean: a clean line whose turn-off is in progress; the
+//        upper level (L1) is being invalidated to preserve inclusion.
+//   TD — Transient Dirty: a dirty line whose turn-off is in progress; the
+//        upper level is being invalidated and the line awaits a bus grant
+//        to flush its data to memory before switching off.
+
+#include <cstdint>
+#include <string_view>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/types.hpp"
+
+namespace cdsim::coherence {
+
+enum class MesiState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+  kTransientClean,
+  kTransientDirty,
+};
+
+/// Human-readable state name (for logs, tests and the Table I harness).
+constexpr std::string_view to_string(MesiState s) noexcept {
+  switch (s) {
+    case MesiState::kInvalid: return "I";
+    case MesiState::kShared: return "S";
+    case MesiState::kExclusive: return "E";
+    case MesiState::kModified: return "M";
+    case MesiState::kTransientClean: return "TC";
+    case MesiState::kTransientDirty: return "TD";
+  }
+  return "?";
+}
+
+/// A state is "stationary" when the line is not mid-transaction. The paper
+/// requires turn-off requests to wait for a stationary state (§III).
+constexpr bool is_stationary(MesiState s) noexcept {
+  return s == MesiState::kShared || s == MesiState::kExclusive ||
+         s == MesiState::kModified;
+}
+
+/// Valid (powered, data-holding) states. TC/TD still hold data and must
+/// respond to snoops.
+constexpr bool holds_data(MesiState s) noexcept {
+  return s != MesiState::kInvalid;
+}
+
+constexpr bool is_dirty(MesiState s) noexcept {
+  return s == MesiState::kModified || s == MesiState::kTransientDirty;
+}
+
+/// Bus transactions a snoopy L2 can observe or issue.
+enum class BusTxKind : std::uint8_t {
+  kBusRd,     ///< Read for sharing (load miss).
+  kBusRdX,    ///< Read for ownership (store miss).
+  kBusUpgr,   ///< Ownership upgrade of an already-held S line (no data).
+  kWriteBack, ///< Dirty data flushed to memory (eviction or turn-off).
+};
+
+constexpr std::string_view to_string(BusTxKind k) noexcept {
+  switch (k) {
+    case BusTxKind::kBusRd: return "BusRd";
+    case BusTxKind::kBusRdX: return "BusRdX";
+    case BusTxKind::kBusUpgr: return "BusUpgr";
+    case BusTxKind::kWriteBack: return "WB";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Snoop side
+// ---------------------------------------------------------------------------
+
+/// Outcome of applying a snooped transaction to a local line.
+struct SnoopOutcome {
+  MesiState next = MesiState::kInvalid;
+  bool had_line = false;      ///< We held valid data (drives S vs E fills).
+  bool supply_data = false;   ///< We flush the line on the bus (dirty owner).
+  bool memory_update = false; ///< Memory is written with our dirty data.
+  bool invalidated = false;   ///< The line was invalidated by this snoop.
+  bool cancel_turnoff_wb = false;  ///< A pending TD write-back became moot.
+};
+
+/// Applies a snooped bus transaction `kind` to a line in state `s`.
+///
+/// MESI variant: memory supplies data for clean remote hits; only a dirty
+/// owner flushes (supply_data). A flush updates memory as well, so the
+/// requester may install a clean copy.
+constexpr SnoopOutcome apply_snoop(MesiState s, BusTxKind kind) noexcept {
+  SnoopOutcome o;
+  o.had_line = holds_data(s);
+  switch (kind) {
+    case BusTxKind::kBusRd:
+      switch (s) {
+        case MesiState::kInvalid:
+          o.next = MesiState::kInvalid;
+          break;
+        case MesiState::kShared:
+          o.next = MesiState::kShared;
+          break;
+        case MesiState::kExclusive:
+          o.next = MesiState::kShared;
+          break;
+        case MesiState::kModified:
+          // BusRd/Flush edge of Fig. 2: supply and downgrade.
+          o.next = MesiState::kShared;
+          o.supply_data = true;
+          o.memory_update = true;
+          break;
+        case MesiState::kTransientClean:
+          // Clean data; memory supplies the requester. The turn-off keeps
+          // draining; our copy is still clean so nothing changes here.
+          o.next = MesiState::kTransientClean;
+          break;
+        case MesiState::kTransientDirty:
+          // We are dying with dirty data and someone wants the line: flush
+          // now; the flush doubles as the write-back the TD state was
+          // queued for, so the line can switch off immediately.
+          o.next = MesiState::kInvalid;
+          o.supply_data = true;
+          o.memory_update = true;
+          o.invalidated = true;
+          o.cancel_turnoff_wb = true;
+          break;
+      }
+      break;
+
+    case BusTxKind::kBusRdX:
+    case BusTxKind::kBusUpgr:
+      switch (s) {
+        case MesiState::kInvalid:
+          o.next = MesiState::kInvalid;
+          break;
+        case MesiState::kShared:
+        case MesiState::kExclusive:
+          o.next = MesiState::kInvalid;
+          o.invalidated = true;
+          break;
+        case MesiState::kModified:
+          o.next = MesiState::kInvalid;
+          o.supply_data = true;
+          o.memory_update = true;
+          o.invalidated = true;
+          break;
+        case MesiState::kTransientClean:
+          // Remote writer invalidates us mid-turn-off; the turn-off
+          // completes trivially (line dies now).
+          o.next = MesiState::kInvalid;
+          o.invalidated = true;
+          o.cancel_turnoff_wb = true;
+          break;
+        case MesiState::kTransientDirty:
+          o.next = MesiState::kInvalid;
+          o.supply_data = true;
+          o.memory_update = true;
+          o.invalidated = true;
+          o.cancel_turnoff_wb = true;
+          break;
+      }
+      break;
+
+    case BusTxKind::kWriteBack:
+      // Write-backs carry no coherence action for third parties.
+      o.next = s;
+      break;
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Turn-off side (the paper's contribution)
+// ---------------------------------------------------------------------------
+
+/// What a turn-off request requires for a line in a given state.
+enum class TurnOffClass : std::uint8_t {
+  kIgnore,        ///< I / TC / TD — nothing to do (or already in progress).
+  kCleanTurnOff,  ///< S/E -> TC: invalidate upper level, then off. No bus.
+  kDirtyTurnOff,  ///< M -> TD: invalidate upper level, flush on bus, off.
+};
+
+/// Classifies a turn-off request (Fig. 2 "Turn-off" edges). Requests in
+/// transient states must be retried once the line is stationary; the decay
+/// sweep naturally provides the retry.
+constexpr TurnOffClass classify_turnoff(MesiState s) noexcept {
+  switch (s) {
+    case MesiState::kShared:
+    case MesiState::kExclusive:
+      return TurnOffClass::kCleanTurnOff;
+    case MesiState::kModified:
+      return TurnOffClass::kDirtyTurnOff;
+    case MesiState::kInvalid:
+    case MesiState::kTransientClean:
+    case MesiState::kTransientDirty:
+      return TurnOffClass::kIgnore;
+  }
+  return TurnOffClass::kIgnore;
+}
+
+/// State entered when a turn-off request is accepted.
+constexpr MesiState turnoff_transient(MesiState s) noexcept {
+  CDSIM_ASSERT(is_stationary(s));
+  return s == MesiState::kModified ? MesiState::kTransientDirty
+                                   : MesiState::kTransientClean;
+}
+
+// ---------------------------------------------------------------------------
+// Fill side
+// ---------------------------------------------------------------------------
+
+/// State a requester installs after a bus fill.
+/// @param was_write  the fetch was BusRdX (store miss)
+/// @param shared     some other L2 held the line at snoop time
+constexpr MesiState fill_state(bool was_write, bool shared) noexcept {
+  if (was_write) return MesiState::kModified;
+  return shared ? MesiState::kShared : MesiState::kExclusive;
+}
+
+}  // namespace cdsim::coherence

@@ -1,0 +1,223 @@
+#pragma once
+// MOESI coherence protocol with the turn-off extension — the protocol
+// generalization the paper sketches in §III:
+//
+//   "This technique may be easily extended to any coherence protocol, of
+//    course taking care of the different semantic of the states. For
+//    example, considering the Owned state of the MOESI, other copies must
+//    be invalidated before a line is turned off."
+//
+// MOESI adds the **Owned (O)** state: dirty *and shared* — the owner
+// supplies data to readers without updating memory, so memory stays stale
+// while S copies replicate the line. That changes the turn-off rules:
+//
+//  * An O line's turn-off must (a) write the dirty data back, like M, and
+//    (b) invalidate the other S copies first — otherwise those copies
+//    would survive with no owner responsible for memory consistency and,
+//    worse, no agent left to order a later writer against them. This is
+//    the paper's "other copies must be invalidated" caveat, realized here
+//    as an ownership-revoking bus transaction before the flush.
+//  * S copies can no longer assume memory is up to date, but turning an S
+//    copy off is still free: the owner (or memory) still has the data.
+//
+// The transient-state treatment mirrors the MESI implementation
+// (mesi.hpp): TC for clean lines, TD for dirty lines (M and O both),
+// with O additionally requiring the invalidation broadcast.
+
+#include <cstdint>
+#include <string_view>
+
+#include "cdsim/coherence/mesi.hpp"
+
+namespace cdsim::coherence {
+
+enum class MoesiState : std::uint8_t {
+  kInvalid,
+  kShared,     ///< Clean or stale-memory copy; some owner may exist.
+  kExclusive,  ///< Clean, only copy.
+  kOwned,      ///< Dirty and shared: this cache answers for the line.
+  kModified,   ///< Dirty, only copy.
+  kTransientClean,
+  kTransientDirty,
+};
+
+constexpr std::string_view to_string(MoesiState s) noexcept {
+  switch (s) {
+    case MoesiState::kInvalid: return "I";
+    case MoesiState::kShared: return "S";
+    case MoesiState::kExclusive: return "E";
+    case MoesiState::kOwned: return "O";
+    case MoesiState::kModified: return "M";
+    case MoesiState::kTransientClean: return "TC";
+    case MoesiState::kTransientDirty: return "TD";
+  }
+  return "?";
+}
+
+constexpr bool is_stationary(MoesiState s) noexcept {
+  return s == MoesiState::kShared || s == MoesiState::kExclusive ||
+         s == MoesiState::kOwned || s == MoesiState::kModified;
+}
+
+constexpr bool holds_data(MoesiState s) noexcept {
+  return s != MoesiState::kInvalid;
+}
+
+/// Dirty = this cache is responsible for the only up-to-date copy.
+constexpr bool is_dirty(MoesiState s) noexcept {
+  return s == MoesiState::kModified || s == MoesiState::kOwned ||
+         s == MoesiState::kTransientDirty;
+}
+
+/// Outcome of applying a snooped transaction to a local MOESI line.
+struct MoesiSnoopOutcome {
+  MoesiState next = MoesiState::kInvalid;
+  bool had_line = false;
+  bool supply_data = false;    ///< Owner-supplies (cache-to-cache).
+  bool memory_update = false;  ///< Memory is written with our dirty data.
+  bool invalidated = false;
+  bool cancel_turnoff_wb = false;
+};
+
+/// Applies a snooped transaction. The MOESI difference from MESI: a dirty
+/// owner answering a BusRd *keeps ownership* (M -> O) and does NOT update
+/// memory — that deferred write-back is exactly what makes the O-state
+/// turn-off more involved.
+constexpr MoesiSnoopOutcome moesi_apply_snoop(MoesiState s,
+                                              BusTxKind kind) noexcept {
+  MoesiSnoopOutcome o;
+  o.had_line = holds_data(s);
+  switch (kind) {
+    case BusTxKind::kBusRd:
+      switch (s) {
+        case MoesiState::kInvalid:
+          break;
+        case MoesiState::kShared:
+          o.next = MoesiState::kShared;
+          break;
+        case MoesiState::kExclusive:
+          o.next = MoesiState::kShared;
+          break;
+        case MoesiState::kOwned:
+          // Owner keeps supplying; memory stays stale.
+          o.next = MoesiState::kOwned;
+          o.supply_data = true;
+          break;
+        case MoesiState::kModified:
+          // MOESI: downgrade to Owned, supply the reader, defer the
+          // memory write-back (the key difference from MESI's M->S).
+          o.next = MoesiState::kOwned;
+          o.supply_data = true;
+          break;
+        case MoesiState::kTransientClean:
+          o.next = MoesiState::kTransientClean;
+          break;
+        case MoesiState::kTransientDirty:
+          // Dying dirty line: flush to requester AND memory so the
+          // turn-off completes (same resolution as MESI).
+          o.next = MoesiState::kInvalid;
+          o.supply_data = true;
+          o.memory_update = true;
+          o.invalidated = true;
+          o.cancel_turnoff_wb = true;
+          break;
+      }
+      break;
+
+    case BusTxKind::kBusRdX:
+    case BusTxKind::kBusUpgr:
+      switch (s) {
+        case MoesiState::kInvalid:
+          break;
+        case MoesiState::kShared:
+        case MoesiState::kExclusive:
+          o.next = MoesiState::kInvalid;
+          o.invalidated = true;
+          break;
+        case MoesiState::kOwned:
+        case MoesiState::kModified:
+          o.next = MoesiState::kInvalid;
+          o.supply_data = true;
+          o.memory_update = true;
+          o.invalidated = true;
+          break;
+        case MoesiState::kTransientClean:
+          o.next = MoesiState::kInvalid;
+          o.invalidated = true;
+          o.cancel_turnoff_wb = true;
+          break;
+        case MoesiState::kTransientDirty:
+          o.next = MoesiState::kInvalid;
+          o.supply_data = true;
+          o.memory_update = true;
+          o.invalidated = true;
+          o.cancel_turnoff_wb = true;
+          break;
+      }
+      break;
+
+    case BusTxKind::kWriteBack:
+      o.next = s;
+      break;
+  }
+  return o;
+}
+
+/// Turn-off requirements per MOESI state — the §III extension table.
+enum class MoesiTurnOffClass : std::uint8_t {
+  kIgnore,
+  kCleanTurnOff,   ///< S/E: invalidate upper level, off. No bus traffic.
+  kDirtyTurnOff,   ///< M: invalidate upper level, write back, off.
+  /// O: *first* invalidate the remaining S copies system-wide (ownership
+  /// revocation broadcast), then write back, then off — "other copies must
+  /// be invalidated before a line is turned off" (§III).
+  kOwnedTurnOff,
+};
+
+constexpr MoesiTurnOffClass moesi_classify_turnoff(MoesiState s) noexcept {
+  switch (s) {
+    case MoesiState::kShared:
+    case MoesiState::kExclusive:
+      return MoesiTurnOffClass::kCleanTurnOff;
+    case MoesiState::kModified:
+      return MoesiTurnOffClass::kDirtyTurnOff;
+    case MoesiState::kOwned:
+      return MoesiTurnOffClass::kOwnedTurnOff;
+    case MoesiState::kInvalid:
+    case MoesiState::kTransientClean:
+    case MoesiState::kTransientDirty:
+      return MoesiTurnOffClass::kIgnore;
+  }
+  return MoesiTurnOffClass::kIgnore;
+}
+
+/// Transient state entered when a turn-off is accepted. O joins the dirty
+/// path (its data must reach memory before the line dies).
+constexpr MoesiState moesi_turnoff_transient(MoesiState s) noexcept {
+  CDSIM_ASSERT(is_stationary(s));
+  return is_dirty(s) ? MoesiState::kTransientDirty
+                     : MoesiState::kTransientClean;
+}
+
+/// Fill state after a bus transaction: like MESI, except a read serviced
+/// by a dirty owner installs S *while the owner retains O* (no memory
+/// update happened).
+constexpr MoesiState moesi_fill_state(bool was_write, bool shared) noexcept {
+  if (was_write) return MoesiState::kModified;
+  return shared ? MoesiState::kShared : MoesiState::kExclusive;
+}
+
+/// Relative cost ranking of a turn-off (bus transactions required):
+/// S/E = 0 (free), M = 1 (write-back), O = 2 (invalidation broadcast +
+/// write-back). Used by cost-aware selective policies.
+constexpr int moesi_turnoff_bus_cost(MoesiState s) noexcept {
+  switch (moesi_classify_turnoff(s)) {
+    case MoesiTurnOffClass::kCleanTurnOff: return 0;
+    case MoesiTurnOffClass::kDirtyTurnOff: return 1;
+    case MoesiTurnOffClass::kOwnedTurnOff: return 2;
+    case MoesiTurnOffClass::kIgnore: return 0;
+  }
+  return 0;
+}
+
+}  // namespace cdsim::coherence

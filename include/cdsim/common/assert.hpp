@@ -1,0 +1,37 @@
+#pragma once
+// Simulator-grade assertion macro.
+//
+// Unlike <cassert>, CDSIM_ASSERT stays enabled in release builds: a coherence
+// protocol violation silently producing wrong energy numbers is far worse
+// than the nanoseconds the check costs. The failure message includes the
+// expression, location, and an optional formatted context string.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdsim::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "cdsim assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace cdsim::detail
+
+#define CDSIM_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::cdsim::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                   \
+  } while (false)
+
+#define CDSIM_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::cdsim::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                \
+  } while (false)
+
+/// Marks unreachable control flow; aborts if reached.
+#define CDSIM_UNREACHABLE(msg) \
+  ::cdsim::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

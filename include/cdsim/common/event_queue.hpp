@@ -1,0 +1,106 @@
+#pragma once
+// Deterministic discrete-event simulation kernel.
+//
+// All cdsim components share one EventQueue. Events are ordered by
+// (cycle, insertion sequence): two events scheduled for the same cycle run
+// in the order they were scheduled, which makes every simulation bit-exact
+// reproducible regardless of platform or standard-library heap tie-breaking.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/types.hpp"
+
+namespace cdsim {
+
+/// Discrete-event scheduler with deterministic same-cycle ordering.
+///
+/// Usage:
+///   EventQueue q;
+///   q.schedule_at(100, [] { ... });
+///   q.schedule_in(5,  [] { ... });  // relative to q.now()
+///   q.run_until(1'000'000);
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulated time. Advances monotonically as events execute.
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// Number of events not yet executed.
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Schedules `fn` to run at absolute cycle `when`. Scheduling in the past
+  /// is a logic error (asserts).
+  void schedule_at(Cycle when, Callback fn) {
+    CDSIM_ASSERT_MSG(when >= now_, "event scheduled in the past");
+    heap_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` to run `delta` cycles from now.
+  void schedule_in(Cycle delta, Callback fn) {
+    schedule_at(now_ + delta, std::move(fn));
+  }
+
+  /// Executes the earliest pending event, advancing now(). Returns false if
+  /// the queue was empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the callback out before popping so the event may schedule more
+    // events (including at the same cycle) without invalidating anything.
+    Event ev = heap_.top();
+    heap_.pop();
+    CDSIM_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    ev.fn();
+    ++executed_;
+    return true;
+  }
+
+  /// Runs events until the queue drains or the next event lies strictly
+  /// after `horizon`. Afterwards now() == min(horizon, last event time) —
+  /// the clock is advanced to `horizon` if the queue drained early.
+  void run_until(Cycle horizon) {
+    while (!heap_.empty() && heap_.top().when <= horizon) step();
+    if (now_ < horizon) now_ = horizon;
+  }
+
+  /// Runs until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Total events executed since construction (for perf accounting).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace cdsim

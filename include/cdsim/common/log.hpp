@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger.
+//
+// cdsim is a library first: logging defaults to warnings-and-above on
+// stderr and is globally adjustable. Hot paths guard with level checks so a
+// disabled level costs one branch.
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cdsim {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Log {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) noexcept {
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
+
+#if defined(__GNUC__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  static void write(LogLevel lvl, const char* fmt, ...) {
+    if (!enabled(lvl)) return;
+    static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+    std::fprintf(stderr, "[cdsim %s] ", names[static_cast<int>(lvl)]);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+  }
+};
+
+#define CDSIM_LOG_ERROR(...) ::cdsim::Log::write(::cdsim::LogLevel::kError, __VA_ARGS__)
+#define CDSIM_LOG_WARN(...) ::cdsim::Log::write(::cdsim::LogLevel::kWarn, __VA_ARGS__)
+#define CDSIM_LOG_INFO(...) ::cdsim::Log::write(::cdsim::LogLevel::kInfo, __VA_ARGS__)
+#define CDSIM_LOG_DEBUG(...) ::cdsim::Log::write(::cdsim::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace cdsim

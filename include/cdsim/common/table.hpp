@@ -1,0 +1,71 @@
+#pragma once
+// Plain-text aligned-table writer used by the figure/table bench harnesses.
+//
+// Every bench prints its figure as rows of an aligned table so the output
+// can be diffed, grepped, and pasted next to the paper's plots.
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cdsim {
+
+/// Accumulates rows of string cells and prints them with per-column
+/// alignment. The first row added is treated as the header.
+class TextTable {
+ public:
+  /// Starts a new row.
+  TextTable& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  /// Appends a cell to the current row.
+  TextTable& cell(const std::string& s) {
+    rows_.back().push_back(s);
+    return *this;
+  }
+
+  TextTable& cell(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+
+  /// Formats `v` (a fraction, e.g. 0.31) as a percentage string "31.0%".
+  TextTable& pct(double v, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+    return cell(os.str());
+  }
+
+  /// Writes the table with columns padded to their widest cell.
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths;
+    for (const auto& r : rows_) {
+      if (r.size() > widths.size()) widths.resize(r.size(), 0);
+      for (std::size_t c = 0; c < r.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+    }
+    for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+      const auto& r = rows_[ri];
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << r[c];
+      }
+      os << '\n';
+      if (ri == 0) {
+        // Underline the header.
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + 2;
+        os << std::string(total, '-') << '\n';
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cdsim

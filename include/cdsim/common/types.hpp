@@ -1,0 +1,57 @@
+#pragma once
+// Fundamental scalar types shared by every cdsim subsystem.
+//
+// The simulator measures time in core clock cycles (`Cycle`), addresses the
+// memory space in bytes (`Addr`), and identifies hardware agents with small
+// dense integer ids (`CoreId`). All of these are plain integer aliases; the
+// strong-typing burden is carried by function signatures and naming rather
+// than wrapper classes, matching the style of mature HPC simulators.
+
+#include <cstdint>
+#include <limits>
+
+namespace cdsim {
+
+/// Simulated time, in core clock cycles. 64 bits: a multi-billion-cycle run
+/// never wraps.
+using Cycle = std::uint64_t;
+
+/// Largest representable cycle; used as "never" / "not scheduled".
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/// Physical byte address.
+using Addr = std::uint64_t;
+
+/// Identifier of a core (and, by construction, of its private L1/L2 slice).
+using CoreId = std::uint32_t;
+
+/// Identifier used for "no core" (e.g. a memory-originated action).
+inline constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+/// Convenience byte-size literals.
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+
+/// Kinds of accesses a core issues to its memory hierarchy.
+enum class AccessType : std::uint8_t {
+  kLoad,   ///< Demand load; the core may stall on its latency.
+  kStore,  ///< Store; retires through the write buffer (write-through L1).
+  kIFetch, ///< Instruction fetch (modeled through the same L1 port).
+};
+
+/// Returns true when `x` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Integer log2 for powers of two. Precondition: is_pow2(x).
+constexpr unsigned log2_pow2(std::uint64_t x) noexcept {
+  unsigned n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace cdsim

@@ -1,0 +1,9 @@
+#pragma once
+// Library version string.
+
+namespace cdsim {
+
+/// Returns the semantic version of the cdsim library.
+const char* version() noexcept;
+
+}  // namespace cdsim

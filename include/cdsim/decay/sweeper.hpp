@@ -1,0 +1,57 @@
+#pragma once
+// Periodic decay sweep scheduling.
+//
+// Hardware cache decay uses a cascaded (hierarchical) counter: one global
+// counter ticks every decay_time/N cycles and advances saturating 2-bit
+// per-line counters; a line whose counter saturates is switched off. We
+// model this exactly by sweeping the tag array every tick period and
+// switching off lines idle for >= decay_time — the same quantization the
+// cascaded counters produce, at a fraction of the simulation cost.
+
+#include <functional>
+#include <utility>
+
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/decay/technique.hpp"
+
+namespace cdsim::decay {
+
+/// Schedules the periodic sweep callbacks for one L2 cache.
+class DecaySweeper {
+ public:
+  /// `sweep_fn(now)` must examine the cache and turn off expired lines.
+  DecaySweeper(EventQueue& eq, const DecayConfig& cfg,
+               std::function<void(Cycle)> sweep_fn)
+      : eq_(eq), cfg_(cfg), sweep_fn_(std::move(sweep_fn)) {}
+
+  /// Arms the periodic sweep (no-op for techniques without decay). The
+  /// sweeper reschedules itself for the lifetime of the event queue; the
+  /// `stop()` latch ends it (used at simulation teardown).
+  void start() {
+    if (!uses_decay(cfg_.technique)) return;
+    CDSIM_ASSERT(cfg_.tick_period() > 0);
+    arm();
+  }
+
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t sweeps_run() const noexcept { return sweeps_; }
+
+ private:
+  void arm() {
+    eq_.schedule_in(cfg_.tick_period(), [this] {
+      if (stopped_) return;
+      ++sweeps_;
+      sweep_fn_(eq_.now());
+      arm();
+    });
+  }
+
+  EventQueue& eq_;
+  DecayConfig cfg_;
+  std::function<void(Cycle)> sweep_fn_;
+  bool stopped_ = false;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace cdsim::decay

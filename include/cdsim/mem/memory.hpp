@@ -1,0 +1,102 @@
+#pragma once
+// Main-memory model: fixed access latency plus a bandwidth-limited channel.
+//
+// The external bus / memory channel is where the paper's Figure 4(a) metric
+// lives: decay-induced refetches and turn-off write-backs all cross this
+// channel, so the controller counts every byte moved in each direction.
+
+#include <cstdint>
+#include <functional>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/stats.hpp"
+#include "cdsim/common/types.hpp"
+
+namespace cdsim::mem {
+
+struct MemoryConfig {
+  /// Core cycles from channel issue to first data beat (row activation,
+  /// controller queuing not included — queuing is modeled explicitly).
+  Cycle read_latency = 130;
+  /// Channel bandwidth in bytes per core cycle (both directions share it).
+  std::uint32_t bytes_per_cycle = 16;
+  /// Writes are posted: the issuer never waits for them, but they occupy
+  /// channel bandwidth and are counted as traffic.
+  bool posted_writes = true;
+};
+
+/// Bandwidth-limited, fixed-latency memory controller.
+///
+/// The channel serializes transfers: each request occupies the channel for
+/// ceil(bytes / bytes_per_cycle) cycles starting no earlier than the
+/// previous occupant finished. Reads additionally pay `read_latency` before
+/// their data is available to the requester.
+class MemoryController {
+ public:
+  MemoryController(EventQueue& eq, const MemoryConfig& cfg)
+      : eq_(eq), cfg_(cfg) {
+    CDSIM_ASSERT(cfg.bytes_per_cycle >= 1);
+  }
+
+  /// Schedules a read of `bytes` starting at `start`; returns the cycle the
+  /// data is fully available at the on-chip side.
+  Cycle schedule_read(Cycle start, std::uint32_t bytes) {
+    const Cycle begin = claim_channel(start, bytes);
+    reads_.inc();
+    bytes_read_.inc(bytes);
+    return begin + cfg_.read_latency + transfer_cycles(bytes);
+  }
+
+  /// Posts a write of `bytes` at `start` (fire-and-forget). Returns the
+  /// cycle the channel finished moving it (for tests).
+  Cycle post_write(Cycle start, std::uint32_t bytes) {
+    const Cycle begin = claim_channel(start, bytes);
+    writes_.inc();
+    bytes_written_.inc(bytes);
+    return begin + transfer_cycles(bytes);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_.value();
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_.value();
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_read() + bytes_written();
+  }
+  [[nodiscard]] std::uint64_t read_count() const noexcept {
+    return reads_.value();
+  }
+  [[nodiscard]] std::uint64_t write_count() const noexcept {
+    return writes_.value();
+  }
+
+  /// Average bytes per cycle moved over [0, now] — the Fig. 4(a) numerator.
+  [[nodiscard]] double bandwidth(Cycle now) const {
+    return safe_div(static_cast<double>(total_bytes()),
+                    static_cast<double>(now));
+  }
+
+  [[nodiscard]] const MemoryConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] Cycle transfer_cycles(std::uint32_t bytes) const noexcept {
+    return (bytes + cfg_.bytes_per_cycle - 1) / cfg_.bytes_per_cycle;
+  }
+
+  /// Serializes channel occupancy; returns when this transfer may begin.
+  Cycle claim_channel(Cycle start, std::uint32_t bytes) {
+    const Cycle begin = start > channel_free_at_ ? start : channel_free_at_;
+    channel_free_at_ = begin + transfer_cycles(bytes);
+    return begin;
+  }
+
+  EventQueue& eq_;
+  MemoryConfig cfg_;
+  Cycle channel_free_at_ = 0;
+  Counter reads_, writes_, bytes_read_, bytes_written_;
+};
+
+}  // namespace cdsim::mem

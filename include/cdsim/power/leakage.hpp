@@ -1,0 +1,45 @@
+#pragma once
+// Temperature-dependent subthreshold leakage model.
+//
+// Following Liao, He & Lepak (TCAD'05), subthreshold leakage at a fixed Vdd
+// scales with temperature approximately as
+//
+//     P_leak(T) = P_leak(T0) * (T/T0)^2 * exp(beta * (T - T0))
+//
+// where the quadratic term captures the thermal-voltage (kT/q)^2 factor and
+// the exponential captures the Vth temperature coefficient. `beta` around
+// 0.01-0.02 1/K reproduces the commonly reported ~2x leakage increase per
+// 30-50 K. The model is normalized so factor(T0) == 1; callers multiply
+// their reference (T0) leakage powers by factor(T).
+
+#include <cmath>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::power {
+
+struct LeakageParams {
+  double t0_kelvin = 343.0;  ///< Reference temperature (70 °C).
+  double beta = 0.014;       ///< Exponential slope, 1/K.
+};
+
+class LeakageModel {
+ public:
+  explicit LeakageModel(const LeakageParams& p = {}) : p_(p) {
+    CDSIM_ASSERT(p_.t0_kelvin > 0.0);
+  }
+
+  /// Multiplier on T0-referenced leakage power at temperature `t_kelvin`.
+  [[nodiscard]] double factor(double t_kelvin) const {
+    CDSIM_ASSERT(t_kelvin > 0.0);
+    const double r = t_kelvin / p_.t0_kelvin;
+    return r * r * std::exp(p_.beta * (t_kelvin - p_.t0_kelvin));
+  }
+
+  [[nodiscard]] const LeakageParams& params() const noexcept { return p_; }
+
+ private:
+  LeakageParams p_;
+};
+
+}  // namespace cdsim::power

@@ -1,0 +1,114 @@
+#pragma once
+// CmpSystem: the paper's evaluation platform in one object.
+//
+// 4 (configurable) out-of-order cores, each with a private write-through L1
+// and a private inclusive L2; MESI snooping on a shared pipelined bus; a
+// bandwidth-limited memory channel behind it; per-block RC thermal model
+// sampled every 10K cycles feeding a temperature-dependent leakage model
+// (§V of the paper). One leakage technique (baseline / protocol / decay /
+// selective decay) is active per run.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cdsim/bus/snoop_bus.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/core/core_model.hpp"
+#include "cdsim/decay/technique.hpp"
+#include "cdsim/mem/memory.hpp"
+#include "cdsim/power/energy.hpp"
+#include "cdsim/power/leakage.hpp"
+#include "cdsim/sim/l1_cache.hpp"
+#include "cdsim/sim/l2_cache.hpp"
+#include "cdsim/sim/metrics.hpp"
+#include "cdsim/thermal/rc_model.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace cdsim::sim {
+
+struct SystemConfig {
+  std::uint32_t num_cores = 4;
+  /// Total L2 capacity across all private slices (paper sweeps 1..8 MB).
+  std::uint64_t total_l2_bytes = 4 * MiB;
+
+  core::CoreConfig core;
+  L1Config l1;
+  L2Config l2;  ///< size_bytes is overridden with total_l2_bytes/num_cores.
+  bus::BusConfig bus;
+  mem::MemoryConfig mem;
+  decay::DecayConfig decay;
+  power::PowerConfig power;
+  power::LeakageParams leakage;
+  thermal::ThermalConfig thermal;
+  /// When false, leakage is evaluated at the reference temperature
+  /// (ablation A3 in DESIGN.md).
+  bool thermal_feedback = true;
+
+  std::uint64_t instructions_per_core = 4'000'000;
+  std::uint64_t seed = 42;
+};
+
+/// One fully-wired CMP simulation.
+class CmpSystem {
+ public:
+  CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench);
+  ~CmpSystem();
+
+  CmpSystem(const CmpSystem&) = delete;
+  CmpSystem& operator=(const CmpSystem&) = delete;
+
+  /// Runs all cores to completion of their instruction budgets and closes
+  /// the books (final power/thermal sample). Call once.
+  RunMetrics run();
+
+  // --- component access (tests, custom harnesses) -------------------------
+  [[nodiscard]] EventQueue& events() noexcept { return eq_; }
+  [[nodiscard]] core::CoreModel& core_model(CoreId c) { return *cores_.at(c); }
+  [[nodiscard]] L1Cache& l1(CoreId c) { return *l1s_.at(c); }
+  [[nodiscard]] L2Cache& l2(CoreId c) { return *l2s_.at(c); }
+  [[nodiscard]] bus::SnoopBus& bus() noexcept { return *bus_; }
+  [[nodiscard]] mem::MemoryController& memory() noexcept { return *mem_; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const thermal::RcThermalModel& thermal_model() const {
+    return floorplan_->model;
+  }
+
+  /// Invariant checker used by property tests: at most one M/E/TD copy of
+  /// any line system-wide, and every L1 line is backed by a valid L2 line.
+  /// Aborts (assert) on violation; returns lines checked.
+  std::uint64_t check_coherence_invariants() const;
+
+ private:
+  void sample_power(Cycle upto);
+  void arm_sampler();
+  RunMetrics collect(Cycle end) const;
+
+  SystemConfig cfg_;
+  const workload::Benchmark& bench_;
+
+  EventQueue eq_;
+  std::unique_ptr<mem::MemoryController> mem_;
+  std::unique_ptr<bus::SnoopBus> bus_;
+  std::vector<std::unique_ptr<workload::WorkloadStream>> streams_;
+  std::vector<std::unique_ptr<L1Cache>> l1s_;
+  std::vector<std::unique_ptr<L2Cache>> l2s_;
+  std::vector<std::unique_ptr<core::CoreModel>> cores_;
+  std::unique_ptr<thermal::Floorplan> floorplan_;
+  power::LeakageModel leak_model_;
+
+  power::EnergyLedger ledger_;
+  std::uint32_t cores_done_ = 0;
+  bool ran_ = false;
+
+  // Sampling state: previous counter snapshots per window.
+  Cycle last_sample_ = 0;
+  std::vector<std::uint64_t> prev_committed_;
+  std::vector<std::uint64_t> prev_l1_acc_;
+  std::vector<std::uint64_t> prev_l2_acc_;
+  std::vector<std::uint64_t> prev_l2_fills_;
+  std::vector<double> prev_l2_powered_;
+  std::uint64_t prev_bus_bytes_ = 0;
+};
+
+}  // namespace cdsim::sim

@@ -1,0 +1,78 @@
+#pragma once
+// Experiment driver shared by the figure benches, examples and tests.
+//
+// The paper's evaluation grid is: 6 benchmarks x {1,2,4,8} MB total L2 x
+// 7 techniques (protocol, decay/sel_decay x {512K,128K,64K}) plus the
+// always-on baseline every number is normalized against. This driver runs
+// single configurations and caches baseline results so each figure bench
+// only pays for what it prints.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdsim/decay/technique.hpp"
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/sim/metrics.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace cdsim::sim {
+
+/// The paper's seven techniques (Figure legends, left to right).
+std::vector<decay::DecayConfig> paper_technique_set();
+
+/// The paper's total-L2 sweep: 1, 2, 4, 8 MB.
+std::vector<std::uint64_t> paper_cache_sizes();
+
+/// Builds the default SystemConfig of the paper's platform (4 cores,
+/// parameters of §V) with the given total L2 size and technique.
+SystemConfig make_system_config(std::uint64_t total_l2_bytes,
+                                const decay::DecayConfig& technique);
+
+/// Runs one configuration to completion.
+RunMetrics run_config(const SystemConfig& cfg,
+                      const workload::Benchmark& bench);
+
+/// Runs configurations on demand, memoizing results (baselines are shared
+/// by every figure series).
+///
+/// Results are also persisted to a small text cache file so the per-figure
+/// bench binaries share one sweep instead of each re-simulating the grid.
+/// Cache location: $CDSIM_CACHE_FILE, default "cdsim_results.cache" in the
+/// working directory; delete the file (or change CDSIM_INSTR) to re-run.
+class ExperimentRunner {
+ public:
+  /// @param instructions_per_core 0 = keep the platform default. The
+  ///        CDSIM_INSTR environment variable overrides either.
+  explicit ExperimentRunner(std::uint64_t instructions_per_core = 0);
+
+  /// Result for (benchmark, size, technique); runs it on first use.
+  const RunMetrics& run(const workload::Benchmark& bench,
+                        std::uint64_t total_l2_bytes,
+                        const decay::DecayConfig& technique);
+
+  /// Technique metrics normalized against the matching baseline run.
+  RelativeMetrics relative(const workload::Benchmark& bench,
+                           std::uint64_t total_l2_bytes,
+                           const decay::DecayConfig& technique);
+
+  /// Average of `relative` over the whole benchmark suite — the paper's
+  /// "average across the benchmarks" figures (3, 4, 5).
+  RelativeMetrics suite_average(std::uint64_t total_l2_bytes,
+                                const decay::DecayConfig& technique);
+
+  [[nodiscard]] std::uint64_t instructions_per_core() const noexcept {
+    return instructions_;
+  }
+
+ private:
+  void load_disk_cache();
+  void append_disk_cache(const std::string& key, const RunMetrics& m);
+
+  std::uint64_t instructions_;
+  std::string cache_path_;
+  std::map<std::string, RunMetrics> cache_;
+};
+
+}  // namespace cdsim::sim

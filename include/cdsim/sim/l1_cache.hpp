@@ -1,0 +1,119 @@
+#pragma once
+// Private L1 data cache: write-through, no-write-allocate, inclusive under
+// the private L2 (the paper's §III design point, chosen there "for ease of
+// design" of the turn-off mechanism).
+//
+// Responsibilities:
+//  * serve core loads (hit latency or miss via L2 read + fill);
+//  * retire core stores through the coalescing write buffer, which drains
+//    to the L2 as PrWr operations — this is why "the operations on the L2
+//    are mostly writes" (§VI);
+//  * accept back-invalidations from the L2 (inclusion on eviction,
+//    coherence invalidation, and line turn-off);
+//  * expose the write buffer to the L2's turn-off logic (the Table I
+//    "pending write" gate).
+
+#include <cstdint>
+#include <functional>
+
+#include "cdsim/cache/cache_stats.hpp"
+#include "cdsim/cache/geometry.hpp"
+#include "cdsim/cache/mshr.hpp"
+#include "cdsim/cache/tag_array.hpp"
+#include "cdsim/cache/write_buffer.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/types.hpp"
+#include "cdsim/core/core_model.hpp"
+
+namespace cdsim::sim {
+
+class L2Cache;  // the level below (l2_cache.hpp)
+
+struct L1Config {
+  std::uint64_t size_bytes = 32 * KiB;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 4;
+  Cycle hit_latency = 2;   ///< Must be >= 1 (callbacks are always async).
+  std::uint32_t mshr_entries = 16;
+  std::uint32_t write_buffer_entries = 12;
+  /// Pause between consecutive write-buffer drains to the L2 port.
+  Cycle drain_interval = 1;
+  /// Concurrent drains in flight (store-miss MLP): a write-allocate miss on
+  /// one buffered line must not head-of-line-block the others.
+  std::uint32_t max_drains_in_flight = 8;
+};
+
+/// Per-core L1 data cache controller. Implements the core-facing
+/// LoadStorePort and the L2-facing inclusion hooks.
+class L1Cache final : public core::LoadStorePort {
+ public:
+  L1Cache(EventQueue& eq, const L1Config& cfg, CoreId core);
+
+  /// Wires the level below. Must be called before any access.
+  void connect_l2(L2Cache* l2) { l2_ = l2; }
+
+  // --- core-facing (LoadStorePort) ----------------------------------------
+  core::LoadOutcome try_load(Addr addr,
+                             std::function<void(Cycle)> on_done) override;
+  bool try_store(Addr addr) override;
+  void set_resources_freed(std::function<void()> cb) override {
+    resources_freed_ = std::move(cb);
+  }
+
+  // --- L2-facing ------------------------------------------------------------
+  /// Invalidates the L1 copy of `line_addr` (inclusion). Called on L2
+  /// eviction, coherence invalidation, and line turn-off.
+  void back_invalidate(Addr line_addr);
+
+  /// True when a buffered store to `line_addr` has not drained yet —
+  /// the paper's Table I "pending write" condition.
+  [[nodiscard]] bool pending_write(Addr line_addr) const {
+    return wb_.pending_to(line_addr);
+  }
+
+  // --- introspection ----------------------------------------------------------
+  [[nodiscard]] const cache::CacheStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const cache::Geometry& geometry() const noexcept {
+    return tags_.geometry();
+  }
+  [[nodiscard]] const cache::WriteBuffer& write_buffer() const noexcept {
+    return wb_;
+  }
+  [[nodiscard]] bool has_line(Addr line_addr) const {
+    return tags_.find(line_addr) != nullptr;
+  }
+  /// Test/checker hook: visits every valid line's address.
+  void for_each_valid_line(const std::function<void(Addr)>& fn) const {
+    const_cast<cache::TagArray<NoPayload>&>(tags_).for_each_valid(
+        [&](cache::Line<NoPayload>& ln) { fn(ln.tag); });
+  }
+  [[nodiscard]] CoreId core() const noexcept { return core_; }
+  /// Total accesses (for dynamic-energy accounting).
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return stats_.accesses();
+  }
+
+ private:
+  struct NoPayload {};
+
+  void drain_write_buffer();
+  void notify_resources_freed();
+
+  EventQueue& eq_;
+  L1Config cfg_;
+  CoreId core_;
+  L2Cache* l2_ = nullptr;
+
+  cache::TagArray<NoPayload> tags_;
+  cache::MshrFile mshr_;
+  cache::WriteBuffer wb_;
+  std::uint32_t drains_in_flight_ = 0;
+  std::uint32_t next_drain_slot_ = 0;
+
+  std::function<void()> resources_freed_;
+  cache::CacheStats stats_;
+};
+
+}  // namespace cdsim::sim

@@ -1,0 +1,183 @@
+#pragma once
+// Private, inclusive, MESI-snoopy L2 cache controller with the paper's
+// turn-off mechanism (§III) and the three leakage techniques (§IV).
+//
+// Coherence state changes are atomic in bus order: a fill installs its
+// tag+state at the grant cycle (data arrives later, tracked by the
+// `fetching` flag), so overlapping split transactions always observe a
+// consistent global state. The decay sweeper calls back into this
+// controller, which owns the TC/TD transient-state choreography:
+//
+//   clean (S/E):  Turn-off -> TC -> invalidate L1 copy -> off.     (no bus)
+//   dirty (M):    Turn-off -> TD -> invalidate L1 copy ->
+//                 write-back on the bus -> off.
+//
+// A snoop that reaches a TC/TD line completes the turn-off early (the
+// flush-and-cancel edges of Figure 2), using the bus-level write-back
+// cancellation validator.
+//
+// Power accounting: the controller maintains an exact time integral of the
+// number of powered lines. Techniques other than the baseline gate Vdd with
+// the valid bit, so "powered" == "valid (incl. TC/TD)".
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "cdsim/bus/snoop_bus.hpp"
+#include "cdsim/cache/cache_stats.hpp"
+#include "cdsim/cache/mshr.hpp"
+#include "cdsim/cache/tag_array.hpp"
+#include "cdsim/coherence/mesi.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/stats.hpp"
+#include "cdsim/decay/sweeper.hpp"
+#include "cdsim/decay/technique.hpp"
+#include "cdsim/sim/l1_cache.hpp"
+
+namespace cdsim::sim {
+
+struct L2Config {
+  std::uint64_t size_bytes = 1 * MiB;  ///< Per-core slice (paper: total/4).
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  Cycle hit_latency = 12;
+  std::uint32_t mshr_entries = 24;
+  /// Backoff before re-attempting an access that found its line in a
+  /// transient (TC/TD) state or the MSHR file full.
+  Cycle retry_interval = 4;
+  /// Cycles to invalidate the L1 copy during a turn-off (InvUpp edge).
+  Cycle l1_inval_latency = 2;
+};
+
+/// One private L2 slice.
+class L2Cache final : public bus::Snooper {
+ public:
+  /// Completion callback for upper-level requests. `may_cache_upper` is
+  /// false when the line was invalidated while its fill was in flight — the
+  /// L1 must then consume the data without caching it (inclusion).
+  using Response = std::function<void(Cycle done, bool may_cache_upper)>;
+
+  L2Cache(EventQueue& eq, const L2Config& cfg,
+          const decay::DecayConfig& dcfg, CoreId core, bus::SnoopBus& bus,
+          L1Cache* upper);
+
+  /// Arms the decay sweeper. Call once after construction.
+  void start();
+  /// Stops the sweeper (simulation teardown).
+  void stop();
+
+  // --- upper-level (L1) interface -----------------------------------------
+  /// Read request from an L1 miss. Always eventually responds (internally
+  /// retries on MSHR pressure / transient lines).
+  void read(Addr addr, Response on_done);
+
+  /// Write from the L1 write-buffer drain (write-through L1: the L2 sees
+  /// every store). Write-allocate on miss.
+  void write(Addr addr, Response on_done);
+
+  // --- bus::Snooper ----------------------------------------------------------
+  bus::SnoopReply snoop(coherence::BusTxKind kind, Addr line_addr,
+                        CoreId requester) override;
+
+  // --- decay ------------------------------------------------------------------
+  /// Periodic hierarchical-counter sweep: turns off expired lines.
+  void decay_sweep(Cycle now);
+
+  // --- introspection ------------------------------------------------------------
+  [[nodiscard]] const cache::CacheStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const cache::Geometry& geometry() const noexcept {
+    return tags_.geometry();
+  }
+  [[nodiscard]] const decay::DecayConfig& decay_config() const noexcept {
+    return dcfg_;
+  }
+  [[nodiscard]] CoreId core() const noexcept { return core_; }
+
+  /// Exact time integral of powered lines over [0, now]. For gated
+  /// techniques this integrates valid lines; for the baseline every line is
+  /// always powered.
+  [[nodiscard]] double powered_line_cycles(Cycle now) const;
+  /// Powered fraction of the array, time-averaged over [0, now] — the
+  /// paper's occupation rate for this slice.
+  [[nodiscard]] double occupation(Cycle now) const;
+  /// Currently powered lines.
+  [[nodiscard]] std::uint64_t lines_on() const noexcept;
+  [[nodiscard]] std::uint64_t capacity_lines() const noexcept {
+    return tags_.capacity_lines();
+  }
+
+  /// Lifetime counters for dynamic-energy accounting.
+  [[nodiscard]] std::uint64_t fills() const noexcept { return fills_.value(); }
+  [[nodiscard]] std::uint64_t transient_retries() const noexcept {
+    return transient_retries_.value();
+  }
+  [[nodiscard]] std::uint64_t upgrades() const noexcept {
+    return upgrades_.value();
+  }
+
+  /// Effective hit latency: +1 cycle when decay hardware is present
+  /// (Gated-Vdd access penalty, paper §V).
+  [[nodiscard]] Cycle access_latency() const noexcept {
+    return cfg_.hit_latency +
+           (decay::uses_decay(dcfg_.technique) ? 1 : 0);
+  }
+
+  /// Test hook: state of a line (Invalid when absent).
+  [[nodiscard]] coherence::MesiState line_state(Addr addr) const;
+
+  /// Test/checker hook: visits every valid line as (line_addr, state).
+  void for_each_valid_line(
+      const std::function<void(Addr, coherence::MesiState)>& fn) const;
+
+ private:
+  struct Payload {
+    coherence::MesiState state = coherence::MesiState::kInvalid;
+    decay::LineDecayState decay;
+    bool fetching = false;   ///< Tag/state installed; data still in flight.
+    bool upgrading = false;  ///< BusUpgr queued for this S line.
+    /// Cancellation token for a TD turn-off write-back queued on the bus.
+    std::shared_ptr<bool> td_wb_token;
+  };
+  using LineT = cache::Line<Payload>;
+
+  void do_read(Addr line_addr, Response on_done, bool counted);
+  void do_write(Addr line_addr, Response on_done, bool counted);
+  void issue_fetch(Addr line_addr, bool is_write);
+  void install_at_grant(Addr line_addr, bool is_write,
+                        const bus::BusResult& res);
+  void evict(LineT& victim);
+  void set_state(LineT& ln, coherence::MesiState next);
+  void line_off(LineT& ln);
+  void touch(LineT& ln, Addr line_addr);
+  void note_miss(Addr line_addr, bool is_write);
+  void retry(std::function<void()> fn);
+  void turn_off_clean(Addr line_addr);
+  void turn_off_dirty(Addr line_addr);
+  void cancel_td_wb(Payload& p);
+
+  EventQueue& eq_;
+  L2Config cfg_;
+  decay::DecayConfig dcfg_;
+  CoreId core_;
+  bus::SnoopBus& bus_;
+  L1Cache* upper_;
+
+  cache::TagArray<Payload> tags_;
+  cache::MshrFile mshr_;
+  decay::DecaySweeper sweeper_;
+
+  /// Powered-line count integral (valid lines for gated techniques).
+  TimeWeightedValue on_lines_{0.0};
+
+  /// Lines killed by decay, to attribute later misses to the technique.
+  std::unordered_set<Addr> decayed_lines_;
+
+  cache::CacheStats stats_;
+  Counter fills_, transient_retries_, upgrades_;
+};
+
+}  // namespace cdsim::sim

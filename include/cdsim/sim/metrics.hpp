@@ -1,0 +1,68 @@
+#pragma once
+// Whole-run metrics: everything the paper's figures are built from.
+
+#include <cstdint>
+#include <string>
+
+#include "cdsim/common/stats.hpp"
+#include "cdsim/common/types.hpp"
+#include "cdsim/power/energy.hpp"
+
+namespace cdsim::sim {
+
+/// Absolute measurements from one simulation run.
+struct RunMetrics {
+  std::string benchmark;
+  std::string technique;
+  std::uint64_t total_l2_bytes = 0;
+
+  Cycle cycles = 0;                  ///< Last core's finish cycle.
+  std::uint64_t instructions = 0;    ///< Committed across all cores.
+  double ipc = 0.0;                  ///< Aggregate instructions / cycles.
+
+  double l2_occupation = 0.0;        ///< Fig. 3(a): powered-line fraction.
+  double l2_miss_rate = 0.0;         ///< Fig. 3(b): aggregate L2 miss rate.
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l2_decay_turnoffs = 0;
+  std::uint64_t l2_decay_induced_misses = 0;
+  std::uint64_t l2_coherence_invals = 0;
+  std::uint64_t l2_writebacks = 0;
+
+  double amat = 0.0;                 ///< Fig. 4(b): mean load latency, cycles.
+  double mem_bandwidth = 0.0;        ///< Fig. 4(a): bytes/cycle off-chip.
+  std::uint64_t mem_bytes = 0;
+
+  double energy = 0.0;               ///< Fig. 5(a): system energy (eu).
+  power::EnergyLedger ledger;
+
+  double avg_l2_temp_kelvin = 0.0;   ///< Mean end-of-run L2 block temp.
+  double bus_utilization = 0.0;
+};
+
+/// A technique run normalized against its baseline (same benchmark, same
+/// cache size, baseline technique).
+struct RelativeMetrics {
+  double occupation = 1.0;        ///< Absolute (baseline is 1 by definition).
+  double miss_rate = 0.0;         ///< Absolute.
+  double bw_increase = 0.0;       ///< (bw - bw_base) / bw_base.
+  double amat_increase = 0.0;     ///< (amat - amat_base) / amat_base.
+  double energy_reduction = 0.0;  ///< (e_base - e) / e_base.
+  double ipc_loss = 0.0;          ///< (ipc_base - ipc) / ipc_base.
+};
+
+/// Computes technique-vs-baseline relative metrics.
+inline RelativeMetrics relative_to(const RunMetrics& base,
+                                   const RunMetrics& tech) {
+  RelativeMetrics r;
+  r.occupation = tech.l2_occupation;
+  r.miss_rate = tech.l2_miss_rate;
+  r.bw_increase =
+      safe_div(tech.mem_bandwidth - base.mem_bandwidth, base.mem_bandwidth);
+  r.amat_increase = safe_div(tech.amat - base.amat, base.amat);
+  r.energy_reduction = safe_div(base.energy - tech.energy, base.energy);
+  r.ipc_loss = safe_div(base.ipc - tech.ipc, base.ipc);
+  return r;
+}
+
+}  // namespace cdsim::sim

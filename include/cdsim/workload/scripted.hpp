@@ -1,0 +1,48 @@
+#pragma once
+// Scripted (trace) workload: replays a fixed operation sequence.
+//
+// Used by unit/integration tests to drive the hierarchy with directed
+// access patterns, and by users who want to replay captured traces through
+// the leakage techniques.
+
+#include <utility>
+#include <vector>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/workload/stream.hpp"
+
+namespace cdsim::workload {
+
+/// Replays `ops` in order; when the script ends it either loops or repeats
+/// the final op forever (so the simulator's instruction budget, not the
+/// script length, ends the run).
+class ScriptedWorkload final : public WorkloadStream {
+ public:
+  enum class AtEnd { kLoop, kRepeatLast };
+
+  ScriptedWorkload(std::vector<MemOp> ops, AtEnd at_end = AtEnd::kLoop,
+                   std::string name = "scripted")
+      : ops_(std::move(ops)), at_end_(at_end), name_(std::move(name)) {
+    CDSIM_ASSERT(!ops_.empty());
+  }
+
+  MemOp next(Cycle /*now*/) override {
+    const MemOp op = ops_[pos_];
+    if (pos_ + 1 < ops_.size()) {
+      ++pos_;
+    } else if (at_end_ == AtEnd::kLoop) {
+      pos_ = 0;
+    }
+    return op;
+  }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  std::vector<MemOp> ops_;
+  std::size_t pos_ = 0;
+  AtEnd at_end_;
+  std::string name_;
+};
+
+}  // namespace cdsim::workload

@@ -1,0 +1,57 @@
+#pragma once
+// Workload abstraction: a per-core stream of memory operations.
+//
+// A WorkloadStream is an infinite generator; the simulator draws operations
+// until each core's instruction budget is spent. Streams are deterministic
+// functions of (benchmark parameters, core id, seed), so every experiment
+// is exactly reproducible.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cdsim/common/types.hpp"
+
+namespace cdsim::workload {
+
+/// One memory operation plus its instruction-stream context.
+struct MemOp {
+  AccessType type = AccessType::kLoad;
+  Addr addr = 0;
+  /// Non-memory instructions the core executes before this operation.
+  std::uint32_t gap = 0;
+  /// For loads: the address depends on an in-flight earlier load (pointer
+  /// chasing), so the core cannot issue it until that load completes.
+  /// Dependent fraction is the knob that differentiates latency-tolerant
+  /// multimedia streams from latency-bound scientific codes.
+  bool dependent = false;
+  /// Dependence chain id: a dependent load waits only for the previous
+  /// load of the *same chain* (its own data structure). Chains map to the
+  /// generator's address regions, so a pointer-chase stall never serializes
+  /// against an unrelated streaming miss.
+  std::uint8_t chain = 0;
+};
+
+/// Number of distinct dependence chains a stream may use.
+inline constexpr std::uint8_t kMaxChains = 8;
+
+/// Interface of every workload generator.
+class WorkloadStream {
+ public:
+  virtual ~WorkloadStream() = default;
+
+  /// Produces the next operation for this core. Never ends; the simulator
+  /// enforces the instruction budget. `now` is the current cycle: streams
+  /// with real-time pacing (video frame buffers) derive their sweep
+  /// position from it, so buffer wrap periods are exact cycle counts
+  /// independent of the core's achieved IPC.
+  virtual MemOp next(Cycle now) = 0;
+
+  /// Benchmark name (figure row labels).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+using StreamPtr = std::unique_ptr<WorkloadStream>;
+
+}  // namespace cdsim::workload

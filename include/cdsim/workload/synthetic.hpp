@@ -1,0 +1,194 @@
+#pragma once
+// Parameterized synthetic workload generator.
+//
+// Substitutes for the paper's Splash-2 / ALPbench binaries (see DESIGN.md
+// §2). The generator composes four address regions whose statistics are the
+// first-order drivers of the paper's results:
+//
+//  * private/generational — per-core data with a hot/cold split inside the
+//    current "generation"; after a fixed number of accesses the generation
+//    migrates, leaving the old lines dead in the L2 (the residency decay
+//    exploits). Reuse intervals of the cold subset are what decay-induced
+//    misses feed on.
+//  * shared read-write — one region all cores touch with reads and writes
+//    in migratory chunks; writes invalidate remote copies, feeding the
+//    Protocol technique.
+//  * shared read-only — replicated S lines (volume data, image galleries).
+//  * streaming — sequential sweep over a buffer far larger than the cache;
+//    lines are touched a couple of times and never again.
+
+#include <cstdint>
+#include <string>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/rng.hpp"
+#include "cdsim/workload/stream.hpp"
+
+namespace cdsim::workload {
+
+/// All knobs of the synthetic generator. Defaults give a generic
+/// scientific-ish workload; the benchmark presets override them.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  std::uint32_t line_bytes = 64;
+
+  // --- instruction mix ----------------------------------------------------
+  /// Memory operations per instruction (rest are the `gap`).
+  double mem_fraction = 0.33;
+  /// Stores as a fraction of memory operations (hot-data store rate; cold
+  /// private data uses cold_write_fraction).
+  double store_fraction = 0.30;
+  /// Loads whose address depends on an outstanding load (pointer chasing).
+  /// Applies to the private and shared regions; streaming accesses are
+  /// address-predictable and use stream_dependent_fraction.
+  double dependent_fraction = 0.30;
+  /// Dependence among streaming loads (nearly none: induction variables).
+  double stream_dependent_fraction = 0.02;
+
+  // --- line-burst model -----------------------------------------------------
+  // Real programs touch a cache line several times (word-granular access);
+  // each picked line receives a burst of consecutive operations. This is
+  // what makes L2 traffic mostly *hitting writes* under a write-through L1
+  // (paper §VI) instead of one-touch misses.
+  std::uint32_t private_burst = 4;
+  std::uint32_t shared_burst = 3;
+  std::uint32_t stream_burst = 12;
+
+  // --- region mix (fractions of *operations*; remainder to streaming) -----
+  // These are op shares, not burst-pick probabilities: the generator
+  // down-weights long-burst regions when picking the next burst so that the
+  // long-run fraction of operations hitting each region matches these
+  // numbers exactly.
+  double p_private = 0.55;
+  double p_shared_rw = 0.15;
+  double p_shared_ro = 0.10;
+  // p_stream = 1 - p_private - p_shared_rw - p_shared_ro
+
+  // --- private generational region ----------------------------------------
+  /// Lines in one generation (per core).
+  std::uint64_t gen_lines = 4096;
+  /// Accesses to the private region before the generation migrates.
+  std::uint64_t gen_accesses = 150000;
+  /// Distinct generations before the footprint wraps.
+  std::uint64_t num_generations = 24;
+  /// Fraction of the generation that is "hot" (gets most accesses).
+  double hot_fraction = 0.10;
+  /// Probability an access goes to the hot subset.
+  double hot_probability = 0.85;
+  /// Store probability on *cold* private lines. Kept low so cold lines die
+  /// clean (E) — the population Selective Decay can harvest.
+  double cold_write_fraction = 0.05;
+
+  // --- shared read-write region --------------------------------------------
+  std::uint64_t shared_rw_lines = 4096;
+  /// Chunk size a core works on before rotating (migratory sharing).
+  std::uint64_t shared_chunk_lines = 64;
+  /// Accesses before this core rotates to the next chunk.
+  std::uint64_t shared_run = 256;
+  /// Stores as a fraction of shared-RW accesses (RMW-ness).
+  double shared_write_fraction = 0.45;
+
+  // --- shared read-only region ----------------------------------------------
+  std::uint64_t shared_ro_lines = 8192;
+  /// Hot front of the read-only region (uniformly re-read lookup data).
+  std::uint64_t shared_ro_hot_lines = 512;
+  /// Probability a read-only burst advances the per-core gallery sweep
+  /// (one-pass coverage) instead of re-reading the hot front. Sweeping
+  /// populates dead residency without the random-revisit cost a flat
+  /// distribution would incur under decay.
+  double shared_ro_sweep_fraction = 0.30;
+
+  // --- streaming regions ------------------------------------------------------
+  // Per-core streaming buffers (frame buffers, row pools) paced in *real
+  // time*: the sweep position is derived from the cycle count, so each
+  // buffer's wrap period — its reuse interval — is an exact cycle constant
+  // regardless of achieved IPC. This pins every buffer decisively inside or
+  // outside each decay window (64K/128K/512K), the way a fixed-fps video
+  // pipeline pins frame-buffer reuse. Two buffers give two reuse tiers.
+  std::uint64_t stream_lines = 256;
+  /// Cycles for one full sweep of the buffer (the reuse interval).
+  Cycle stream_wrap_cycles = 96 * 1024;
+  /// Stores as a fraction of streaming burst operations (both buffers).
+  double stream_write_fraction = 0.30;
+  /// Second streaming buffer; 0 op share disables it.
+  double p_stream2 = 0.0;
+  std::uint64_t stream2_lines = 64;
+  Cycle stream2_wrap_cycles = 192 * 1024;
+  std::uint32_t stream2_burst = 10;
+
+  [[nodiscard]] double p_stream() const noexcept {
+    return 1.0 - p_private - p_shared_rw - p_shared_ro - p_stream2;
+  }
+
+  /// Total distinct bytes this core will touch (footprint), for sizing
+  /// experiments against cache capacity.
+  [[nodiscard]] std::uint64_t footprint_bytes() const noexcept {
+    const std::uint64_t lines = gen_lines * num_generations +
+                                shared_rw_lines + shared_ro_lines +
+                                stream_lines + stream2_lines;
+    return lines * line_bytes;
+  }
+};
+
+/// Deterministic synthetic stream for one core.
+class SyntheticWorkload final : public WorkloadStream {
+ public:
+  SyntheticWorkload(const SyntheticConfig& cfg, CoreId core,
+                    std::uint64_t seed);
+
+  MemOp next(Cycle now) override;
+  [[nodiscard]] std::string_view name() const override { return cfg_.name; }
+
+  [[nodiscard]] const SyntheticConfig& config() const noexcept { return cfg_; }
+
+  // Region base addresses (public so tests can classify generated
+  // addresses). Region id bits live at bit 40+; per-core partitions at 32+.
+  [[nodiscard]] Addr private_base() const noexcept;
+  [[nodiscard]] Addr shared_rw_base() const noexcept;
+  [[nodiscard]] Addr shared_ro_base() const noexcept;
+  [[nodiscard]] Addr stream_base() const noexcept;
+
+ private:
+  /// Picks a new line and burst parameters when the current burst ends.
+  void start_new_burst(Cycle now);
+  void start_private_burst();
+  void start_shared_rw_burst();
+  void start_shared_ro_burst();
+  void start_stream_burst(Cycle now);
+  void start_stream2_burst(Cycle now);
+
+  SyntheticConfig cfg_;
+  CoreId core_;
+  Xoshiro256 rng_;
+
+  // Current burst: consecutive ops to one line.
+  Addr burst_addr_ = 0;
+  std::uint32_t burst_remaining_ = 0;
+  double burst_store_p_ = 0.0;
+  double burst_dep_p_ = 0.0;
+  std::uint8_t burst_chain_ = 0;
+
+  // Burst-pick thresholds derived from the op shares (cumulative).
+  double pick_private_ = 0.0;
+  double pick_shared_rw_ = 0.0;
+  double pick_shared_ro_ = 0.0;
+  double pick_stream2_ = 0.0;
+
+  // Private-region state.
+  std::uint64_t gen_index_ = 0;
+  std::uint64_t gen_access_count_ = 0;
+  std::uint64_t cold_ptr_ = 0;  ///< Sequential cold coverage within the gen.
+
+  // Shared-RW rotation state.
+  std::uint64_t shared_counter_ = 0;
+
+  // Shared-RO sweep state.
+  std::uint64_t ro_sweep_pos_ = 0;
+
+
+  // Gap accumulator keeps the long-run mem_fraction exact even though
+  // individual gaps are integers.
+  double gap_debt_ = 0.0;
+};
+
+}  // namespace cdsim::workload

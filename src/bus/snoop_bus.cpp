@@ -1,0 +1,7 @@
+// SnoopBus is header-only; this TU anchors the archive and compiles the
+// header under the project warning set.
+#include "cdsim/bus/snoop_bus.hpp"
+
+namespace cdsim::bus {
+static_assert(sizeof(BusConfig) > 0);
+}  // namespace cdsim::bus

@@ -1,0 +1,14 @@
+// cache_stats.hpp is header-only; this translation unit exists to give the
+// cdsim_cache library an object file and to force the headers through the
+// compiler under the project's warning set.
+#include "cdsim/cache/cache_stats.hpp"
+#include "cdsim/cache/geometry.hpp"
+#include "cdsim/cache/mshr.hpp"
+#include "cdsim/cache/tag_array.hpp"
+#include "cdsim/cache/write_buffer.hpp"
+
+namespace cdsim::cache {
+// Explicit instantiation of the tag array for the payload-free case keeps
+// template bloat out of downstream objects that only need a plain cache.
+template class TagArray<std::uint8_t>;
+}  // namespace cdsim::cache

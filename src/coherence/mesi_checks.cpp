@@ -1,0 +1,63 @@
+// Compile-time validation of the MESI + turn-off FSM.
+//
+// These static_asserts pin the protocol edges of paper Figure 2 so an
+// accidental edit to the transition functions fails the build, not a run.
+
+#include "cdsim/coherence/mesi.hpp"
+#include "cdsim/coherence/turnoff_legality.hpp"
+
+namespace cdsim::coherence {
+namespace {
+
+using enum MesiState;
+
+// --- Snoop-side edges (Fig. 2 solid edges) -------------------------------
+static_assert(apply_snoop(kModified, BusTxKind::kBusRd).next == kShared);
+static_assert(apply_snoop(kModified, BusTxKind::kBusRd).supply_data);
+static_assert(apply_snoop(kModified, BusTxKind::kBusRd).memory_update);
+static_assert(apply_snoop(kExclusive, BusTxKind::kBusRd).next == kShared);
+static_assert(!apply_snoop(kExclusive, BusTxKind::kBusRd).supply_data);
+static_assert(apply_snoop(kShared, BusTxKind::kBusRd).next == kShared);
+static_assert(apply_snoop(kInvalid, BusTxKind::kBusRd).next == kInvalid);
+
+static_assert(apply_snoop(kModified, BusTxKind::kBusRdX).next == kInvalid);
+static_assert(apply_snoop(kModified, BusTxKind::kBusRdX).supply_data);
+static_assert(apply_snoop(kModified, BusTxKind::kBusRdX).invalidated);
+static_assert(apply_snoop(kExclusive, BusTxKind::kBusRdX).next == kInvalid);
+static_assert(apply_snoop(kShared, BusTxKind::kBusUpgr).next == kInvalid);
+static_assert(apply_snoop(kShared, BusTxKind::kBusUpgr).invalidated);
+
+// --- Transient states respond correctly ----------------------------------
+static_assert(apply_snoop(kTransientDirty, BusTxKind::kBusRd).supply_data);
+static_assert(apply_snoop(kTransientDirty, BusTxKind::kBusRd).cancel_turnoff_wb);
+static_assert(apply_snoop(kTransientDirty, BusTxKind::kBusRd).next == kInvalid);
+static_assert(apply_snoop(kTransientClean, BusTxKind::kBusRdX).next == kInvalid);
+static_assert(apply_snoop(kTransientClean, BusTxKind::kBusRd).next ==
+              kTransientClean);
+
+// --- Turn-off edges (Fig. 2 dashed edges) --------------------------------
+static_assert(classify_turnoff(kModified) == TurnOffClass::kDirtyTurnOff);
+static_assert(classify_turnoff(kExclusive) == TurnOffClass::kCleanTurnOff);
+static_assert(classify_turnoff(kShared) == TurnOffClass::kCleanTurnOff);
+static_assert(classify_turnoff(kInvalid) == TurnOffClass::kIgnore);
+static_assert(classify_turnoff(kTransientClean) == TurnOffClass::kIgnore);
+static_assert(classify_turnoff(kTransientDirty) == TurnOffClass::kIgnore);
+static_assert(turnoff_transient(kModified) == kTransientDirty);
+static_assert(turnoff_transient(kShared) == kTransientClean);
+static_assert(turnoff_transient(kExclusive) == kTransientClean);
+
+// --- Fill states ----------------------------------------------------------
+static_assert(fill_state(/*was_write=*/true, /*shared=*/false) == kModified);
+static_assert(fill_state(true, true) == kModified);
+static_assert(fill_state(false, false) == kExclusive);
+static_assert(fill_state(false, true) == kShared);
+
+// --- Table I, multiprocessor column ---------------------------------------
+constexpr auto mp = HierarchyKind::kMultiprocessorWritethroughL1;
+static_assert(table1_verdict(mp, /*dirty=*/false, /*pending=*/false).allowed);
+static_assert(!table1_verdict(mp, false, /*pending=*/true).allowed);
+static_assert(table1_verdict(mp, /*dirty=*/true, false).requires_upper_inval);
+static_assert(table1_verdict(mp, true, false).requires_writeback);
+
+}  // namespace
+}  // namespace cdsim::coherence

@@ -1,0 +1,7 @@
+#include "cdsim/common/version.hpp"
+
+namespace cdsim {
+
+const char* version() noexcept { return "1.0.0"; }
+
+}  // namespace cdsim

@@ -1,0 +1,172 @@
+#include "cdsim/core/core_model.hpp"
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::core {
+
+CoreModel::CoreModel(EventQueue& eq, const CoreConfig& cfg, CoreId id,
+                     workload::WorkloadStream& stream, LoadStorePort& port,
+                     std::uint64_t instr_budget)
+    : eq_(eq),
+      cfg_(cfg),
+      id_(id),
+      stream_(stream),
+      port_(port),
+      budget_(instr_budget) {
+  CDSIM_ASSERT(cfg_.issue_width >= 1);
+  CDSIM_ASSERT(cfg_.max_outstanding_loads >= 1);
+  CDSIM_ASSERT(instr_budget >= 1);
+  port_.set_resources_freed([this] { wake(); });
+}
+
+void CoreModel::start(std::function<void()> on_finished) {
+  on_finished_ = std::move(on_finished);
+  advance();
+}
+
+double CoreModel::ipc(Cycle now) const {
+  const Cycle end = done_ ? finish_ : now;
+  return safe_div(static_cast<double>(committed_),
+                  static_cast<double>(end == 0 ? 1 : end));
+}
+
+void CoreModel::advance() {
+  if (done_) return;
+  if (committed_ >= budget_) {
+    // Budget committed; drain outstanding loads before declaring finish so
+    // the last misses' latencies are fully accounted.
+    if (outstanding_count_ == 0) finish();
+    return;
+  }
+  CDSIM_ASSERT(!have_op_);
+  op_ = stream_.next(eq_.now());
+  have_op_ = true;
+
+  // The gap's non-memory instructions retire at issue_width per cycle;
+  // carry fractional cycles so pacing is exact in the long run.
+  committed_ += op_.gap;
+  gap_carry_ +=
+      static_cast<double>(op_.gap) / static_cast<double>(cfg_.issue_width);
+  const auto delay = static_cast<Cycle>(gap_carry_);
+  gap_carry_ -= static_cast<double>(delay);
+
+  // Zero-delay ops issue in the same cycle; calling directly (with a depth
+  // guard) avoids an event per operation on the hot path.
+  if (delay == 0 && chain_depth_ < 64) {
+    ++chain_depth_;
+    try_issue();
+    --chain_depth_;
+    return;
+  }
+  eq_.schedule_in(delay, [this] { try_issue(); });
+}
+
+bool CoreModel::rob_blocked() const {
+  if (outstanding_.empty()) return false;
+  // Oldest incomplete load bounds the window (completed fronts were
+  // retired in try_issue before this check).
+  const OutstandingLoad& oldest = outstanding_.front();
+  return committed_ > oldest.instr_no &&
+         committed_ - oldest.instr_no > cfg_.rob_window;
+}
+
+void CoreModel::try_issue() {
+  if (done_) return;
+  CDSIM_ASSERT(have_op_);
+
+  // Retire completed loads in program order (ROB head drains).
+  while (!outstanding_.empty() && outstanding_.front().completed) {
+    outstanding_.pop_front();
+  }
+
+  const bool is_load = op_.type != AccessType::kStore;
+  const std::uint8_t chain = op_.chain % workload::kMaxChains;
+  if (is_load) {
+    if (op_.dependent && chain_outstanding_[chain]) {
+      park(StallReason::kDep);  // woken by that chain's load completion
+      return;
+    }
+    if (outstanding_count_ >= cfg_.max_outstanding_loads) {
+      park(StallReason::kLoadQueue);  // woken by any load completion
+      return;
+    }
+    if (rob_blocked()) {
+      park(StallReason::kRob);
+      return;
+    }
+    outstanding_.push_back(
+        OutstandingLoad{committed_, eq_.now(), /*completed=*/false});
+    OutstandingLoad* slot = &outstanding_.back();
+    const std::uint64_t seq = next_load_seq_++;
+    const core::LoadOutcome out =
+        port_.try_load(op_.addr, [this, slot, seq, chain](Cycle t) {
+          slot->completed = true;
+          --outstanding_count_;
+          load_lat_.add(t >= slot->issued_at ? t - slot->issued_at : 0);
+          if (seq == chain_last_seq_[chain]) chain_outstanding_[chain] = false;
+          if (done_) return;
+          if (committed_ >= budget_ && !have_op_ && outstanding_count_ == 0) {
+            finish();
+            return;
+          }
+          wake();
+        });
+    if (!out.accepted) {
+      outstanding_.pop_back();
+      park(StallReason::kPort);  // woken by the resources-freed callback
+      return;
+    }
+    loads_.inc();
+    if (out.completed) {
+      // Synchronous hit: a few cycles of latency, fully hidden by the
+      // out-of-order window. No outstanding tracking needed.
+      outstanding_.pop_back();
+      load_lat_.add(out.latency);
+    } else {
+      ++outstanding_count_;
+      chain_last_seq_[chain] = seq;
+      chain_outstanding_[chain] = true;
+    }
+  } else {
+    if (!port_.try_store(op_.addr)) {
+      park(StallReason::kStore);  // woken when the write buffer drains
+      return;
+    }
+    stores_.inc();
+  }
+
+  ++committed_;
+  have_op_ = false;
+  advance();
+}
+
+void CoreModel::park(StallReason r) {
+  if (parked_) return;
+  parked_ = true;
+  park_reason_ = r;
+  parked_since_ = eq_.now();
+}
+
+void CoreModel::wake() {
+  if (done_) return;
+  if (parked_) {
+    parked_ = false;
+    const Cycle stalled = eq_.now() - parked_since_;
+    stall_cycles_.inc(stalled);
+    stall_by_[static_cast<std::size_t>(park_reason_)].inc(stalled);
+    try_issue();
+  }
+}
+
+void CoreModel::finish() {
+  CDSIM_ASSERT(!done_);
+  done_ = true;
+  finish_ = eq_.now();
+  if (parked_) {
+    parked_ = false;
+    stall_cycles_.inc(eq_.now() - parked_since_);
+  }
+  if (on_finished_) on_finished_();
+}
+
+}  // namespace cdsim::core

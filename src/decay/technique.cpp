@@ -1,0 +1,29 @@
+// Compile-time checks for the decay-arming rules of §IV.
+#include "cdsim/decay/sweeper.hpp"
+#include "cdsim/decay/technique.hpp"
+
+namespace cdsim::decay {
+namespace {
+
+using coherence::MesiState;
+
+// Full Decay arms everywhere a line holds data.
+static_assert(arms_on_entry(Technique::kDecay, MesiState::kModified));
+static_assert(arms_on_entry(Technique::kDecay, MesiState::kShared));
+static_assert(arms_on_entry(Technique::kDecay, MesiState::kExclusive));
+static_assert(!arms_on_entry(Technique::kDecay, MesiState::kInvalid));
+
+// Selective Decay arms only on transitions into S/E, never into M.
+static_assert(arms_on_entry(Technique::kSelectiveDecay, MesiState::kShared));
+static_assert(arms_on_entry(Technique::kSelectiveDecay, MesiState::kExclusive));
+static_assert(!arms_on_entry(Technique::kSelectiveDecay, MesiState::kModified));
+
+// Protocol / baseline never decay.
+static_assert(!arms_on_entry(Technique::kProtocol, MesiState::kShared));
+static_assert(!arms_on_entry(Technique::kBaseline, MesiState::kModified));
+static_assert(!uses_decay(Technique::kProtocol));
+static_assert(gates_invalid_lines(Technique::kProtocol));
+static_assert(!gates_invalid_lines(Technique::kBaseline));
+
+}  // namespace
+}  // namespace cdsim::decay

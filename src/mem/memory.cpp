@@ -1,0 +1,7 @@
+// MemoryController is header-only; this TU forces it through the project
+// warning set and anchors the cdsim_mem archive.
+#include "cdsim/mem/memory.hpp"
+
+namespace cdsim::mem {
+static_assert(sizeof(MemoryConfig) > 0);
+}  // namespace cdsim::mem

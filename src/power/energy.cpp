@@ -1,0 +1,7 @@
+// Anchor TU for cdsim_power; headers are otherwise header-only.
+#include "cdsim/power/energy.hpp"
+#include "cdsim/power/leakage.hpp"
+
+namespace cdsim::power {
+static_assert(kNumComponents == 9);
+}  // namespace cdsim::power

@@ -1,0 +1,273 @@
+#include "cdsim/sim/cmp_system.hpp"
+
+#include <algorithm>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::sim {
+
+CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench)
+    : cfg_(cfg), bench_(bench), leak_model_(cfg.leakage) {
+  CDSIM_ASSERT(cfg_.num_cores >= 1);
+  CDSIM_ASSERT(cfg_.total_l2_bytes % cfg_.num_cores == 0);
+
+  mem_ = std::make_unique<mem::MemoryController>(eq_, cfg_.mem);
+  bus_ = std::make_unique<bus::SnoopBus>(eq_, cfg_.bus, *mem_);
+
+  L2Config l2cfg = cfg_.l2;
+  l2cfg.size_bytes = cfg_.total_l2_bytes / cfg_.num_cores;
+
+  const double slice_mb = static_cast<double>(l2cfg.size_bytes) /
+                          static_cast<double>(MiB);
+  floorplan_ = std::make_unique<thermal::Floorplan>(
+      thermal::make_cmp_floorplan(cfg_.thermal, cfg_.num_cores, slice_mb));
+
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    l1s_.push_back(std::make_unique<L1Cache>(eq_, cfg_.l1, c));
+    l2s_.push_back(std::make_unique<L2Cache>(eq_, l2cfg, cfg_.decay, c,
+                                             *bus_, l1s_.back().get()));
+    l1s_.back()->connect_l2(l2s_.back().get());
+    bus_->attach(l2s_.back().get());
+
+    streams_.push_back(workload::make_stream(bench_, c, cfg_.seed));
+    cores_.push_back(std::make_unique<core::CoreModel>(
+        eq_, cfg_.core, c, *streams_.back(), *l1s_.back(),
+        cfg_.instructions_per_core));
+  }
+
+  // Warm-start the thermal network near equilibrium so short runs operate
+  // at representative temperatures (see rc_model.hpp header note).
+  const double cw = cfg_.thermal.watts_per_eu_cycle;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    const double core_w =
+        (cfg_.power.core_leak_per_cycle + cfg_.power.core_dyn_per_instr) * cw;
+    floorplan_->model.warm_start(floorplan_->core_block(c), core_w);
+    const double l2_lines =
+        static_cast<double>(l2s_[c]->capacity_lines());
+    const double l2_w = l2_lines * cfg_.power.l2_leak_per_line_cycle * cw;
+    floorplan_->model.warm_start(floorplan_->l2_block(c), l2_w);
+  }
+
+  prev_committed_.assign(cfg_.num_cores, 0);
+  prev_l1_acc_.assign(cfg_.num_cores, 0);
+  prev_l2_acc_.assign(cfg_.num_cores, 0);
+  prev_l2_fills_.assign(cfg_.num_cores, 0);
+  prev_l2_powered_.assign(cfg_.num_cores, 0.0);
+}
+
+CmpSystem::~CmpSystem() = default;
+
+void CmpSystem::arm_sampler() {
+  eq_.schedule_in(cfg_.thermal.sample_period, [this] {
+    if (cores_done_ >= cfg_.num_cores) return;  // final sample done in run()
+    sample_power(eq_.now());
+    arm_sampler();
+  });
+}
+
+void CmpSystem::sample_power(Cycle upto) {
+  CDSIM_ASSERT(upto >= last_sample_);
+  const Cycle dt = upto - last_sample_;
+  if (dt == 0) return;
+  const double dtd = static_cast<double>(dt);
+  const auto& pw = cfg_.power;
+  const bool gated = decay::gates_invalid_lines(cfg_.decay.technique);
+  const bool decaying = decay::uses_decay(cfg_.decay.technique);
+
+  std::vector<double> watts(floorplan_->model.num_blocks(), 0.0);
+  const double w_per_eu = cfg_.thermal.watts_per_eu_cycle;
+
+  double bus_energy = 0.0;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    const double t_core = cfg_.thermal_feedback
+                              ? floorplan_->model.temperature(
+                                    floorplan_->core_block(c))
+                              : leak_model_.params().t0_kelvin;
+    const double t_l2 = cfg_.thermal_feedback
+                            ? floorplan_->model.temperature(
+                                  floorplan_->l2_block(c))
+                            : leak_model_.params().t0_kelvin;
+
+    // --- core ---------------------------------------------------------------
+    const std::uint64_t committed = cores_[c]->committed();
+    const double d_instr =
+        static_cast<double>(committed - prev_committed_[c]);
+    prev_committed_[c] = committed;
+    const double core_dyn = d_instr * pw.core_dyn_per_instr;
+    const double core_leak =
+        dtd * pw.core_leak_per_cycle * leak_model_.factor(t_core);
+    ledger_.add(power::Component::kCoreDynamic, core_dyn);
+    ledger_.add(power::Component::kCoreLeakage, core_leak);
+
+    // --- L1 -------------------------------------------------------------------
+    const std::uint64_t l1a = l1s_[c]->accesses();
+    const double d_l1 = static_cast<double>(l1a - prev_l1_acc_[c]);
+    prev_l1_acc_[c] = l1a;
+    const double l1_dyn = d_l1 * pw.l1_dyn_per_access;
+    const double l1_leak =
+        dtd * pw.l1_leak_per_cycle * leak_model_.factor(t_core);
+    ledger_.add(power::Component::kL1Dynamic, l1_dyn);
+    ledger_.add(power::Component::kL1Leakage, l1_leak);
+
+    // --- L2 dynamic --------------------------------------------------------------
+    const std::uint64_t l2a = l2s_[c]->stats().accesses();
+    const std::uint64_t l2f = l2s_[c]->fills();
+    const double d_l2a = static_cast<double>(l2a - prev_l2_acc_[c]);
+    const double d_l2f = static_cast<double>(l2f - prev_l2_fills_[c]);
+    prev_l2_acc_[c] = l2a;
+    prev_l2_fills_[c] = l2f;
+    const double l2_dyn =
+        d_l2a * pw.l2_dyn_per_access + d_l2f * pw.l2_dyn_per_fill;
+    ledger_.add(power::Component::kL2Dynamic, l2_dyn);
+
+    // --- L2 leakage (the optimized component) -------------------------------------
+    const double cap_cycles =
+        static_cast<double>(l2s_[c]->capacity_lines()) * dtd;
+    const double powered = l2s_[c]->powered_line_cycles(upto);
+    const double d_powered = powered - prev_l2_powered_[c];
+    prev_l2_powered_[c] = powered;
+    const double lf = leak_model_.factor(t_l2);
+    const double gating_mult = gated ? (1.0 + pw.gated_vdd_overhead) : 1.0;
+    const double on_leak =
+        d_powered * pw.l2_leak_per_line_cycle * gating_mult * lf;
+    ledger_.add(power::Component::kL2Leakage, on_leak);
+    double off_leak = 0.0;
+    if (gated) {
+      const double off_cycles = std::max(0.0, cap_cycles - d_powered);
+      off_leak = off_cycles * pw.l2_leak_per_line_cycle *
+                 pw.off_residual_frac * lf;
+      ledger_.add(power::Component::kL2OffResidual, off_leak);
+    }
+
+    // --- decay hardware overhead ------------------------------------------------------
+    double decay_ovh = 0.0;
+    if (decaying) {
+      // Per-line counters stay powered regardless of line state, and every
+      // L2 access resets one.
+      decay_ovh = cap_cycles * pw.l2_leak_per_line_cycle *
+                      pw.decay_counter_leak_frac * lf +
+                  d_l2a * pw.decay_counter_dyn;
+      ledger_.add(power::Component::kDecayOverhead, decay_ovh);
+    }
+
+    // --- per-block power for the thermal step -----------------------------------------
+    watts[floorplan_->core_block(c)] +=
+        (core_dyn + core_leak + l1_dyn + l1_leak) / dtd * w_per_eu;
+    watts[floorplan_->l2_block(c)] +=
+        (l2_dyn + on_leak + off_leak + decay_ovh) / dtd * w_per_eu;
+  }
+
+  const std::uint64_t bus_bytes = bus_->bytes_transferred();
+  bus_energy =
+      static_cast<double>(bus_bytes - prev_bus_bytes_) * pw.bus_dyn_per_byte;
+  prev_bus_bytes_ = bus_bytes;
+  ledger_.add(power::Component::kBusDynamic, bus_energy);
+  watts[floorplan_->bus_block()] += bus_energy / dtd * w_per_eu;
+
+  if (cfg_.thermal_feedback) {
+    const double dt_sec =
+        dtd / cfg_.thermal.clock_hz;
+    floorplan_->model.step(dt_sec, watts);
+  }
+  last_sample_ = upto;
+}
+
+RunMetrics CmpSystem::run() {
+  CDSIM_ASSERT_MSG(!ran_, "CmpSystem::run() may be called once");
+  ran_ = true;
+
+  for (auto& l2 : l2s_) l2->start();
+  for (auto& core : cores_) {
+    core->start([this] { ++cores_done_; });
+  }
+  arm_sampler();
+
+  while (cores_done_ < cfg_.num_cores) {
+    const bool progressed = eq_.step();
+    CDSIM_ASSERT_MSG(progressed, "deadlock: event queue drained early");
+  }
+
+  const Cycle end = eq_.now();
+  sample_power(end);  // close the final partial window
+  for (auto& l2 : l2s_) l2->stop();
+  return collect(end);
+}
+
+RunMetrics CmpSystem::collect(Cycle end) const {
+  RunMetrics m;
+  m.benchmark = bench_.config.name;
+  m.technique = cfg_.decay.label();
+  m.total_l2_bytes = cfg_.total_l2_bytes;
+  m.cycles = end;
+
+  double occ_sum = 0.0;
+  double lat_sum = 0.0;
+  std::uint64_t lat_n = 0;
+  double temp_sum = 0.0;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    m.instructions += cores_[c]->committed();
+    occ_sum += l2s_[c]->occupation(end);
+    const auto& st = l2s_[c]->stats();
+    m.l2_accesses += st.accesses();
+    m.l2_misses += st.misses();
+    m.l2_decay_turnoffs += st.decay_turnoffs.value();
+    m.l2_decay_induced_misses += st.decay_induced_misses.value();
+    m.l2_coherence_invals += st.coherence_invals.value();
+    m.l2_writebacks += st.writebacks.value();
+    const auto& h = cores_[c]->load_latency();
+    lat_sum += h.mean() * static_cast<double>(h.count());
+    lat_n += h.count();
+    temp_sum += floorplan_->model.temperature(floorplan_->l2_block(c));
+  }
+  m.ipc = safe_div(static_cast<double>(m.instructions),
+                   static_cast<double>(end));
+  m.l2_occupation = occ_sum / static_cast<double>(cfg_.num_cores);
+  m.l2_miss_rate = safe_div(static_cast<double>(m.l2_misses),
+                            static_cast<double>(m.l2_accesses));
+  m.amat = safe_div(lat_sum, static_cast<double>(lat_n));
+  m.mem_bytes = mem_->total_bytes();
+  m.mem_bandwidth = mem_->bandwidth(end);
+  m.energy = ledger_.total();
+  m.ledger = ledger_;
+  m.avg_l2_temp_kelvin = temp_sum / static_cast<double>(cfg_.num_cores);
+  m.bus_utilization = bus_->utilization(end);
+  return m;
+}
+
+std::uint64_t CmpSystem::check_coherence_invariants() const {
+  using coherence::MesiState;
+  std::uint64_t checked = 0;
+
+  // Single-writer: a line owned (M/E/TD) by one L2 must not be valid in any
+  // other L2. Lines mid-fill (`fetching`) still expose their installed
+  // state, so this holds at every instant of the simulation.
+  for (CoreId a = 0; a < cfg_.num_cores; ++a) {
+    l2s_[a]->for_each_valid_line([&](Addr line, MesiState sa) {
+      ++checked;
+      const bool owner = sa == MesiState::kModified ||
+                         sa == MesiState::kExclusive ||
+                         sa == MesiState::kTransientDirty;
+      if (!owner) return;
+      for (CoreId b = 0; b < cfg_.num_cores; ++b) {
+        if (b == a) continue;
+        const MesiState sb = l2s_[b]->line_state(line);
+        CDSIM_ASSERT_MSG(sb == MesiState::kInvalid,
+                         "single-writer invariant violated");
+      }
+    });
+  }
+
+  // Inclusion: every valid L1 line must be backed by a data-holding line in
+  // its private L2.
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    l1s_[c]->for_each_valid_line([&](Addr line) {
+      ++checked;
+      const MesiState s = l2s_[c]->line_state(line);
+      CDSIM_ASSERT_MSG(coherence::holds_data(s),
+                       "inclusion invariant violated");
+    });
+  }
+  return checked;
+}
+
+}  // namespace cdsim::sim

@@ -1,0 +1,181 @@
+#include "cdsim/sim/experiment.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::sim {
+
+namespace {
+// Bump when the simulator's calibration changes so stale caches re-run.
+constexpr const char* kCacheVersion = "v1";
+
+std::string serialize(const RunMetrics& m) {
+  std::ostringstream os;
+  os.precision(17);
+  os << m.cycles << ' ' << m.instructions << ' ' << m.ipc << ' '
+     << m.l2_occupation << ' ' << m.l2_miss_rate << ' ' << m.l2_accesses
+     << ' ' << m.l2_misses << ' ' << m.l2_decay_turnoffs << ' '
+     << m.l2_decay_induced_misses << ' ' << m.l2_coherence_invals << ' '
+     << m.l2_writebacks << ' ' << m.amat << ' ' << m.mem_bandwidth << ' '
+     << m.mem_bytes << ' ' << m.energy << ' ' << m.avg_l2_temp_kelvin << ' '
+     << m.bus_utilization;
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    os << ' ' << m.ledger.get(static_cast<power::Component>(i));
+  }
+  return os.str();
+}
+
+bool deserialize(const std::string& line, RunMetrics& m) {
+  std::istringstream is(line);
+  double ledger_v[power::kNumComponents];
+  if (!(is >> m.cycles >> m.instructions >> m.ipc >> m.l2_occupation >>
+        m.l2_miss_rate >> m.l2_accesses >> m.l2_misses >>
+        m.l2_decay_turnoffs >> m.l2_decay_induced_misses >>
+        m.l2_coherence_invals >> m.l2_writebacks >> m.amat >>
+        m.mem_bandwidth >> m.mem_bytes >> m.energy >>
+        m.avg_l2_temp_kelvin >> m.bus_utilization)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    if (!(is >> ledger_v[i])) return false;
+    m.ledger.add(static_cast<power::Component>(i), ledger_v[i]);
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<decay::DecayConfig> paper_technique_set() {
+  using decay::DecayConfig;
+  using decay::Technique;
+  std::vector<DecayConfig> v;
+  v.push_back(DecayConfig{Technique::kProtocol, 0, 4});
+  for (const Cycle t : {512u * 1024u, 128u * 1024u, 64u * 1024u}) {
+    v.push_back(DecayConfig{Technique::kDecay, t, 4});
+  }
+  for (const Cycle t : {512u * 1024u, 128u * 1024u, 64u * 1024u}) {
+    v.push_back(DecayConfig{Technique::kSelectiveDecay, t, 4});
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> paper_cache_sizes() {
+  return {1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB};
+}
+
+SystemConfig make_system_config(std::uint64_t total_l2_bytes,
+                                const decay::DecayConfig& technique) {
+  SystemConfig cfg;
+  cfg.num_cores = 4;
+  cfg.total_l2_bytes = total_l2_bytes;
+  cfg.decay = technique;
+  // Protocol/decay configs carry a decay_time even when unused; normalize
+  // the protocol/baseline label by zeroing it.
+  if (!decay::uses_decay(technique.technique)) cfg.decay.decay_time = 0;
+  return cfg;
+}
+
+RunMetrics run_config(const SystemConfig& cfg,
+                      const workload::Benchmark& bench) {
+  // Decay sweepers divide by tick count; give non-decay configs a benign
+  // decay_time (they never sweep).
+  SystemConfig fixed = cfg;
+  if (fixed.decay.decay_time == 0) fixed.decay.decay_time = 4;
+  CmpSystem sys(fixed, bench);
+  return sys.run();
+}
+
+ExperimentRunner::ExperimentRunner(std::uint64_t instructions_per_core)
+    : instructions_(instructions_per_core) {
+  if (const char* env = std::getenv("CDSIM_INSTR")) {
+    const long long v = std::atoll(env);
+    if (v > 0) instructions_ = static_cast<std::uint64_t>(v);
+  }
+  if (instructions_ == 0) instructions_ = SystemConfig{}.instructions_per_core;
+  const char* path = std::getenv("CDSIM_CACHE_FILE");
+  cache_path_ = path != nullptr ? path : "cdsim_results.cache";
+  load_disk_cache();
+}
+
+void ExperimentRunner::load_disk_cache() {
+  std::ifstream in(cache_path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto bar = line.find('|');
+    if (bar == std::string::npos) continue;
+    RunMetrics m;
+    if (!deserialize(line.substr(bar + 1), m)) continue;
+    const std::string key = line.substr(0, bar);
+    // Recover the labels encoded in the key: bench/size/technique/...
+    std::istringstream ks(key);
+    std::getline(ks, m.benchmark, '/');
+    std::string size_s, tech;
+    std::getline(ks, size_s, '/');
+    std::getline(ks, tech, '/');
+    m.technique = tech;
+    m.total_l2_bytes = std::strtoull(size_s.c_str(), nullptr, 10) * MiB;
+    cache_.emplace(key, std::move(m));
+  }
+}
+
+void ExperimentRunner::append_disk_cache(const std::string& key,
+                                         const RunMetrics& m) {
+  std::ofstream out(cache_path_, std::ios::app);
+  if (out) out << key << '|' << serialize(m) << '\n';
+}
+
+const RunMetrics& ExperimentRunner::run(const workload::Benchmark& bench,
+                                        std::uint64_t total_l2_bytes,
+                                        const decay::DecayConfig& technique) {
+  const std::string key = bench.config.name + "/" +
+                          std::to_string(total_l2_bytes / MiB) + "/" +
+                          technique.label() + "/" +
+                          std::to_string(instructions_) + "/" + kCacheVersion;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  SystemConfig cfg = make_system_config(total_l2_bytes, technique);
+  cfg.instructions_per_core = instructions_;
+  RunMetrics m = run_config(cfg, bench);
+  append_disk_cache(key, m);
+  return cache_.emplace(key, std::move(m)).first->second;
+}
+
+RelativeMetrics ExperimentRunner::relative(
+    const workload::Benchmark& bench, std::uint64_t total_l2_bytes,
+    const decay::DecayConfig& technique) {
+  const decay::DecayConfig baseline{decay::Technique::kBaseline, 0, 4};
+  const RunMetrics& base = run(bench, total_l2_bytes, baseline);
+  const RunMetrics& tech = run(bench, total_l2_bytes, technique);
+  return relative_to(base, tech);
+}
+
+RelativeMetrics ExperimentRunner::suite_average(
+    std::uint64_t total_l2_bytes, const decay::DecayConfig& technique) {
+  RelativeMetrics avg;
+  avg.occupation = 0.0;
+  const auto& suite = workload::benchmark_suite();
+  CDSIM_ASSERT(!suite.empty());
+  for (const auto& b : suite) {
+    const RelativeMetrics r = relative(b, total_l2_bytes, technique);
+    avg.occupation += r.occupation;
+    avg.miss_rate += r.miss_rate;
+    avg.bw_increase += r.bw_increase;
+    avg.amat_increase += r.amat_increase;
+    avg.energy_reduction += r.energy_reduction;
+    avg.ipc_loss += r.ipc_loss;
+  }
+  const double n = static_cast<double>(suite.size());
+  avg.occupation /= n;
+  avg.miss_rate /= n;
+  avg.bw_increase /= n;
+  avg.amat_increase /= n;
+  avg.energy_reduction /= n;
+  avg.ipc_loss /= n;
+  return avg;
+}
+
+}  // namespace cdsim::sim

@@ -1,0 +1,111 @@
+#include "cdsim/sim/l1_cache.hpp"
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/sim/l2_cache.hpp"
+
+namespace cdsim::sim {
+
+L1Cache::L1Cache(EventQueue& eq, const L1Config& cfg, CoreId core)
+    : eq_(eq),
+      cfg_(cfg),
+      core_(core),
+      tags_(cache::Geometry(cfg.size_bytes, cfg.line_bytes, cfg.ways)),
+      mshr_(cfg.mshr_entries),
+      wb_(cfg.write_buffer_entries) {
+  // The core's load bookkeeping relies on completion callbacks never firing
+  // inside try_load itself.
+  CDSIM_ASSERT_MSG(cfg_.hit_latency >= 1, "L1 hit latency must be >= 1");
+}
+
+void L1Cache::notify_resources_freed() {
+  if (resources_freed_) resources_freed_();
+}
+
+core::LoadOutcome L1Cache::try_load(Addr addr,
+                                    std::function<void(Cycle)> on_done) {
+  CDSIM_ASSERT_MSG(l2_ != nullptr, "L1 not connected to an L2");
+  const Addr line = tags_.geometry().line_addr(addr);
+
+  if (tags_.find(line) != nullptr) {
+    // Synchronous hit fast path: no event scheduled, the core accounts the
+    // (pipeline-hidden) latency itself.
+    stats_.read_hits.inc();
+    tags_.touch(line);
+    return {.accepted = true, .completed = true, .latency = cfg_.hit_latency};
+  }
+
+  // Miss. Merge into an outstanding fill when possible.
+  if (cache::MshrEntry* e = mshr_.find(line)) {
+    stats_.read_misses.inc();
+    mshr_.merge(*e, /*is_write=*/false, std::move(on_done));
+    return {.accepted = true};
+  }
+  if (mshr_.full()) return {};  // core parks; woken on any completion
+
+  stats_.read_misses.inc();
+  cache::MshrEntry& e = mshr_.allocate(line, /*is_write=*/false, eq_.now());
+  mshr_.merge(e, /*is_write=*/false, std::move(on_done));
+
+  l2_->read(line, [this, line](Cycle done, bool may_cache) {
+    // Inclusion guard: install only if the backing L2 line is (still)
+    // valid at this very moment — a snoop may have invalidated it between
+    // the L2's hit decision and this response.
+    if (may_cache && coherence::holds_data(l2_->line_state(line))) {
+      // Fill the L1 (allocate on read miss). The victim is clean by
+      // construction (write-through), so eviction is a silent drop.
+      cache::Line<NoPayload>& slot = tags_.pick_victim(line);
+      if (slot.valid) stats_.evictions.inc();
+      tags_.install(slot, line, NoPayload{});
+    }
+    mshr_.complete(line, done);
+    notify_resources_freed();
+  });
+  return {.accepted = true};
+}
+
+bool L1Cache::try_store(Addr addr) {
+  CDSIM_ASSERT_MSG(l2_ != nullptr, "L1 not connected to an L2");
+  const Addr line = tags_.geometry().line_addr(addr);
+
+  // No-write-allocate: update the L1 copy only when present.
+  if (tags_.find(line) != nullptr) {
+    stats_.write_hits.inc();
+    tags_.touch(line);
+  } else {
+    stats_.write_misses.inc();
+  }
+
+  // Write-through: every store retires through the write buffer.
+  if (!wb_.push(line, eq_.now())) return false;  // buffer full: core parks
+  drain_write_buffer();
+  return true;
+}
+
+void L1Cache::drain_write_buffer() {
+  while (drains_in_flight_ < cfg_.max_drains_in_flight) {
+    const std::optional<Addr> line = wb_.drain_next();
+    if (!line.has_value()) return;
+    ++drains_in_flight_;
+    l2_->write(*line, [this, line = *line](Cycle /*done*/,
+                                           bool /*may_cache*/) {
+      // The slot is released only once the write reached the L2 — until
+      // then pending_write() reports it, which is exactly the Table I gate.
+      wb_.drain_done(line);
+      --drains_in_flight_;
+      notify_resources_freed();
+      if (!wb_.empty()) {
+        eq_.schedule_in(cfg_.drain_interval,
+                        [this] { drain_write_buffer(); });
+      }
+    });
+  }
+}
+
+void L1Cache::back_invalidate(Addr line_addr) {
+  if (cache::Line<NoPayload>* ln = tags_.find(line_addr)) {
+    tags_.invalidate(*ln);
+    stats_.backinvals.inc();
+  }
+}
+
+}  // namespace cdsim::sim

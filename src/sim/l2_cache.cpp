@@ -1,0 +1,481 @@
+#include "cdsim/sim/l2_cache.hpp"
+
+#include <utility>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::sim {
+
+using coherence::BusTxKind;
+using coherence::MesiState;
+
+L2Cache::L2Cache(EventQueue& eq, const L2Config& cfg,
+                 const decay::DecayConfig& dcfg, CoreId core,
+                 bus::SnoopBus& bus, L1Cache* upper)
+    : eq_(eq),
+      cfg_(cfg),
+      dcfg_(dcfg),
+      core_(core),
+      bus_(bus),
+      upper_(upper),
+      tags_(cache::Geometry(cfg.size_bytes, cfg.line_bytes, cfg.ways)),
+      mshr_(cfg.mshr_entries),
+      sweeper_(eq, dcfg, [this](Cycle now) { decay_sweep(now); }) {
+  CDSIM_ASSERT(upper_ != nullptr);
+  CDSIM_ASSERT(cfg_.hit_latency >= 1);
+}
+
+void L2Cache::start() { sweeper_.start(); }
+void L2Cache::stop() { sweeper_.stop(); }
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+void L2Cache::retry(std::function<void()> fn) {
+  eq_.schedule_in(cfg_.retry_interval, std::move(fn));
+}
+
+void L2Cache::touch(LineT& ln, Addr line_addr) {
+  tags_.touch(line_addr);
+  ln.payload.decay.last_touch = eq_.now();
+}
+
+namespace {
+/// Updates the decay-arming bit on a transition *into* `to` (paper §IV).
+void apply_arming(const decay::DecayConfig& dcfg, decay::LineDecayState& d,
+                  MesiState to) {
+  if (dcfg.technique == decay::Technique::kDecay) {
+    d.armed = coherence::holds_data(to);
+  } else if (dcfg.technique == decay::Technique::kSelectiveDecay) {
+    if (to == MesiState::kShared || to == MesiState::kExclusive) {
+      d.armed = true;
+    } else if (to == MesiState::kModified) {
+      d.armed = false;
+    }
+  }
+}
+}  // namespace
+
+void L2Cache::cancel_td_wb(Payload& p) {
+  if (p.td_wb_token) {
+    *p.td_wb_token = false;
+    p.td_wb_token.reset();
+  }
+}
+
+void L2Cache::line_off(LineT& ln) {
+  CDSIM_ASSERT(ln.valid);
+  cancel_td_wb(ln.payload);
+  ln.payload.state = MesiState::kInvalid;
+  ln.payload.fetching = false;
+  ln.payload.upgrading = false;
+  tags_.invalidate(ln);
+  on_lines_.add(eq_.now(), -1.0);
+}
+
+void L2Cache::note_miss(Addr line_addr, bool is_write) {
+  if (is_write) {
+    stats_.write_misses.inc();
+  } else {
+    stats_.read_misses.inc();
+  }
+  auto it = decayed_lines_.find(line_addr);
+  if (it != decayed_lines_.end()) {
+    stats_.decay_induced_misses.inc();
+    stats_.decay_induced_by_region[(line_addr >> 40) & 7].inc();
+    decayed_lines_.erase(it);
+  }
+}
+
+coherence::MesiState L2Cache::line_state(Addr addr) const {
+  const Addr line = tags_.geometry().line_addr(addr);
+  const auto* ln = tags_.find(line);
+  return ln ? ln->payload.state : MesiState::kInvalid;
+}
+
+void L2Cache::for_each_valid_line(
+    const std::function<void(Addr, coherence::MesiState)>& fn) const {
+  const_cast<cache::TagArray<Payload>&>(tags_).for_each_valid(
+      [&](LineT& ln) { fn(ln.tag, ln.payload.state); });
+}
+
+std::uint64_t L2Cache::lines_on() const noexcept {
+  return static_cast<std::uint64_t>(on_lines_.value());
+}
+
+double L2Cache::powered_line_cycles(Cycle now) const {
+  if (!decay::gates_invalid_lines(dcfg_.technique)) {
+    return static_cast<double>(tags_.capacity_lines()) *
+           static_cast<double>(now);
+  }
+  return on_lines_.integral(now);
+}
+
+double L2Cache::occupation(Cycle now) const {
+  if (now == 0) return 1.0;
+  return powered_line_cycles(now) /
+         (static_cast<double>(tags_.capacity_lines()) *
+          static_cast<double>(now));
+}
+
+// ---------------------------------------------------------------------------
+// Upper-level requests
+// ---------------------------------------------------------------------------
+
+void L2Cache::read(Addr addr, Response on_done) {
+  const Addr line = tags_.geometry().line_addr(addr);
+  do_read(line, std::move(on_done), /*counted=*/false);
+}
+
+void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
+  LineT* ln = tags_.find(line_addr);
+
+  if (ln && !coherence::is_stationary(ln->payload.state)) {
+    // TC/TD: the paper requires requests to wait for a stationary state.
+    transient_retries_.inc();
+    retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
+      do_read(line_addr, std::move(cb), counted);
+    });
+    return;
+  }
+
+  if (ln && !ln->payload.fetching) {
+    // Hit on a stationary line.
+    if (!counted) stats_.read_hits.inc();
+    touch(*ln, line_addr);
+    const Cycle done = eq_.now() + access_latency();
+    eq_.schedule_at(done, [cb = std::move(on_done), done] { cb(done, true); });
+    return;
+  }
+
+  // Miss, or data still in flight for an installed tag: merge or fetch.
+  // The fill responder re-checks the tag at completion time: a line
+  // invalidated while its fill was in flight must not be cached above.
+  auto fill_responder = [this, line_addr](Response cb) {
+    return [this, line_addr, cb = std::move(cb)](Cycle fill_done) {
+      LineT* l2 = tags_.find(line_addr);
+      const bool may_cache =
+          l2 != nullptr && coherence::holds_data(l2->payload.state);
+      cb(fill_done, may_cache);
+    };
+  };
+
+  if (cache::MshrEntry* e = mshr_.find(line_addr)) {
+    if (!counted) note_miss(line_addr, /*is_write=*/false);
+    mshr_.merge(*e, /*is_write=*/false, fill_responder(std::move(on_done)));
+    return;
+  }
+  CDSIM_ASSERT_MSG(ln == nullptr || !ln->payload.fetching,
+                   "fetching line without an MSHR entry");
+
+  if (mshr_.full()) {
+    retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
+      // Re-enter through do_read so a line filled meanwhile becomes a hit.
+      do_read(line_addr, std::move(cb), counted);
+    });
+    return;
+  }
+
+  if (!counted) note_miss(line_addr, /*is_write=*/false);
+  cache::MshrEntry& e =
+      mshr_.allocate(line_addr, /*is_write=*/false, eq_.now());
+  mshr_.merge(e, /*is_write=*/false, fill_responder(std::move(on_done)));
+  issue_fetch(line_addr, /*is_write=*/false);
+}
+
+void L2Cache::write(Addr addr, Response on_done) {
+  const Addr line = tags_.geometry().line_addr(addr);
+  do_write(line, std::move(on_done), /*counted=*/false);
+}
+
+void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
+  LineT* ln = tags_.find(line_addr);
+
+  if (ln && !coherence::is_stationary(ln->payload.state)) {
+    transient_retries_.inc();
+    retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
+      do_write(line_addr, std::move(cb), counted);
+    });
+    return;
+  }
+
+  if (ln && ln->payload.fetching) {
+    // Write arriving while the line's fill is in flight: retire it after
+    // the fill by re-entering (it will then hit, upgrade, or re-miss).
+    cache::MshrEntry* e = mshr_.find(line_addr);
+    CDSIM_ASSERT_MSG(e != nullptr, "fetching line without an MSHR entry");
+    if (!counted) stats_.write_hits.inc();  // data fetch already under way
+    mshr_.merge(*e, /*is_write=*/true,
+                [this, line_addr, cb = std::move(on_done)](Cycle) mutable {
+                  do_write(line_addr, std::move(cb), /*counted=*/true);
+                });
+    return;
+  }
+
+  if (ln) {
+    Payload& p = ln->payload;
+    switch (p.state) {
+      case MesiState::kModified: {
+        if (!counted) stats_.write_hits.inc();
+        touch(*ln, line_addr);
+        const Cycle done = eq_.now() + access_latency();
+        eq_.schedule_at(done,
+                        [cb = std::move(on_done), done] { cb(done, true); });
+        return;
+      }
+      case MesiState::kExclusive: {
+        // Silent E->M upgrade (PrWr/- edge).
+        if (!counted) stats_.write_hits.inc();
+        p.state = MesiState::kModified;
+        apply_arming(dcfg_, p.decay, MesiState::kModified);
+        touch(*ln, line_addr);
+        const Cycle done = eq_.now() + access_latency();
+        eq_.schedule_at(done,
+                        [cb = std::move(on_done), done] { cb(done, true); });
+        return;
+      }
+      case MesiState::kShared: {
+        if (p.upgrading) {
+          // A previous store's upgrade is already in flight; retire this
+          // one after it resolves.
+          retry([this, line_addr, cb = std::move(on_done),
+                 counted]() mutable {
+            do_write(line_addr, std::move(cb), counted);
+          });
+          return;
+        }
+        if (!counted) {
+          stats_.write_hits.inc();
+          upgrades_.inc();
+        }
+        p.upgrading = true;
+        touch(*ln, line_addr);
+
+        // Exactly one of on_done / on_cancel fires; share the response.
+        auto cb = std::make_shared<Response>(std::move(on_done));
+        bus::RequestHooks hooks;
+        // Only meaningful while the line is still our Shared copy; a snoop
+        // invalidation while queued turns the upgrade into a write miss.
+        hooks.validator = [this, line_addr] {
+          LineT* l2 = tags_.find(line_addr);
+          return l2 != nullptr && l2->payload.state == MesiState::kShared;
+        };
+        hooks.on_cancel = [this, line_addr, cb] {
+          if (LineT* l2 = tags_.find(line_addr)) l2->payload.upgrading = false;
+          do_write(line_addr, std::move(*cb), /*counted=*/true);
+        };
+        hooks.on_grant = [this, line_addr](const bus::BusResult&) {
+          LineT* l2 = tags_.find(line_addr);
+          CDSIM_ASSERT_MSG(l2 != nullptr &&
+                               l2->payload.state == MesiState::kShared,
+                           "upgrade granted for a non-Shared line");
+          l2->payload.upgrading = false;
+          l2->payload.state = MesiState::kModified;
+          apply_arming(dcfg_, l2->payload.decay, MesiState::kModified);
+        };
+        hooks.on_done = [cb](const bus::BusResult& res) {
+          (*cb)(res.done_at, true);
+        };
+        bus_.request(BusTxKind::kBusUpgr, line_addr, core_, /*bytes=*/0,
+                     std::move(hooks));
+        return;
+      }
+      default:
+        CDSIM_UNREACHABLE("stationary states handled above");
+    }
+  }
+
+  // Write miss: write-allocate via BusRdX.
+  if (cache::MshrEntry* e = mshr_.find(line_addr)) {
+    if (!counted) note_miss(line_addr, /*is_write=*/true);
+    // Merged into an outstanding (possibly read) fetch: re-enter after the
+    // fill so E/S copies upgrade properly.
+    mshr_.merge(*e, /*is_write=*/true,
+                [this, line_addr, cb = std::move(on_done)](Cycle) mutable {
+                  do_write(line_addr, std::move(cb), /*counted=*/true);
+                });
+    return;
+  }
+
+  if (mshr_.full()) {
+    retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
+      do_write(line_addr, std::move(cb), counted);
+    });
+    return;
+  }
+
+  if (!counted) note_miss(line_addr, /*is_write=*/true);
+  cache::MshrEntry& e =
+      mshr_.allocate(line_addr, /*is_write=*/true, eq_.now());
+  mshr_.merge(e, /*is_write=*/true,
+              [this, line_addr, cb = std::move(on_done)](Cycle fill_done) {
+                LineT* l2 = tags_.find(line_addr);
+                const bool may_cache =
+                    l2 != nullptr &&
+                    coherence::holds_data(l2->payload.state);
+                cb(fill_done, may_cache);
+              });
+  issue_fetch(line_addr, /*is_write=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Fetch / install / evict
+// ---------------------------------------------------------------------------
+
+void L2Cache::issue_fetch(Addr line_addr, bool is_write) {
+  bus::RequestHooks hooks;
+  hooks.on_grant = [this, line_addr, is_write](const bus::BusResult& res) {
+    install_at_grant(line_addr, is_write, res);
+  };
+  hooks.on_done = [this, line_addr](const bus::BusResult& res) {
+    if (LineT* ln = tags_.find(line_addr)) ln->payload.fetching = false;
+    fills_.inc();
+    mshr_.complete(line_addr, res.done_at);
+  };
+  bus_.request(is_write ? BusTxKind::kBusRdX : BusTxKind::kBusRd, line_addr,
+               core_, cfg_.line_bytes, std::move(hooks));
+}
+
+void L2Cache::install_at_grant(Addr line_addr, bool is_write,
+                               const bus::BusResult& res) {
+  CDSIM_ASSERT_MSG(tags_.find(line_addr) == nullptr,
+                   "fill granted for an already-present line");
+  // Never evict a way whose own fill is still in flight.
+  LineT* slot = tags_.pick_victim_if(
+      line_addr, [](const LineT& ln) { return !ln.payload.fetching; });
+  if (slot == nullptr) {
+    // Pathological: every way of the set is mid-fill. Serve the requester
+    // without caching (the MSHR completion path handles the absent tag).
+    return;
+  }
+  if (slot->valid) evict(*slot);
+
+  Payload p;
+  p.state = coherence::fill_state(is_write, res.shared);
+  p.fetching = true;
+  p.decay.last_touch = eq_.now();
+  apply_arming(dcfg_, p.decay, p.state);
+  tags_.install(*slot, line_addr, std::move(p));
+  on_lines_.add(eq_.now(), +1.0);
+  decayed_lines_.erase(line_addr);
+}
+
+void L2Cache::evict(LineT& victim) {
+  CDSIM_ASSERT(victim.valid);
+  const Addr vline = victim.tag;
+  // Inclusion: the L1 copy (if any) must go.
+  upper_->back_invalidate(vline);
+  stats_.evictions.inc();
+
+  if (coherence::is_dirty(victim.payload.state)) {
+    // Dirty data must reach memory. Any pending TD turn-off write-back for
+    // this line is superseded by the eviction write-back.
+    cancel_td_wb(victim.payload);
+    stats_.writebacks.inc();
+    bus_.request(BusTxKind::kWriteBack, vline, core_, cfg_.line_bytes,
+                 bus::SnoopBus::Completion{});
+  }
+  line_off(victim);
+}
+
+// ---------------------------------------------------------------------------
+// Snooping
+// ---------------------------------------------------------------------------
+
+bus::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
+                               CoreId /*requester*/) {
+  LineT* ln = tags_.find(line_addr);
+  if (ln == nullptr) return {};
+
+  Payload& p = ln->payload;
+  const coherence::SnoopOutcome out = coherence::apply_snoop(p.state, kind);
+  bus::SnoopReply reply{out.had_line, out.supply_data};
+
+  if (out.cancel_turnoff_wb) cancel_td_wb(p);
+
+  if (out.invalidated) {
+    upper_->back_invalidate(line_addr);
+    stats_.coherence_invals.inc();
+    line_off(*ln);
+  } else if (out.next != p.state) {
+    // Downgrade (e.g. M->S on a remote BusRd): a transition into S arms
+    // Selective Decay and restarts the countdown.
+    p.state = out.next;
+    apply_arming(dcfg_, p.decay, out.next);
+    p.decay.last_touch = eq_.now();
+  }
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Decay turn-off (the paper's Figure 2 choreography)
+// ---------------------------------------------------------------------------
+
+void L2Cache::decay_sweep(Cycle now) {
+  if (!decay::uses_decay(dcfg_.technique)) return;
+  tags_.for_each_valid([&](LineT& ln) {
+    Payload& p = ln.payload;
+    if (!coherence::is_stationary(p.state)) return;
+    if (p.fetching || p.upgrading) return;
+    if (!dcfg_.expired(p.decay, now)) return;
+    // Table I gate: a line with a pending write in the L1 write buffer
+    // must not be switched off.
+    if (upper_->pending_write(ln.tag)) return;
+
+    const Addr line_addr = ln.tag;
+    switch (coherence::classify_turnoff(p.state)) {
+      case coherence::TurnOffClass::kCleanTurnOff:
+        p.state = MesiState::kTransientClean;
+        eq_.schedule_in(cfg_.l1_inval_latency,
+                        [this, line_addr] { turn_off_clean(line_addr); });
+        break;
+      case coherence::TurnOffClass::kDirtyTurnOff: {
+        p.state = MesiState::kTransientDirty;
+        p.td_wb_token = std::make_shared<bool>(true);
+        eq_.schedule_in(cfg_.l1_inval_latency,
+                        [this, line_addr] { turn_off_dirty(line_addr); });
+        break;
+      }
+      case coherence::TurnOffClass::kIgnore:
+        break;
+    }
+  });
+}
+
+void L2Cache::turn_off_clean(Addr line_addr) {
+  LineT* ln = tags_.find(line_addr);
+  // A snoop or eviction may have finished the line off already.
+  if (ln == nullptr || ln->payload.state != MesiState::kTransientClean) return;
+  upper_->back_invalidate(line_addr);
+  stats_.decay_turnoffs.inc();
+  decayed_lines_.insert(line_addr);
+  line_off(*ln);
+}
+
+void L2Cache::turn_off_dirty(Addr line_addr) {
+  LineT* ln = tags_.find(line_addr);
+  if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) return;
+  upper_->back_invalidate(line_addr);
+
+  // Flush on the bus (Grant/Flush edge); the validator lets a snoop that
+  // already moved the data cancel this write-back.
+  std::shared_ptr<bool> token = ln->payload.td_wb_token;
+  CDSIM_ASSERT(token != nullptr);
+  bus::RequestHooks hooks;
+  hooks.validator = [token] { return *token; };
+  hooks.on_done = [this, line_addr](const bus::BusResult&) {
+    LineT* l2 = tags_.find(line_addr);
+    if (l2 == nullptr || l2->payload.state != MesiState::kTransientDirty) {
+      return;  // finished via snoop/eviction while the flush was queued
+    }
+    stats_.decay_turnoffs.inc();
+    stats_.writebacks.inc();
+    decayed_lines_.insert(line_addr);
+    line_off(*l2);
+  };
+  bus_.request(BusTxKind::kWriteBack, line_addr, core_, cfg_.line_bytes,
+               std::move(hooks));
+}
+
+}  // namespace cdsim::sim

@@ -1,0 +1,39 @@
+#include "cdsim/thermal/rc_model.hpp"
+
+namespace cdsim::thermal {
+
+Floorplan make_cmp_floorplan(const ThermalConfig& cfg, std::size_t num_cores,
+                             double l2_slice_mb) {
+  CDSIM_ASSERT(num_cores >= 1);
+  CDSIM_ASSERT(l2_slice_mb > 0.0);
+  std::vector<BlockParams> blocks;
+  blocks.reserve(2 * num_cores + 1);
+
+  // Cores: small, hot blocks — low capacity, moderate resistance.
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    blocks.push_back(BlockParams{"core" + std::to_string(c),
+                                 /*r_to_ambient=*/1.2,
+                                 /*heat_capacity=*/2.0e-3});
+  }
+  // L2 slices: area (and so both R and C) scale with capacity. Larger
+  // slices spread heat better (lower R) but also hold more of it.
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    const double area_scale = l2_slice_mb;  // relative to a 1 MB slice
+    blocks.push_back(BlockParams{"l2_" + std::to_string(c),
+                                 /*r_to_ambient=*/2.0 / area_scale,
+                                 /*heat_capacity=*/3.0e-3 * area_scale});
+  }
+  blocks.push_back(BlockParams{"bus", /*r_to_ambient=*/3.0,
+                               /*heat_capacity=*/1.0e-3});
+
+  std::vector<std::pair<std::size_t, std::size_t>> couplings;
+  couplings.reserve(num_cores);
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    couplings.emplace_back(c, num_cores + c);  // core <-> its L2 slice
+  }
+
+  return Floorplan{RcThermalModel(cfg, std::move(blocks), std::move(couplings)),
+                   num_cores};
+}
+
+}  // namespace cdsim::thermal

@@ -1,0 +1,205 @@
+#include "cdsim/workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdsim::workload {
+
+namespace {
+// Region tags in the physical address space. Bit 40+ selects the region;
+// bits 32..39 carry the core id for per-core partitions, so regions can
+// never alias across cores or each other.
+constexpr Addr kPrivateTag = Addr{1} << 40;
+constexpr Addr kSharedRwTag = Addr{2} << 40;
+constexpr Addr kSharedRoTag = Addr{3} << 40;
+constexpr Addr kStreamTag = Addr{4} << 40;
+
+constexpr Addr core_part(CoreId c) {
+  return static_cast<Addr>(c) << 32;
+}
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticConfig& cfg, CoreId core,
+                                     std::uint64_t seed)
+    : cfg_(cfg),
+      core_(core),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + core + 1) {
+  CDSIM_ASSERT(cfg_.mem_fraction > 0.0 && cfg_.mem_fraction <= 1.0);
+  CDSIM_ASSERT(cfg_.p_stream() >= -1e-9);
+  CDSIM_ASSERT(cfg_.gen_lines >= 1 && cfg_.num_generations >= 1);
+  CDSIM_ASSERT(cfg_.shared_chunk_lines >= 1 &&
+               cfg_.shared_chunk_lines <= cfg_.shared_rw_lines);
+  CDSIM_ASSERT(cfg_.hot_fraction > 0.0 && cfg_.hot_fraction <= 1.0);
+  CDSIM_ASSERT(cfg_.private_burst >= 1 && cfg_.shared_burst >= 1 &&
+               cfg_.stream_burst >= 1);
+
+  // Convert op shares to burst-pick probabilities: a region with burst
+  // length B delivers B ops per pick, so its pick weight is share / B.
+  const double wp = cfg_.p_private / cfg_.private_burst;
+  const double wrw = cfg_.p_shared_rw / cfg_.shared_burst;
+  const double wro = cfg_.p_shared_ro / cfg_.shared_burst;
+  const double ws2 = cfg_.p_stream2 / cfg_.stream2_burst;
+  const double ws = cfg_.p_stream() / cfg_.stream_burst;
+  const double wsum = wp + wrw + wro + ws2 + ws;
+  CDSIM_ASSERT(wsum > 0.0);
+  pick_private_ = wp / wsum;
+  pick_shared_rw_ = pick_private_ + wrw / wsum;
+  pick_shared_ro_ = pick_shared_rw_ + wro / wsum;
+  pick_stream2_ = pick_shared_ro_ + ws2 / wsum;
+}
+
+Addr SyntheticWorkload::private_base() const noexcept {
+  return kPrivateTag | core_part(core_);
+}
+Addr SyntheticWorkload::shared_rw_base() const noexcept {
+  return kSharedRwTag;  // common to all cores: this is where sharing lives
+}
+Addr SyntheticWorkload::shared_ro_base() const noexcept {
+  return kSharedRoTag;
+}
+Addr SyntheticWorkload::stream_base() const noexcept {
+  return kStreamTag | core_part(core_);
+}
+
+void SyntheticWorkload::start_private_burst() {
+  // Generation migration: after gen_accesses operations, move to fresh
+  // lines, leaving the previous generation dead in the cache.
+  if (gen_access_count_ >= cfg_.gen_accesses) {
+    gen_access_count_ = 0;
+    gen_index_ = (gen_index_ + 1) % cfg_.num_generations;
+  }
+
+  const std::uint64_t hot_lines = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(cfg_.gen_lines) * cfg_.hot_fraction));
+  std::uint64_t line;
+  bool hot;
+  if (rng_.chance(cfg_.hot_probability)) {
+    hot = true;
+    line = rng_.below(hot_lines);  // hot subset at the generation's start
+  } else {
+    // Cold coverage is *sequential*: each cold line is touched by one burst
+    // per pass, building dead residency without the random-revisit misses a
+    // flat distribution would incur under decay.
+    hot = false;
+    const std::uint64_t cold_lines =
+        std::max<std::uint64_t>(1, cfg_.gen_lines - hot_lines);
+    line = hot_lines + (cold_ptr_ % cold_lines);
+    ++cold_ptr_;
+  }
+  const std::uint64_t abs_line = gen_index_ * cfg_.gen_lines + line;
+  burst_addr_ = private_base() + abs_line * cfg_.line_bytes;
+  burst_remaining_ = cfg_.private_burst;
+  // Hot data is actively written; cold data is (almost) read-only, so cold
+  // lines die clean and Selective Decay can harvest them.
+  burst_store_p_ = hot ? cfg_.store_fraction : cfg_.cold_write_fraction;
+  burst_dep_p_ = cfg_.dependent_fraction;
+  burst_chain_ = 0;
+}
+
+void SyntheticWorkload::start_shared_rw_burst() {
+  // Migratory chunks: each core works on a chunk for `shared_run` ops,
+  // then rotates. Cores start offset by their id, so over time every chunk
+  // passes through every core — producing the invalidation traffic the
+  // Protocol technique feeds on.
+  const std::uint64_t num_chunks = std::max<std::uint64_t>(
+      1, cfg_.shared_rw_lines / cfg_.shared_chunk_lines);
+  const std::uint64_t rotation = shared_counter_ / cfg_.shared_run;
+  const std::uint64_t chunk = (rotation + core_) % num_chunks;
+
+  const std::uint64_t line =
+      chunk * cfg_.shared_chunk_lines + rng_.below(cfg_.shared_chunk_lines);
+  burst_addr_ = shared_rw_base() + line * cfg_.line_bytes;
+  burst_remaining_ = cfg_.shared_burst;
+  burst_store_p_ = cfg_.shared_write_fraction;
+  burst_dep_p_ = cfg_.dependent_fraction;
+  burst_chain_ = 1;
+}
+
+void SyntheticWorkload::start_shared_ro_burst() {
+  // Two read-only populations: a hot front (lookup tables, current probe
+  // image) re-read uniformly, and a sweep that pages through the whole
+  // gallery/volume once per pass.
+  std::uint64_t line;
+  if (rng_.chance(cfg_.shared_ro_sweep_fraction)) {
+    line = ro_sweep_pos_ % cfg_.shared_ro_lines;
+    ++ro_sweep_pos_;
+  } else {
+    const std::uint64_t front =
+        std::min(cfg_.shared_ro_hot_lines, cfg_.shared_ro_lines);
+    line = rng_.below(std::max<std::uint64_t>(1, front));
+  }
+  burst_addr_ = shared_ro_base() + line * cfg_.line_bytes;
+  burst_remaining_ = cfg_.shared_burst;
+  burst_store_p_ = 0.0;
+  burst_dep_p_ = cfg_.dependent_fraction;
+  burst_chain_ = 2;
+}
+
+void SyntheticWorkload::start_stream_burst(Cycle now) {
+  // Real-time-paced sweep: the buffer position is a pure function of the
+  // cycle count, so the wrap period (reuse interval) is exact regardless
+  // of the core's achieved IPC — like frame buffers under a fixed fps.
+  const Cycle period =
+      std::max<Cycle>(1, cfg_.stream_wrap_cycles / cfg_.stream_lines);
+  const std::uint64_t pos = (now / period) % cfg_.stream_lines;
+  burst_addr_ = stream_base() + pos * cfg_.line_bytes;
+  burst_remaining_ = cfg_.stream_burst;
+  burst_store_p_ = cfg_.stream_write_fraction;
+  burst_dep_p_ = cfg_.stream_dependent_fraction;
+  burst_chain_ = 3;
+}
+
+void SyntheticWorkload::start_stream2_burst(Cycle now) {
+  const Cycle period =
+      std::max<Cycle>(1, cfg_.stream2_wrap_cycles / cfg_.stream2_lines);
+  const std::uint64_t pos = (now / period) % cfg_.stream2_lines;
+  burst_addr_ = stream_base() +
+                (cfg_.stream_lines + pos) * cfg_.line_bytes;
+  burst_remaining_ = cfg_.stream2_burst;
+  burst_store_p_ = cfg_.stream_write_fraction;
+  burst_dep_p_ = cfg_.stream_dependent_fraction;
+  burst_chain_ = 4;
+}
+
+void SyntheticWorkload::start_new_burst(Cycle now) {
+  const double r = rng_.uniform();
+  if (r < pick_private_) {
+    start_private_burst();
+  } else if (r < pick_shared_rw_) {
+    start_shared_rw_burst();
+  } else if (r < pick_shared_ro_) {
+    start_shared_ro_burst();
+  } else if (r < pick_stream2_) {
+    start_stream2_burst(now);
+  } else {
+    start_stream_burst(now);
+  }
+  CDSIM_ASSERT(burst_remaining_ >= 1);
+}
+
+MemOp SyntheticWorkload::next(Cycle now) {
+  if (burst_remaining_ == 0) start_new_burst(now);
+  --burst_remaining_;
+
+  // Region bookkeeping for rotation/migration counts every operation.
+  ++gen_access_count_;
+  ++shared_counter_;
+
+  MemOp op;
+  // Gap: expected non-memory instructions per memory op, dithered so the
+  // long-run ratio is exact.
+  const double mean_gap = (1.0 - cfg_.mem_fraction) / cfg_.mem_fraction;
+  gap_debt_ += mean_gap;
+  op.gap = static_cast<std::uint32_t>(gap_debt_);
+  gap_debt_ -= op.gap;
+
+  op.addr = burst_addr_;
+  const bool is_store = rng_.chance(burst_store_p_);
+  op.type = is_store ? AccessType::kStore : AccessType::kLoad;
+  op.dependent = !is_store && rng_.chance(burst_dep_p_);
+  op.chain = burst_chain_;
+  return op;
+}
+
+}  // namespace cdsim::workload

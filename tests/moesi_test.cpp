@@ -1,0 +1,202 @@
+// Exhaustive tests of the MOESI + turn-off FSM (the paper's §III protocol
+// extension: "considering the Owned state of the MOESI, other copies must
+// be invalidated before a line is turned off").
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cdsim/coherence/moesi.hpp"
+
+namespace cdsim::coherence {
+namespace {
+
+using enum MoesiState;
+
+const std::vector<MoesiState> kAll = {kInvalid,  kShared,        kExclusive,
+                                      kOwned,    kModified,      kTransientClean,
+                                      kTransientDirty};
+
+// --- predicates -----------------------------------------------------------------
+
+TEST(Moesi, StationaryStates) {
+  EXPECT_TRUE(is_stationary(kOwned));
+  EXPECT_TRUE(is_stationary(kModified));
+  EXPECT_TRUE(is_stationary(kShared));
+  EXPECT_TRUE(is_stationary(kExclusive));
+  EXPECT_FALSE(is_stationary(kInvalid));
+  EXPECT_FALSE(is_stationary(kTransientClean));
+  EXPECT_FALSE(is_stationary(kTransientDirty));
+}
+
+TEST(Moesi, OwnedIsDirty) {
+  EXPECT_TRUE(is_dirty(kOwned));
+  EXPECT_TRUE(is_dirty(kModified));
+  EXPECT_TRUE(is_dirty(kTransientDirty));
+  EXPECT_FALSE(is_dirty(kShared));
+  EXPECT_FALSE(is_dirty(kExclusive));
+}
+
+TEST(Moesi, Names) {
+  EXPECT_EQ(to_string(kOwned), "O");
+  EXPECT_EQ(to_string(kTransientDirty), "TD");
+}
+
+// --- the MOESI-defining transition: M -> O on remote read -------------------------
+
+TEST(Moesi, BusRdOnModifiedBecomesOwnedWithoutMemoryUpdate) {
+  const MoesiSnoopOutcome o = moesi_apply_snoop(kModified, BusTxKind::kBusRd);
+  EXPECT_EQ(o.next, kOwned);
+  EXPECT_TRUE(o.supply_data);
+  EXPECT_FALSE(o.memory_update);  // the deferred write-back: MOESI's point
+  EXPECT_FALSE(o.invalidated);
+}
+
+TEST(Moesi, OwnerKeepsSupplyingReaders) {
+  const MoesiSnoopOutcome o = moesi_apply_snoop(kOwned, BusTxKind::kBusRd);
+  EXPECT_EQ(o.next, kOwned);
+  EXPECT_TRUE(o.supply_data);
+  EXPECT_FALSE(o.memory_update);
+}
+
+TEST(Moesi, RemoteWriterFlushesTheOwner) {
+  for (const BusTxKind k : {BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
+    const MoesiSnoopOutcome o = moesi_apply_snoop(kOwned, k);
+    EXPECT_EQ(o.next, kInvalid);
+    EXPECT_TRUE(o.supply_data);
+    EXPECT_TRUE(o.memory_update);  // ownership dies: data must be safe
+    EXPECT_TRUE(o.invalidated);
+  }
+}
+
+TEST(Moesi, CleanStatesMatchMesiBehaviour) {
+  // For I/S/E the MOESI outcomes must coincide with MESI's.
+  const auto mesi_of = [](MoesiState s) {
+    switch (s) {
+      case kInvalid: return MesiState::kInvalid;
+      case kShared: return MesiState::kShared;
+      case kExclusive: return MesiState::kExclusive;
+      default: return MesiState::kInvalid;
+    }
+  };
+  for (const MoesiState s : {kInvalid, kShared, kExclusive}) {
+    for (const BusTxKind k : {BusTxKind::kBusRd, BusTxKind::kBusRdX,
+                              BusTxKind::kBusUpgr, BusTxKind::kWriteBack}) {
+      const MoesiSnoopOutcome mo = moesi_apply_snoop(s, k);
+      const SnoopOutcome me = apply_snoop(mesi_of(s), k);
+      EXPECT_EQ(mo.supply_data, me.supply_data) << to_string(s);
+      EXPECT_EQ(mo.invalidated, me.invalidated) << to_string(s);
+      EXPECT_EQ(mo.had_line, me.had_line) << to_string(s);
+    }
+  }
+}
+
+TEST(Moesi, WriteBackInertForThirdParties) {
+  for (const MoesiState s : kAll) {
+    const MoesiSnoopOutcome o = moesi_apply_snoop(s, BusTxKind::kWriteBack);
+    EXPECT_EQ(o.next, s) << to_string(s);
+    EXPECT_FALSE(o.invalidated);
+  }
+}
+
+TEST(Moesi, TransientDirtySnoopCancelsItsWriteback) {
+  for (const BusTxKind k :
+       {BusTxKind::kBusRd, BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
+    const MoesiSnoopOutcome o = moesi_apply_snoop(kTransientDirty, k);
+    EXPECT_EQ(o.next, kInvalid) << to_string(k);
+    EXPECT_TRUE(o.cancel_turnoff_wb);
+    EXPECT_TRUE(o.memory_update);
+  }
+}
+
+// --- turn-off classification (the §III extension) -----------------------------------
+
+TEST(Moesi, TurnOffClasses) {
+  EXPECT_EQ(moesi_classify_turnoff(kShared),
+            MoesiTurnOffClass::kCleanTurnOff);
+  EXPECT_EQ(moesi_classify_turnoff(kExclusive),
+            MoesiTurnOffClass::kCleanTurnOff);
+  EXPECT_EQ(moesi_classify_turnoff(kModified),
+            MoesiTurnOffClass::kDirtyTurnOff);
+  // The paper's caveat: Owned needs the invalidation broadcast.
+  EXPECT_EQ(moesi_classify_turnoff(kOwned),
+            MoesiTurnOffClass::kOwnedTurnOff);
+  for (const MoesiState s : {kInvalid, kTransientClean, kTransientDirty}) {
+    EXPECT_EQ(moesi_classify_turnoff(s), MoesiTurnOffClass::kIgnore);
+  }
+}
+
+TEST(Moesi, DirtyStatesEnterTransientDirty) {
+  EXPECT_EQ(moesi_turnoff_transient(kModified), kTransientDirty);
+  EXPECT_EQ(moesi_turnoff_transient(kOwned), kTransientDirty);
+  EXPECT_EQ(moesi_turnoff_transient(kShared), kTransientClean);
+  EXPECT_EQ(moesi_turnoff_transient(kExclusive), kTransientClean);
+}
+
+TEST(Moesi, TurnOffCostOrdering) {
+  // S/E free < M (write-back) < O (invalidation broadcast + write-back).
+  EXPECT_EQ(moesi_turnoff_bus_cost(kShared), 0);
+  EXPECT_EQ(moesi_turnoff_bus_cost(kExclusive), 0);
+  EXPECT_LT(moesi_turnoff_bus_cost(kShared),
+            moesi_turnoff_bus_cost(kModified));
+  EXPECT_LT(moesi_turnoff_bus_cost(kModified),
+            moesi_turnoff_bus_cost(kOwned));
+}
+
+// --- fills -------------------------------------------------------------------------
+
+TEST(Moesi, FillStates) {
+  EXPECT_EQ(moesi_fill_state(true, false), kModified);
+  EXPECT_EQ(moesi_fill_state(true, true), kModified);
+  EXPECT_EQ(moesi_fill_state(false, true), kShared);
+  EXPECT_EQ(moesi_fill_state(false, false), kExclusive);
+}
+
+// --- protocol-level invariants over the full input space ---------------------------
+
+TEST(Moesi, SupplyImpliesDirtyOrDying) {
+  for (const MoesiState s : kAll) {
+    for (const BusTxKind k :
+         {BusTxKind::kBusRd, BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
+      const MoesiSnoopOutcome o = moesi_apply_snoop(s, k);
+      if (o.supply_data) {
+        EXPECT_TRUE(is_dirty(s)) << to_string(s) << " " << to_string(k);
+      }
+    }
+  }
+}
+
+TEST(Moesi, InvalidationAlwaysLandsInInvalid) {
+  for (const MoesiState s : kAll) {
+    for (const BusTxKind k :
+         {BusTxKind::kBusRd, BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
+      const MoesiSnoopOutcome o = moesi_apply_snoop(s, k);
+      if (o.invalidated) {
+        EXPECT_EQ(o.next, kInvalid) << to_string(s);
+      }
+      if (!o.invalidated && s != kInvalid) {
+        EXPECT_TRUE(holds_data(o.next)) << to_string(s);
+      }
+    }
+  }
+}
+
+TEST(Moesi, NoDirtyDataIsEverSilentlyDropped) {
+  // Whenever a dirty state leaves the dirty set, memory must be updated.
+  for (const MoesiState s : {kOwned, kModified, kTransientDirty}) {
+    for (const BusTxKind k :
+         {BusTxKind::kBusRd, BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
+      const MoesiSnoopOutcome o = moesi_apply_snoop(s, k);
+      if (!is_dirty(o.next)) {
+        EXPECT_TRUE(o.memory_update || o.supply_data)
+            << to_string(s) << " " << to_string(k);
+        // Stronger: leaving the dirty set without a surviving owner means
+        // memory itself must have been made current.
+        EXPECT_TRUE(o.memory_update) << to_string(s) << " " << to_string(k);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdsim::coherence
