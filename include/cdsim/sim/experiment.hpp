@@ -9,7 +9,10 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cdsim/decay/technique.hpp"
@@ -18,6 +21,27 @@
 #include "cdsim/workload/benchmarks.hpp"
 
 namespace cdsim::sim {
+
+namespace detail {
+/// Strict base-10 parse of a positive 64-bit integer: rejects empty
+/// strings, signs, whitespace, trailing garbage, zero, and overflow.
+/// Used for the CDSIM_* environment variables so a typo'd value fails
+/// loudly instead of silently falling back to a default.
+std::optional<std::uint64_t> parse_positive_u64(const char* s) noexcept;
+}  // namespace detail
+
+/// Deterministic seed derived from a configuration description string by
+/// hashing it and whitening through Xoshiro256. run_config seeds every
+/// (benchmark, size, instructions) cell with this — the technique and the
+/// cache version are deliberately excluded, so every technique faces the
+/// identical workload stream as its baseline (paired comparison) and
+/// cache-format bumps never change simulation results. A pure function of
+/// its input, which is what makes the parallel sweep bit-identical to the
+/// serial one.
+std::uint64_t derive_config_seed(std::string_view config) noexcept;
+
+/// The always-on baseline configuration every figure normalizes against.
+decay::DecayConfig baseline_config();
 
 /// The paper's seven techniques (Figure legends, left to right).
 std::vector<decay::DecayConfig> paper_technique_set();
@@ -34,6 +58,13 @@ SystemConfig make_system_config(std::uint64_t total_l2_bytes,
 RunMetrics run_config(const SystemConfig& cfg,
                       const workload::Benchmark& bench);
 
+/// Outcome of one ExperimentRunner::run_grid call.
+struct SweepStats {
+  std::size_t simulated = 0;  ///< Configurations actually simulated.
+  std::size_t reused = 0;     ///< Served from the memo map / disk cache.
+  unsigned workers = 0;       ///< Pool size used (0 when nothing ran).
+};
+
 /// Runs configurations on demand, memoizing results (baselines are shared
 /// by every figure series).
 ///
@@ -41,16 +72,43 @@ RunMetrics run_config(const SystemConfig& cfg,
 /// bench binaries share one sweep instead of each re-simulating the grid.
 /// Cache location: $CDSIM_CACHE_FILE, default "cdsim_results.cache" in the
 /// working directory; delete the file (or change CDSIM_INSTR) to re-run.
+/// The cache file is replaced atomically (temp file + rename) and merged
+/// with concurrent writers' entries, so parallel bench binaries sharing one
+/// cache can never corrupt it. The merge is best-effort, not transactional:
+/// two processes persisting at the same instant can drop the other's newest
+/// entries (they are simply re-simulated later). Persistence happens at the
+/// end of each
+/// run_grid call, on destruction, and every kPersistEvery-th new serial
+/// result (not per run(): a cold serial sweep would otherwise rewrite the
+/// file once per configuration).
+///
+/// All public methods are thread-safe; simulations run outside the lock.
 class ExperimentRunner {
  public:
   /// @param instructions_per_core 0 = keep the platform default. The
   ///        CDSIM_INSTR environment variable overrides either.
-  explicit ExperimentRunner(std::uint64_t instructions_per_core = 0);
+  /// @param cache_path overrides the disk-cache location when nonempty
+  ///        (tests use this for isolated temporary caches); empty = use
+  ///        $CDSIM_CACHE_FILE or the default.
+  explicit ExperimentRunner(std::uint64_t instructions_per_core = 0,
+                            std::string cache_path = {});
+  ~ExperimentRunner();
 
   /// Result for (benchmark, size, technique); runs it on first use.
   const RunMetrics& run(const workload::Benchmark& bench,
                         std::uint64_t total_l2_bytes,
                         const decay::DecayConfig& technique);
+
+  /// Fills the (benchmark x size x technique) grid — plus the baseline run
+  /// of every (benchmark, size) cell, which all relative metrics need — by
+  /// sharding the not-yet-cached configurations across a ThreadPool of
+  /// `workers` threads (0 = one per hardware thread). Results are merged
+  /// into the memo map and persisted once at the end. Bit-identical to
+  /// calling run() for each cell serially.
+  SweepStats run_grid(const std::vector<workload::Benchmark>& benchmarks,
+                      const std::vector<std::uint64_t>& sizes,
+                      const std::vector<decay::DecayConfig>& techniques,
+                      unsigned workers = 0);
 
   /// Technique metrics normalized against the matching baseline run.
   RelativeMetrics relative(const workload::Benchmark& bench,
@@ -66,13 +124,44 @@ class ExperimentRunner {
     return instructions_;
   }
 
+  [[nodiscard]] const std::string& cache_path() const noexcept {
+    return cache_path_;
+  }
+
  private:
+  /// Version-free configuration description
+  /// (benchmark/bytes/label/raw-decay-params/instructions): the prefix of
+  /// the memo key. Sizes are kept in bytes and decay parameters verbatim
+  /// so distinct configurations never collide.
+  [[nodiscard]] std::string config_desc(
+      const workload::Benchmark& bench, std::uint64_t total_l2_bytes,
+      const decay::DecayConfig& technique) const;
+  /// Memo key: config_desc plus "/<cache version>".
+  [[nodiscard]] std::string key_for(const workload::Benchmark& bench,
+                                    std::uint64_t total_l2_bytes,
+                                    const decay::DecayConfig& technique) const;
+  /// Runs one configuration with its configuration-derived seed. Pure: no
+  /// locking, no shared state — safe to call from any pool worker.
+  [[nodiscard]] RunMetrics simulate(const workload::Benchmark& bench,
+                                    std::uint64_t total_l2_bytes,
+                                    const decay::DecayConfig& technique) const;
   void load_disk_cache();
-  void append_disk_cache(const std::string& key, const RunMetrics& m);
+  /// Atomically rewrites the cache file (temp + rename) with the union of
+  /// on-disk and in-memory entries, dropping lines from other cache
+  /// versions. Caller must hold mu_.
+  void persist_disk_cache_locked();
+
+  /// Serial run() persists after this many new results (run_grid persists
+  /// once at the end regardless), bounding loss on an interrupted sweep.
+  static constexpr std::size_t kPersistEvery = 16;
 
   std::uint64_t instructions_;
   std::string cache_path_;
+  std::mutex mu_;  ///< Guards cache_, dirty_, unsaved_, and persistence.
   std::map<std::string, RunMetrics> cache_;
+  bool dirty_ = false;        ///< In-memory results not yet persisted.
+  std::size_t unsaved_ = 0;   ///< New results since the last persist.
+  bool persist_warned_ = false;  ///< One-time unwritable-cache warning fired.
 };
 
 }  // namespace cdsim::sim

@@ -1,16 +1,27 @@
 #include "cdsim/sim/experiment.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/rng.hpp"
 
 namespace cdsim::sim {
 
 namespace {
 // Bump when the simulator's calibration changes so stale caches re-run.
-constexpr const char* kCacheVersion = "v1";
+// Seeds derive from the version-free configuration description (see
+// derive_config_seed), so bumping this never changes simulation results.
+// v2: per-configuration seeds (was: fixed 42); sizes keyed in bytes.
+constexpr const char* kCacheVersion = "v2";
 
 std::string serialize(const RunMetrics& m) {
   std::ostringstream os;
@@ -45,7 +56,58 @@ bool deserialize(const std::string& line, RunMetrics& m) {
   }
   return true;
 }
+
+/// Splits a cache line into (key, payload), accepting it only when the
+/// key carries the current version tag. Malformed and cross-version lines
+/// yield nullopt. The single gatekeeper for both loading and persisting,
+/// so the two can never disagree on which entries are valid.
+std::optional<std::pair<std::string, std::string>> parse_cache_line(
+    const std::string& line) {
+  const auto bar = line.find('|');
+  if (bar == std::string::npos) return std::nullopt;
+  std::string key = line.substr(0, bar);
+  const std::string version_suffix = std::string("/") + kCacheVersion;
+  if (key.size() < version_suffix.size() ||
+      key.compare(key.size() - version_suffix.size(), version_suffix.size(),
+                  version_suffix) != 0) {
+    return std::nullopt;
+  }
+  return std::make_pair(std::move(key), line.substr(bar + 1));
+}
 }  // namespace
+
+namespace detail {
+std::optional<std::uint64_t> parse_positive_u64(const char* s) noexcept {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  // strtoull accepts leading whitespace, '+'/'-' (negatives wrap!), and
+  // stops at the first bad character; insist on pure digits instead.
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+  }
+  errno = 0;
+  // The digit loop above already rejected empty strings and any non-digit;
+  // only overflow and zero remain.
+  const unsigned long long v = std::strtoull(s, nullptr, 10);
+  if (errno == ERANGE || v == 0) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+}  // namespace detail
+
+std::uint64_t derive_config_seed(std::string_view config) noexcept {
+  // FNV-1a over the description, whitened through Xoshiro256 so nearby
+  // descriptions ("...1/..." vs "...2/...") yield uncorrelated streams.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : config) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  Xoshiro256 rng(h);
+  return rng.next();
+}
+
+decay::DecayConfig baseline_config() {
+  return decay::DecayConfig{decay::Technique::kBaseline, 0, 4};
+}
 
 std::vector<decay::DecayConfig> paper_technique_set() {
   using decay::DecayConfig;
@@ -83,20 +145,56 @@ RunMetrics run_config(const SystemConfig& cfg,
   // decay_time (they never sweep).
   SystemConfig fixed = cfg;
   if (fixed.decay.decay_time == 0) fixed.decay.decay_time = 4;
+  // Deterministic per-cell seeding: every (benchmark, size, instructions)
+  // cell draws an independent workload stream, mixed with the caller's
+  // cfg.seed so explicit seeds still select distinct streams. The
+  // technique is deliberately NOT part of the seed: each technique must
+  // face the exact same access stream as the baseline it is normalized
+  // against, or relative metrics pick up stream-sampling noise. Seeding
+  // here (not in ExperimentRunner) keeps the figure benches and the
+  // direct run_config callers (ablations, examples, tests) consistent.
+  fixed.seed = cfg.seed ^ derive_config_seed(
+                              bench.config.name + "/" +
+                              std::to_string(cfg.total_l2_bytes) + "/" +
+                              std::to_string(cfg.instructions_per_core));
   CmpSystem sys(fixed, bench);
   return sys.run();
 }
 
-ExperimentRunner::ExperimentRunner(std::uint64_t instructions_per_core)
+ExperimentRunner::ExperimentRunner(std::uint64_t instructions_per_core,
+                                   std::string cache_path)
     : instructions_(instructions_per_core) {
   if (const char* env = std::getenv("CDSIM_INSTR")) {
-    const long long v = std::atoll(env);
-    if (v > 0) instructions_ = static_cast<std::uint64_t>(v);
+    const auto v = detail::parse_positive_u64(env);
+    if (!v.has_value()) {
+      std::fprintf(stderr,
+                   "cdsim: CDSIM_INSTR=\"%s\" is invalid: expected a "
+                   "positive 64-bit decimal instruction count\n",
+                   env);
+      std::abort();
+    }
+    instructions_ = *v;
   }
   if (instructions_ == 0) instructions_ = SystemConfig{}.instructions_per_core;
-  const char* path = std::getenv("CDSIM_CACHE_FILE");
-  cache_path_ = path != nullptr ? path : "cdsim_results.cache";
+  if (!cache_path.empty()) {
+    cache_path_ = std::move(cache_path);
+  } else if (const char* path = std::getenv("CDSIM_CACHE_FILE")) {
+    if (*path == '\0') {
+      std::fprintf(stderr,
+                   "cdsim: CDSIM_CACHE_FILE is set but empty: expected a "
+                   "cache file path (unset it to use the default)\n");
+      std::abort();
+    }
+    cache_path_ = path;
+  } else {
+    cache_path_ = "cdsim_results.cache";
+  }
   load_disk_cache();
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  std::scoped_lock lock(mu_);
+  if (dirty_) persist_disk_cache_locked();
 }
 
 void ExperimentRunner::load_disk_cache() {
@@ -104,11 +202,13 @@ void ExperimentRunner::load_disk_cache() {
   if (!in) return;
   std::string line;
   while (std::getline(in, line)) {
-    const auto bar = line.find('|');
-    if (bar == std::string::npos) continue;
+    // Other-version entries may deserialize cleanly but describe a
+    // different simulator; never let them into the memo.
+    auto parsed = parse_cache_line(line);
+    if (!parsed) continue;
+    const std::string& key = parsed->first;
     RunMetrics m;
-    if (!deserialize(line.substr(bar + 1), m)) continue;
-    const std::string key = line.substr(0, bar);
+    if (!deserialize(parsed->second, m)) continue;
     // Recover the labels encoded in the key: bench/size/technique/...
     std::istringstream ks(key);
     std::getline(ks, m.benchmark, '/');
@@ -116,39 +216,125 @@ void ExperimentRunner::load_disk_cache() {
     std::getline(ks, size_s, '/');
     std::getline(ks, tech, '/');
     m.technique = tech;
-    m.total_l2_bytes = std::strtoull(size_s.c_str(), nullptr, 10) * MiB;
+    m.total_l2_bytes = std::strtoull(size_s.c_str(), nullptr, 10);
     cache_.emplace(key, std::move(m));
   }
 }
 
-void ExperimentRunner::append_disk_cache(const std::string& key,
-                                         const RunMetrics& m) {
-  std::ofstream out(cache_path_, std::ios::app);
-  if (out) out << key << '|' << serialize(m) << '\n';
+void ExperimentRunner::persist_disk_cache_locked() {
+  // Merge whatever is on disk (another process may have added results since
+  // we loaded) with the in-memory memo, then replace the file atomically:
+  // the rename guarantees readers and concurrent writers only ever see a
+  // complete file, never interleaved or half-written lines. Lines from
+  // other cache versions are dead weight (lookups can never hit them) and
+  // are dropped here.
+  std::map<std::string, std::string> lines;
+  {
+    std::ifstream in(cache_path_);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (auto parsed = parse_cache_line(line)) lines.insert(std::move(*parsed));
+    }
+  }
+  for (const auto& [key, m] : cache_) lines[key] = serialize(m);
+
+  // pid + process-wide counter: unique even when several runners in one
+  // process share a cache path, so writers never interleave in one tmp.
+  static std::atomic<unsigned> tmp_counter{0};
+  const std::string tmp = cache_path_ + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  bool written = false;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) {
+      for (const auto& [key, text] : lines) out << key << '|' << text << '\n';
+      out.flush();
+      written = out.good();
+    }
+  }
+  // Never install a partial file over a good cache (e.g. ENOSPC midway),
+  // and keep dirty_/unsaved_ set on any failure so a later attempt retries.
+  if (!written || std::rename(tmp.c_str(), cache_path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    // Warn once: an unwritable cache path silently re-simulates the whole
+    // grid on every invocation, which is worth a diagnostic line.
+    if (!persist_warned_) {
+      persist_warned_ = true;
+      std::fprintf(stderr,
+                   "cdsim: warning: could not persist result cache to "
+                   "\"%s\"; results will be re-simulated next run\n",
+                   cache_path_.c_str());
+    }
+    return;
+  }
+  dirty_ = false;
+  unsaved_ = 0;
+}
+
+std::string ExperimentRunner::config_desc(
+    const workload::Benchmark& bench, std::uint64_t total_l2_bytes,
+    const decay::DecayConfig& technique) const {
+  // The display label alone is ambiguous: it truncates decay_time to KiB
+  // and omits hierarchical_ticks, so distinct configs could share a key
+  // (and therefore a cached result and a seed). Keep the label as its own
+  // component — load_disk_cache recovers it for figure output — and add
+  // the raw decay parameters, normalized the same way make_system_config
+  // normalizes them so physically identical configs get identical keys.
+  const bool decays = decay::uses_decay(technique.technique);
+  // run_config turns a zero decay_time into the benign default 4, so a
+  // decaying config written with decay_time 0 simulates identically to one
+  // written with 4 — give them the same key.
+  const Cycle decay_time =
+      decays ? (technique.decay_time == 0 ? 4 : technique.decay_time) : 0;
+  const std::uint32_t ticks = decays ? technique.hierarchical_ticks : 0;
+  return bench.config.name + "/" + std::to_string(total_l2_bytes) + "/" +
+         technique.label() + "/dt" + std::to_string(decay_time) + "t" +
+         std::to_string(ticks) + "/" + std::to_string(instructions_);
+}
+
+std::string ExperimentRunner::key_for(
+    const workload::Benchmark& bench, std::uint64_t total_l2_bytes,
+    const decay::DecayConfig& technique) const {
+  return config_desc(bench, total_l2_bytes, technique) + "/" + kCacheVersion;
+}
+
+RunMetrics ExperimentRunner::simulate(
+    const workload::Benchmark& bench, std::uint64_t total_l2_bytes,
+    const decay::DecayConfig& technique) const {
+  SystemConfig cfg = make_system_config(total_l2_bytes, technique);
+  cfg.instructions_per_core = instructions_;
+  return run_config(cfg, bench);  // run_config derives the cell seed
 }
 
 const RunMetrics& ExperimentRunner::run(const workload::Benchmark& bench,
                                         std::uint64_t total_l2_bytes,
                                         const decay::DecayConfig& technique) {
-  const std::string key = bench.config.name + "/" +
-                          std::to_string(total_l2_bytes / MiB) + "/" +
-                          technique.label() + "/" +
-                          std::to_string(instructions_) + "/" + kCacheVersion;
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-
-  SystemConfig cfg = make_system_config(total_l2_bytes, technique);
-  cfg.instructions_per_core = instructions_;
-  RunMetrics m = run_config(cfg, bench);
-  append_disk_cache(key, m);
-  return cache_.emplace(key, std::move(m)).first->second;
+  const std::string key = key_for(bench, total_l2_bytes, technique);
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Simulate outside the lock so concurrent callers make progress. Two
+  // threads racing on the same key both compute the same (deterministic)
+  // result; emplace keeps the first.
+  RunMetrics m = simulate(bench, total_l2_bytes, technique);
+  std::scoped_lock lock(mu_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(m));
+  if (inserted) {
+    dirty_ = true;
+    // Throttled incremental persistence: a killed process loses at most
+    // the last few results, without rewriting the file per configuration.
+    if (++unsaved_ >= kPersistEvery) persist_disk_cache_locked();
+  }
+  return it->second;
 }
 
 RelativeMetrics ExperimentRunner::relative(
     const workload::Benchmark& bench, std::uint64_t total_l2_bytes,
     const decay::DecayConfig& technique) {
-  const decay::DecayConfig baseline{decay::Technique::kBaseline, 0, 4};
-  const RunMetrics& base = run(bench, total_l2_bytes, baseline);
+  const RunMetrics& base = run(bench, total_l2_bytes, baseline_config());
   const RunMetrics& tech = run(bench, total_l2_bytes, technique);
   return relative_to(base, tech);
 }
