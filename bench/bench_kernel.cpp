@@ -1,0 +1,142 @@
+// End-to-end simulation-kernel benchmark: wall-times one pinned
+// fig3a-class configuration (mpeg2enc, 8 MB total L2, decay64K — a cell of
+// the paper's Figure 3(a) grid) plus its always-on baseline, and writes the
+// result to BENCH_kernel.json so the kernel's throughput is tracked across
+// PRs.
+//
+// Unlike the figure benches this deliberately bypasses the result cache:
+// every invocation simulates, because the simulation itself is the thing
+// being measured. CDSIM_INSTR scales the run (CI smoke uses a small value);
+// the default of 1M instructions/core keeps a full-fidelity sample under a
+// couple of seconds.
+//
+// Usage: bench_kernel [output.json]   (default: BENCH_kernel.json in cwd)
+
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cdsim/common/version.hpp"
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/sim/experiment.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace {
+
+using namespace cdsim;
+
+constexpr int kReps = 3;  ///< Best-of-N to shed scheduler noise.
+
+struct Sample {
+  std::string label;
+  std::vector<double> runs_ms;
+  double best_ms = 0.0;
+  std::uint64_t events = 0;
+  Cycle cycles = 0;
+  sim::RunMetrics metrics;
+};
+
+Sample run_pinned(const decay::DecayConfig& dcfg, std::uint64_t instr) {
+  Sample s;
+  s.label = dcfg.label();
+  const workload::Benchmark& bench = workload::benchmark_by_name("mpeg2enc");
+  sim::SystemConfig cfg = sim::make_system_config(8 * MiB, dcfg);
+  cfg.instructions_per_core = instr;
+  s.best_ms = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Fresh system per rep, seeded exactly as run_config would seed this
+    // cell, so the metrics match what the figure benches compute for it.
+    sim::CmpSystem sys(sim::normalized_run_config(cfg, bench), bench);
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::RunMetrics m = sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    s.runs_ms.push_back(ms);
+    if (ms < s.best_ms) s.best_ms = ms;
+    s.events = sys.events().executed();
+    s.cycles = m.cycles;
+    s.metrics = std::move(m);
+  }
+  return s;
+}
+
+void print_json(std::FILE* f, const std::vector<Sample>& samples,
+                std::uint64_t instr) {
+  std::fprintf(f, "{\n  \"bench\": \"bench_kernel\",\n");
+  std::fprintf(f, "  \"version\": \"%s\",\n", version());
+  std::fprintf(f, "  \"benchmark\": \"mpeg2enc\",\n");
+  std::fprintf(f, "  \"total_l2_bytes\": %llu,\n",
+               static_cast<unsigned long long>(8 * MiB));
+  std::fprintf(f, "  \"instructions_per_core\": %llu,\n",
+               static_cast<unsigned long long>(instr));
+  std::fprintf(f, "  \"reps\": %d,\n  \"configs\": [\n", kReps);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f, "    {\"technique\": \"%s\", \"best_ms\": %.3f, ",
+                 s.label.c_str(), s.best_ms);
+    std::fprintf(f, "\"runs_ms\": [");
+    for (std::size_t r = 0; r < s.runs_ms.size(); ++r) {
+      std::fprintf(f, "%s%.3f", r ? ", " : "", s.runs_ms[r]);
+    }
+    std::fprintf(f, "], \"events\": %llu, \"cycles\": %llu, ",
+                 static_cast<unsigned long long>(s.events),
+                 static_cast<unsigned long long>(s.cycles));
+    std::fprintf(f, "\"events_per_sec\": %.0f, ",
+                 s.best_ms > 0.0 ? static_cast<double>(s.events) /
+                                       (s.best_ms / 1000.0)
+                                 : 0.0);
+    // Enough of the metrics to cross-check against the golden test.
+    std::fprintf(f,
+                 "\"l2_misses\": %llu, \"decay_turnoffs\": %llu, "
+                 "\"occupation\": %.17g}%s\n",
+                 static_cast<unsigned long long>(s.metrics.l2_misses),
+                 static_cast<unsigned long long>(s.metrics.l2_decay_turnoffs),
+                 s.metrics.l2_occupation, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t instr = 1'000'000;
+  if (const char* env = std::getenv("CDSIM_INSTR")) {
+    const auto v = cdsim::sim::detail::parse_positive_u64(env);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "bench_kernel: invalid CDSIM_INSTR \"%s\"\n", env);
+      return 1;
+    }
+    instr = *v;
+  }
+
+  std::vector<Sample> samples;
+  samples.push_back(run_pinned(sim::baseline_config(), instr));
+  samples.push_back(run_pinned(
+      decay::DecayConfig{decay::Technique::kDecay, 64 * 1024, 4}, instr));
+
+  std::printf("bench_kernel: mpeg2enc / 8MB / %llu instr/core, best of %d\n",
+              static_cast<unsigned long long>(instr), kReps);
+  for (const Sample& s : samples) {
+    std::printf(
+        "  %-10s best %8.1f ms   %10llu events   %8.0f Kevents/s   "
+        "%8llu cycles\n",
+        s.label.c_str(), s.best_ms,
+        static_cast<unsigned long long>(s.events),
+        static_cast<double>(s.events) / s.best_ms,
+        static_cast<unsigned long long>(s.cycles));
+  }
+
+  const char* out = argc > 1 ? argv[1] : "BENCH_kernel.json";
+  std::FILE* f = std::fopen(out, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernel: cannot write %s\n", out);
+    return 1;
+  }
+  print_json(f, samples, instr);
+  std::fclose(f);
+  std::printf("wrote %s\n", out);
+  return 0;
+}

@@ -18,12 +18,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "cdsim/coherence/mesi.hpp"
 #include "cdsim/common/assert.hpp"
 #include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
 #include "cdsim/mem/memory.hpp"
@@ -70,30 +70,32 @@ struct BusResult {
   bool supplied_by_cache = false;
 };
 
-/// Callbacks and guards attached to one bus transaction.
+/// Callbacks and guards attached to one bus transaction. All four are
+/// move-only SmallFn with inline buffers sized for the L2 controller's
+/// captures, so issuing a transaction does not allocate.
 struct RequestHooks {
   /// Fires at BusResult::done_at (data delivered / transaction retired).
-  std::function<void(const BusResult&)> on_done;
+  SmallFn<void(const BusResult&), 32> on_done;
   /// Fires at the grant cycle, after the snoop broadcast resolved. L2
   /// controllers use this to install the line's tag+state atomically in
   /// bus order (data arrives later), which keeps coherence exact across
   /// overlapping split transactions.
-  std::function<void(const BusResult&)> on_grant;
+  SmallFn<void(const BusResult&), 32> on_grant;
   /// Checked at the grant cycle before anything happens. Returning false
   /// drops the transaction (no snoop, no occupancy, no traffic) — used to
   /// cancel a TD turn-off write-back whose data already reached memory via
   /// a snoop flush (see coherence::SnoopOutcome::cancel_turnoff_wb), and to
   /// abandon a BusUpgr whose S line was invalidated while queued.
-  std::function<bool()> validator;
+  SmallFn<bool(), 24> validator;
   /// Fires at the grant cycle when the validator dropped the transaction,
   /// so the requester can fall back (e.g. reissue an upgrade as BusRdX).
-  std::function<void()> on_cancel;
+  SmallFn<void(), 40> on_cancel;
 };
 
 /// The shared snoopy bus.
 class SnoopBus {
  public:
-  using Completion = std::function<void(const BusResult&)>;
+  using Completion = SmallFn<void(const BusResult&), 32>;
 
   SnoopBus(EventQueue& eq, const BusConfig& cfg, mem::MemoryController& mem)
       : eq_(eq), cfg_(cfg), mem_(mem) {}

@@ -8,18 +8,21 @@
 // misses, which is how limited memory-level parallelism reaches the core.
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/types.hpp"
 
 namespace cdsim::cache {
 
 /// Callback invoked when the fill a waiter was merged into completes.
-/// `fill_done` is the cycle the data became available.
-using FillCallback = std::function<void(Cycle fill_done)>;
+/// `fill_done` is the cycle the data became available. Move-only with a
+/// 72-byte inline buffer: the L2's largest fill waiter (`this` + line
+/// address + a 48-byte response functor + the counted flag) fits without
+/// allocating.
+using FillCallback = SmallFn<void(Cycle fill_done), 72>;
 
 /// One outstanding line fill.
 struct MshrEntry {

@@ -7,8 +7,8 @@
 // explicit two-step: pick_victim() then install().
 
 #include <cstdint>
-#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cdsim/cache/geometry.hpp"
@@ -59,6 +59,10 @@ class TagArray {
     CDSIM_ASSERT_MSG(ln != nullptr, "touch() on absent line");
     lru_stamp_[index_of(ln)] = ++clock_;
   }
+
+  /// Marks an already-looked-up line most-recently used — the hit path
+  /// pairs find() with this overload to avoid a second set scan.
+  void touch(Line<Payload>& ln) { lru_stamp_[index_of(&ln)] = ++clock_; }
 
   /// Selects the victim way for installing `addr`'s line: an invalid way if
   /// any, otherwise the LRU valid way. The returned line may be valid — the
@@ -119,8 +123,11 @@ class TagArray {
     return n;
   }
 
-  /// Applies `fn` to every valid line. Used by decay sweeps and checkers.
-  void for_each_valid(const std::function<void(Line<Payload>&)>& fn) {
+  /// Applies `fn` to every valid line in array (set-major) order. Used by
+  /// checkers and tests. Templated (no std::function) so per-line dispatch
+  /// inlines.
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
     for (auto& ln : lines_) {
       if (ln.valid) fn(ln);
     }
@@ -129,6 +136,17 @@ class TagArray {
   /// Total ways in the array (valid or not).
   [[nodiscard]] std::uint64_t capacity_lines() const noexcept {
     return lines_.size();
+  }
+
+  /// Stable array index of a line (set-major, way-minor): the identity an
+  /// expiry wheel registers so a slot can be revisited in O(1). Valid for
+  /// the lifetime of the array; indices compare in the same order
+  /// for_each_valid visits lines.
+  [[nodiscard]] std::size_t line_index(const Line<Payload>& ln) const noexcept {
+    return index_of(&ln);
+  }
+  [[nodiscard]] Line<Payload>& line_at(std::size_t index) noexcept {
+    return lines_[index];
   }
 
  private:

@@ -5,14 +5,35 @@
 // (cycle, insertion sequence): two events scheduled for the same cycle run
 // in the order they were scheduled, which makes every simulation bit-exact
 // reproducible regardless of platform or standard-library heap tie-breaking.
+//
+// The queue is built for throughput on the simulator's hot path:
+//
+//   * callbacks are SmallFn (move-only, 72-byte inline buffer, memcpy
+//     relocation for trivially-copyable captures), so scheduling a typical
+//     kernel lambda allocates nothing and moves cheaply;
+//   * events live in a calendar ring of one bucket per cycle: scheduling is
+//     an O(1) append, popping is an O(1) index bump (plus an occasional
+//     scan over empty cycles — the simulated platform averages several
+//     events per cycle, so the scan is essentially free). Cycle-level
+//     simulators cluster deltas within a few hundred cycles; the rare
+//     farther-out event waits in an overflow list that is spilled into the
+//     ring once per ring revolution;
+//   * per-bucket insertion order IS (cycle, sequence) order — events for a
+//     cycle still in the overflow list were by construction scheduled
+//     before the ring window reached that cycle, and the spill precedes
+//     any direct append for that window — so determinism needs no
+//     comparator at all;
+//   * callbacks execute in place out of a stable slot pool (a deque), so
+//     an event may freely schedule further events — including at the same
+//     cycle — while it runs.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <deque>
 #include <utility>
 #include <vector>
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/types.hpp"
 
 namespace cdsim {
@@ -26,9 +47,12 @@ namespace cdsim {
 ///   q.run_until(1'000'000);
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget: fits the kernel's largest hot-path callback
+  /// (a bus completion: a 48-byte completion functor plus a 24-byte
+  /// BusResult). Larger captures fall back to the heap transparently.
+  using Callback = SmallFn<void(), 72>;
 
-  EventQueue() = default;
+  EventQueue() : ring_(kRingBuckets) { free_slots_.reserve(256); }
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -36,15 +60,28 @@ class EventQueue {
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
   /// Number of events not yet executed.
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
 
   /// Schedules `fn` to run at absolute cycle `when`. Scheduling in the past
   /// is a logic error (asserts).
   void schedule_at(Cycle when, Callback fn) {
     CDSIM_ASSERT_MSG(when >= now_, "event scheduled in the past");
-    heap_.push(Event{when, seq_++, std::move(fn)});
+    const Event ev{when, acquire_slot(std::move(fn))};
+    if (when < horizon_) {
+      ring_[when & kRingMask].push_back(ev);
+      if (when < scan_) {
+        // run_until() stopped mid-scan past this cycle (its bucket was
+        // drained and cleared); rewind so the new event is not skipped.
+        // Only empty buckets lie between `when` and the old scan position.
+        CDSIM_ASSERT(head_ == 0);
+        scan_ = when;
+      }
+    } else {
+      overflow_.push_back(ev);
+    }
+    ++pending_;
   }
 
   /// Schedules `fn` to run `delta` cycles from now.
@@ -53,25 +90,43 @@ class EventQueue {
   }
 
   /// Executes the earliest pending event, advancing now(). Returns false if
-  /// the queue was empty.
+  /// the queue was empty. The callback may schedule more events (including
+  /// at the same cycle) while it runs.
   bool step() {
-    if (heap_.empty()) return false;
-    // Move the callback out before popping so the event may schedule more
-    // events (including at the same cycle) without invalidating anything.
-    Event ev = heap_.top();
-    heap_.pop();
-    CDSIM_ASSERT(ev.when >= now_);
-    now_ = ev.when;
-    ev.fn();
-    ++executed_;
-    return true;
+    if (pending_ == 0) return false;
+    for (;;) {
+      // Spill lazily, just before bucket horizon_ is first examined. This
+      // keeps the window from advancing while run_until() is parked at a
+      // revolution boundary — a premature spill there would let a
+      // schedule_at(now()) share a bucket with a spilled far event one
+      // full revolution later (two cycles aliasing one bucket).
+      if (scan_ == horizon_) spill_overflow();
+      std::vector<Event>& bucket = ring_[scan_ & kRingMask];
+      if (head_ < bucket.size()) {
+        execute(bucket[head_++]);
+        return true;
+      }
+      bucket.clear();
+      head_ = 0;
+      ++scan_;
+    }
   }
 
   /// Runs events until the queue drains or the next event lies strictly
   /// after `horizon`. Afterwards now() == min(horizon, last event time) —
   /// the clock is advanced to `horizon` if the queue drained early.
   void run_until(Cycle horizon) {
-    while (!heap_.empty() && heap_.top().when <= horizon) step();
+    while (pending_ > 0 && scan_ <= horizon) {
+      if (scan_ == horizon_) spill_overflow();  // see step()
+      std::vector<Event>& bucket = ring_[scan_ & kRingMask];
+      if (head_ >= bucket.size()) {
+        bucket.clear();
+        head_ = 0;
+        ++scan_;
+        continue;
+      }
+      execute(bucket[head_++]);
+    }
     if (now_ < horizon) now_ = horizon;
   }
 
@@ -86,20 +141,83 @@ class EventQueue {
 
  private:
   struct Event {
-    Cycle when;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    Cycle when = 0;
+    std::uint32_t slot = 0;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Ring span in cycles. Covers every recurring kernel delta (retries,
+  /// hit latencies, memory round-trips) with slack; only backlogged memory
+  /// transfers and decay ticks overflow. Power of two for cheap indexing.
+  static constexpr std::size_t kRingBuckets = 1024;
+  static constexpr Cycle kRingMask = kRingBuckets - 1;
+
+  // Takes the event BY VALUE: the callback may append to the bucket the
+  // event was read from, reallocating its storage mid-execution.
+  void execute(const Event ev) {
+    CDSIM_ASSERT(ev.when == scan_);
+    now_ = scan_;
+    // Invoke in place: the deque gives slots stable addresses, so the
+    // callback may schedule further events (growing the pool) while it
+    // runs. The slot is destroyed and recycled only after it returns.
+    slots_[ev.slot]();
+    slots_[ev.slot] = nullptr;
+    free_slots_.push_back(ev.slot);
+    --pending_;
+    ++executed_;
+  }
+
+  /// Advances the ring window one revolution and spills the overflow
+  /// events that now fall inside it into their buckets. Iterating the
+  /// overflow list in order preserves scheduling order, and every spill
+  /// happens before any direct append into the new window — so bucket
+  /// order remains global scheduling order.
+  void spill_overflow() {
+    horizon_ += kRingBuckets;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < overflow_.size(); ++i) {
+      const Event ev = overflow_[i];
+      if (ev.when < horizon_) {
+        ring_[ev.when & kRingMask].push_back(ev);
+      } else {
+        overflow_[keep++] = ev;
+      }
+    }
+    overflow_.resize(keep);
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot(Callback&& fn) {
+    if (free_slots_.empty()) {
+      slots_.push_back(std::move(fn));
+      return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+    return slot;
+  }
+
+  /// Calendar ring: bucket b holds the events for every cycle c with
+  /// c & kRingMask == b inside the current window [horizon_ - kRingBuckets,
+  /// horizon_), in scheduling order. Buckets keep their capacity across
+  /// revolutions, so steady state never allocates.
+  std::vector<std::vector<Event>> ring_;
+  /// Events scheduled at or beyond horizon_, in scheduling order.
+  std::vector<Event> overflow_;
+  /// First cycle beyond the current ring window.
+  Cycle horizon_ = kRingBuckets;
+  /// Next bucket cycle to inspect; all buckets before it are drained.
+  /// Invariant: now_ <= scan_, and scan_ > now_ only while every bucket in
+  /// (now_, scan_) is empty.
+  Cycle scan_ = 0;
+  /// Index of the next unexecuted event in bucket scan_.
+  std::size_t head_ = 0;
+  /// Callback pool indexed by Event::slot; free list recycles LIFO so the
+  /// working set of slots stays cache-hot. A deque (stable references)
+  /// so in-flight callbacks survive pool growth.
+  std::deque<Callback> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t pending_ = 0;
   Cycle now_ = 0;
-  std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
 };
 

@@ -22,11 +22,18 @@
 #include <functional>
 
 #include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
 #include "cdsim/workload/stream.hpp"
 
 namespace cdsim::core {
+
+/// Load-completion callback handed down the cache hierarchy. The same
+/// SmallFn instantiation as cache::FillCallback, so an L1 can merge it
+/// into an MSHR waiter list without re-wrapping (and without allocating:
+/// the core's capture list fits the 72-byte inline buffer).
+using LoadCallback = SmallFn<void(Cycle), 72>;
 
 /// Result of offering a load to the cache.
 struct LoadOutcome {
@@ -47,8 +54,7 @@ class LoadStorePort {
   /// full); the port must invoke the resources-freed callback later.
   /// On asynchronous acceptance, `on_done` fires when the data is
   /// available; on synchronous completion it never fires.
-  virtual LoadOutcome try_load(Addr addr,
-                               std::function<void(Cycle)> on_done) = 0;
+  virtual LoadOutcome try_load(Addr addr, LoadCallback on_done) = 0;
 
   /// Issues a store (write-through). Returns false when the write buffer
   /// is full; the port must invoke the resources-freed callback later.

@@ -66,6 +66,11 @@ constexpr bool arms_on_entry(Technique t, coherence::MesiState to) noexcept {
 /// Per-line decay bookkeeping embedded in the L2 line payload.
 struct LineDecayState {
   Cycle last_touch = 0;  ///< Cycle of the most recent access / fill.
+  /// Expiry-wheel registration ticket (0 = not registered). Matches the
+  /// entry the wheel holds for this slot; a stale wheel entry (slot reused
+  /// or re-registered since) carries a different ticket and is discarded
+  /// when its bucket is visited.
+  std::uint64_t wheel_ticket = 0;
   bool armed = false;    ///< Decay countdown active for this line.
 };
 
@@ -81,14 +86,28 @@ struct DecayConfig {
   /// after its last touch (Kaxiras et al. §3).
   std::uint32_t hierarchical_ticks = 4;
 
-  [[nodiscard]] Cycle tick_period() const noexcept {
+  [[nodiscard]] constexpr Cycle tick_period() const noexcept {
     return decay_time / hierarchical_ticks;
   }
 
   /// Decayed test as the hierarchical counters would observe it: evaluated
   /// only at sweep boundaries.
-  [[nodiscard]] bool expired(const LineDecayState& s, Cycle now) const {
+  [[nodiscard]] constexpr bool expired(const LineDecayState& s,
+                                       Cycle now) const {
     return s.armed && now >= s.last_touch && now - s.last_touch >= decay_time;
+  }
+
+  /// First sweep tick (absolute cycle, a multiple of tick_period()) at
+  /// which a line last touched at `last_touch` satisfies expired():
+  /// the smallest k*tick_period >= last_touch + decay_time. This is the
+  /// bucket an expiry wheel registers the line under — by construction the
+  /// wheel and a full per-tick sweep switch every line off at the exact
+  /// same tick.
+  [[nodiscard]] constexpr Cycle first_expiry_tick(
+      Cycle last_touch) const noexcept {
+    const Cycle t = tick_period();
+    const Cycle deadline = last_touch + decay_time;
+    return ((deadline + t - 1) / t) * t;
   }
 
   /// Label used in figure legends, e.g. "decay512K" / "sel_decay64K".

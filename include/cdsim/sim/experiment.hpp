@@ -54,6 +54,14 @@ std::vector<std::uint64_t> paper_cache_sizes();
 SystemConfig make_system_config(std::uint64_t total_l2_bytes,
                                 const decay::DecayConfig& technique);
 
+/// The exact SystemConfig run_config simulates for (cfg, bench): the
+/// benign decay_time normalization plus the deterministic per-cell seed
+/// mix. Exposed so harnesses that need to own the CmpSystem themselves
+/// (bench_kernel, custom drivers) simulate the identical stream — if the
+/// seeding recipe ever changes, it changes in exactly one place.
+SystemConfig normalized_run_config(const SystemConfig& cfg,
+                                   const workload::Benchmark& bench);
+
 /// Runs one configuration to completion.
 RunMetrics run_config(const SystemConfig& cfg,
                       const workload::Benchmark& bench);

@@ -53,8 +53,7 @@ class L1Cache final : public core::LoadStorePort {
   void connect_l2(L2Cache* l2) { l2_ = l2; }
 
   // --- core-facing (LoadStorePort) ----------------------------------------
-  core::LoadOutcome try_load(Addr addr,
-                             std::function<void(Cycle)> on_done) override;
+  core::LoadOutcome try_load(Addr addr, core::LoadCallback on_done) override;
   bool try_store(Addr addr) override;
   void set_resources_freed(std::function<void()> cb) override {
     resources_freed_ = std::move(cb);

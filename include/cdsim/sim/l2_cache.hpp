@@ -23,7 +23,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_set>
+#include <unordered_map>
+#include <vector>
 
 #include "cdsim/bus/snoop_bus.hpp"
 #include "cdsim/cache/cache_stats.hpp"
@@ -57,7 +58,9 @@ class L2Cache final : public bus::Snooper {
   /// Completion callback for upper-level requests. `may_cache_upper` is
   /// false when the line was invalidated while its fill was in flight — the
   /// L1 must then consume the data without caching it (inclusion).
-  using Response = std::function<void(Cycle done, bool may_cache_upper)>;
+  /// Move-only; the L1's captures (a `this` and a line address) fit the
+  /// 32-byte inline buffer, so the request path never allocates.
+  using Response = SmallFn<void(Cycle done, bool may_cache_upper), 32>;
 
   L2Cache(EventQueue& eq, const L2Config& cfg,
           const decay::DecayConfig& dcfg, CoreId core, bus::SnoopBus& bus,
@@ -129,6 +132,11 @@ class L2Cache final : public bus::Snooper {
   /// Test hook: state of a line (Invalid when absent).
   [[nodiscard]] coherence::MesiState line_state(Addr addr) const;
 
+  /// Test hook: live decay-attribution entries (see decayed_lines_).
+  [[nodiscard]] std::size_t decay_attribution_entries() const noexcept {
+    return decayed_lines_.size();
+  }
+
   /// Test/checker hook: visits every valid line as (line_addr, state).
   void for_each_valid_line(
       const std::function<void(Addr, coherence::MesiState)>& fn) const;
@@ -146,18 +154,23 @@ class L2Cache final : public bus::Snooper {
 
   void do_read(Addr line_addr, Response on_done, bool counted);
   void do_write(Addr line_addr, Response on_done, bool counted);
+  /// Registers an armed, unregistered line with the expiry wheel under its
+  /// predicted expiry tick. No-op for unarmed/already-registered lines and
+  /// non-decay techniques, so it is safe (and cheap) on the hit path.
+  void wheel_register(LineT& ln);
   void issue_fetch(Addr line_addr, bool is_write);
   void install_at_grant(Addr line_addr, bool is_write,
                         const bus::BusResult& res);
   void evict(LineT& victim);
   void set_state(LineT& ln, coherence::MesiState next);
   void line_off(LineT& ln);
-  void touch(LineT& ln, Addr line_addr);
+  void touch(LineT& ln);
   void note_miss(Addr line_addr, bool is_write);
-  void retry(std::function<void()> fn);
+  void retry(EventQueue::Callback fn);
   void turn_off_clean(Addr line_addr);
   void turn_off_dirty(Addr line_addr);
   void cancel_td_wb(Payload& p);
+  void age_decay_attribution(Cycle now);
 
   EventQueue& eq_;
   L2Config cfg_;
@@ -169,12 +182,33 @@ class L2Cache final : public bus::Snooper {
   cache::TagArray<Payload> tags_;
   cache::MshrFile mshr_;
   decay::DecaySweeper sweeper_;
+  /// Expiry wheel feeding decay_sweep: O(due lines) per tick instead of a
+  /// full tag-array walk, with a bit-identical turn-off schedule (see
+  /// decay/sweeper.hpp).
+  decay::ExpiryWheel wheel_;
+  /// Scratch bucket reused by every sweep tick (no per-tick allocation).
+  std::vector<decay::ExpiryWheel::Entry> due_scratch_;
 
   /// Powered-line count integral (valid lines for gated techniques).
   TimeWeightedValue on_lines_{0.0};
 
-  /// Lines killed by decay, to attribute later misses to the technique.
-  std::unordered_set<Addr> decayed_lines_;
+  /// Lines killed by decay (keyed by line address, value = turn-off cycle),
+  /// to attribute later misses to the technique. Entries are consumed by the
+  /// first subsequent miss (note_miss) or install of the same line; entries
+  /// never referenced again would otherwise accumulate forever, so
+  /// age_decay_attribution() purges entries older than
+  /// kAttributionWindowIntervals full decay intervals. Within the window the
+  /// attribution is exact. A line slot can decay at most once per
+  /// decay_time (it must be refilled and sit idle a full interval first),
+  /// so live entries are bounded by ~(window + 1) x capacity_lines; the
+  /// doubling purge threshold keeps the map within a small constant of
+  /// that. Purging is driven by simulated time only — deterministic, so
+  /// parallel and serial sweeps stay bit-identical.
+  std::unordered_map<Addr, Cycle> decayed_lines_;
+  /// Purge when the map reaches this size (amortizes the O(size) scan).
+  std::size_t attribution_purge_at_ = kAttributionMinEntries;
+  static constexpr std::size_t kAttributionMinEntries = 4096;
+  static constexpr Cycle kAttributionWindowIntervals = 16;
 
   cache::CacheStats stats_;
   Counter fills_, transient_retries_, upgrades_;

@@ -25,5 +25,29 @@ static_assert(!uses_decay(Technique::kProtocol));
 static_assert(gates_invalid_lines(Technique::kProtocol));
 static_assert(!gates_invalid_lines(Technique::kBaseline));
 
+// Expiry-wheel registration math: first_expiry_tick is the smallest tick
+// multiple at which expired() holds — the wheel and a full per-tick sweep
+// therefore switch a line off at the identical tick.
+namespace {
+constexpr DecayConfig kD{Technique::kDecay, 1000, 4};  // tick period 250
+constexpr bool expired_at(Cycle touch, Cycle now) {
+  LineDecayState s;
+  s.last_touch = touch;
+  s.armed = true;
+  return kD.expired(s, now);
+}
+}  // namespace
+static_assert(kD.tick_period() == 250);
+// Touch at 0: deadline 1000, already a tick multiple.
+static_assert(kD.first_expiry_tick(0) == 1000);
+static_assert(expired_at(0, kD.first_expiry_tick(0)));
+static_assert(!expired_at(0, kD.first_expiry_tick(0) - kD.tick_period()));
+// Touch at 1: deadline 1001 rounds up to tick 1250.
+static_assert(kD.first_expiry_tick(1) == 1250);
+static_assert(expired_at(1, kD.first_expiry_tick(1)));
+static_assert(!expired_at(1, kD.first_expiry_tick(1) - kD.tick_period()));
+// Touch exactly on a tick: deadline lands on a tick again.
+static_assert(kD.first_expiry_tick(250) == 1250);
+
 }  // namespace
 }  // namespace cdsim::decay

@@ -139,8 +139,8 @@ SystemConfig make_system_config(std::uint64_t total_l2_bytes,
   return cfg;
 }
 
-RunMetrics run_config(const SystemConfig& cfg,
-                      const workload::Benchmark& bench) {
+SystemConfig normalized_run_config(const SystemConfig& cfg,
+                                   const workload::Benchmark& bench) {
   // Decay sweepers divide by tick count; give non-decay configs a benign
   // decay_time (they never sweep).
   SystemConfig fixed = cfg;
@@ -157,7 +157,12 @@ RunMetrics run_config(const SystemConfig& cfg,
                               bench.config.name + "/" +
                               std::to_string(cfg.total_l2_bytes) + "/" +
                               std::to_string(cfg.instructions_per_core));
-  CmpSystem sys(fixed, bench);
+  return fixed;
+}
+
+RunMetrics run_config(const SystemConfig& cfg,
+                      const workload::Benchmark& bench) {
+  CmpSystem sys(normalized_run_config(cfg, bench), bench);
   return sys.run();
 }
 

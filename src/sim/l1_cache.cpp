@@ -21,16 +21,15 @@ void L1Cache::notify_resources_freed() {
   if (resources_freed_) resources_freed_();
 }
 
-core::LoadOutcome L1Cache::try_load(Addr addr,
-                                    std::function<void(Cycle)> on_done) {
+core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
   CDSIM_ASSERT_MSG(l2_ != nullptr, "L1 not connected to an L2");
   const Addr line = tags_.geometry().line_addr(addr);
 
-  if (tags_.find(line) != nullptr) {
+  if (cache::Line<NoPayload>* ln = tags_.find(line)) {
     // Synchronous hit fast path: no event scheduled, the core accounts the
     // (pipeline-hidden) latency itself.
     stats_.read_hits.inc();
-    tags_.touch(line);
+    tags_.touch(*ln);
     return {.accepted = true, .completed = true, .latency = cfg_.hit_latency};
   }
 
@@ -68,9 +67,9 @@ bool L1Cache::try_store(Addr addr) {
   const Addr line = tags_.geometry().line_addr(addr);
 
   // No-write-allocate: update the L1 copy only when present.
-  if (tags_.find(line) != nullptr) {
+  if (cache::Line<NoPayload>* ln = tags_.find(line)) {
     stats_.write_hits.inc();
-    tags_.touch(line);
+    tags_.touch(*ln);
   } else {
     stats_.write_misses.inc();
   }

@@ -1,5 +1,6 @@
 #include "cdsim/sim/l2_cache.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "cdsim/common/assert.hpp"
@@ -23,6 +24,7 @@ L2Cache::L2Cache(EventQueue& eq, const L2Config& cfg,
       sweeper_(eq, dcfg, [this](Cycle now) { decay_sweep(now); }) {
   CDSIM_ASSERT(upper_ != nullptr);
   CDSIM_ASSERT(cfg_.hit_latency >= 1);
+  wheel_.configure(dcfg_);
 }
 
 void L2Cache::start() { sweeper_.start(); }
@@ -32,13 +34,21 @@ void L2Cache::stop() { sweeper_.stop(); }
 // Helpers
 // ---------------------------------------------------------------------------
 
-void L2Cache::retry(std::function<void()> fn) {
+void L2Cache::retry(EventQueue::Callback fn) {
   eq_.schedule_in(cfg_.retry_interval, std::move(fn));
 }
 
-void L2Cache::touch(LineT& ln, Addr line_addr) {
-  tags_.touch(line_addr);
+void L2Cache::touch(LineT& ln) {
+  tags_.touch(ln);
   ln.payload.decay.last_touch = eq_.now();
+  wheel_register(ln);
+}
+
+void L2Cache::wheel_register(LineT& ln) {
+  decay::LineDecayState& d = ln.payload.decay;
+  if (!d.armed || d.wheel_ticket != 0 || !wheel_.enabled()) return;
+  d.wheel_ticket =
+      wheel_.add(tags_.line_index(ln), dcfg_.first_expiry_tick(d.last_touch));
 }
 
 namespace {
@@ -143,7 +153,7 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
   if (ln && !ln->payload.fetching) {
     // Hit on a stationary line.
     if (!counted) stats_.read_hits.inc();
-    touch(*ln, line_addr);
+    touch(*ln);
     const Cycle done = eq_.now() + access_latency();
     eq_.schedule_at(done, [cb = std::move(on_done), done] { cb(done, true); });
     return;
@@ -203,13 +213,18 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
   if (ln && ln->payload.fetching) {
     // Write arriving while the line's fill is in flight: retire it after
     // the fill by re-entering (it will then hit, upgrade, or re-miss).
+    // Counting waits for that re-entry: if a snoop invalidates the line
+    // before the fill lands, this is a genuine write miss (with its own
+    // refetch and decay attribution), not the hit it looks like now.
     cache::MshrEntry* e = mshr_.find(line_addr);
     CDSIM_ASSERT_MSG(e != nullptr, "fetching line without an MSHR entry");
-    if (!counted) stats_.write_hits.inc();  // data fetch already under way
-    mshr_.merge(*e, /*is_write=*/true,
-                [this, line_addr, cb = std::move(on_done)](Cycle) mutable {
-                  do_write(line_addr, std::move(cb), /*counted=*/true);
-                });
+    auto waiter = [this, line_addr, cb = std::move(on_done),
+                   counted](Cycle) mutable {
+      do_write(line_addr, std::move(cb), counted);
+    };
+    // The largest waiter on the write path; must not fall back to the heap.
+    static_assert(cache::FillCallback::fits_inline_v<decltype(waiter)>);
+    mshr_.merge(*e, /*is_write=*/true, std::move(waiter));
     return;
   }
 
@@ -218,7 +233,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
     switch (p.state) {
       case MesiState::kModified: {
         if (!counted) stats_.write_hits.inc();
-        touch(*ln, line_addr);
+        touch(*ln);
         const Cycle done = eq_.now() + access_latency();
         eq_.schedule_at(done,
                         [cb = std::move(on_done), done] { cb(done, true); });
@@ -229,7 +244,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         if (!counted) stats_.write_hits.inc();
         p.state = MesiState::kModified;
         apply_arming(dcfg_, p.decay, MesiState::kModified);
-        touch(*ln, line_addr);
+        touch(*ln);
         const Cycle done = eq_.now() + access_latency();
         eq_.schedule_at(done,
                         [cb = std::move(on_done), done] { cb(done, true); });
@@ -245,12 +260,9 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
           });
           return;
         }
-        if (!counted) {
-          stats_.write_hits.inc();
-          upgrades_.inc();
-        }
+        if (!counted) upgrades_.inc();
         p.upgrading = true;
-        touch(*ln, line_addr);
+        touch(*ln);
 
         // Exactly one of on_done / on_cancel fires; share the response.
         auto cb = std::make_shared<Response>(std::move(on_done));
@@ -261,15 +273,20 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
           LineT* l2 = tags_.find(line_addr);
           return l2 != nullptr && l2->payload.state == MesiState::kShared;
         };
-        hooks.on_cancel = [this, line_addr, cb] {
+        // The hit is only known at the grant: a cancelled upgrade re-enters
+        // as an ordinary (still uncounted) write so the resulting miss is
+        // recorded in write_misses and runs through note_miss — counting it
+        // as a hit up front would silently drop decay-induced attribution.
+        hooks.on_cancel = [this, line_addr, cb, counted] {
           if (LineT* l2 = tags_.find(line_addr)) l2->payload.upgrading = false;
-          do_write(line_addr, std::move(*cb), /*counted=*/true);
+          do_write(line_addr, std::move(*cb), counted);
         };
-        hooks.on_grant = [this, line_addr](const bus::BusResult&) {
+        hooks.on_grant = [this, line_addr, counted](const bus::BusResult&) {
           LineT* l2 = tags_.find(line_addr);
           CDSIM_ASSERT_MSG(l2 != nullptr &&
                                l2->payload.state == MesiState::kShared,
                            "upgrade granted for a non-Shared line");
+          if (!counted) stats_.write_hits.inc();
           l2->payload.upgrading = false;
           l2->payload.state = MesiState::kModified;
           apply_arming(dcfg_, l2->payload.decay, MesiState::kModified);
@@ -356,7 +373,8 @@ void L2Cache::install_at_grant(Addr line_addr, bool is_write,
   p.fetching = true;
   p.decay.last_touch = eq_.now();
   apply_arming(dcfg_, p.decay, p.state);
-  tags_.install(*slot, line_addr, std::move(p));
+  LineT& installed = tags_.install(*slot, line_addr, std::move(p));
+  wheel_register(installed);
   on_lines_.add(eq_.now(), +1.0);
   decayed_lines_.erase(line_addr);
 }
@@ -404,6 +422,7 @@ bus::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
     p.state = out.next;
     apply_arming(dcfg_, p.decay, out.next);
     p.decay.last_touch = eq_.now();
+    wheel_register(*ln);
   }
   return reply;
 }
@@ -412,16 +431,49 @@ bus::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
 // Decay turn-off (the paper's Figure 2 choreography)
 // ---------------------------------------------------------------------------
 
+void L2Cache::age_decay_attribution(Cycle now) {
+  if (decayed_lines_.size() < attribution_purge_at_) return;
+  const Cycle window = kAttributionWindowIntervals * dcfg_.decay_time;
+  for (auto it = decayed_lines_.begin(); it != decayed_lines_.end();) {
+    if (now - it->second > window) {
+      it = decayed_lines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  attribution_purge_at_ =
+      std::max(kAttributionMinEntries, decayed_lines_.size() * 2);
+}
+
 void L2Cache::decay_sweep(Cycle now) {
   if (!decay::uses_decay(dcfg_.technique)) return;
-  tags_.for_each_valid([&](LineT& ln) {
+  age_decay_attribution(now);
+  // Visit only the lines whose registered expiry tick is due. The bucket
+  // comes back sorted by line index — the same order the old full-array
+  // sweep visited lines — so the turn-off events (and the bus traffic they
+  // cause) are scheduled in an identical order.
+  wheel_.collect_due(now, due_scratch_);
+  for (const decay::ExpiryWheel::Entry& e : due_scratch_) {
+    LineT& ln = tags_.line_at(e.line_index);
     Payload& p = ln.payload;
-    if (!coherence::is_stationary(p.state)) return;
-    if (p.fetching || p.upgrading) return;
-    if (!dcfg_.expired(p.decay, now)) return;
-    // Table I gate: a line with a pending write in the L1 write buffer
-    // must not be switched off.
-    if (upper_->pending_write(ln.tag)) return;
+    if (p.decay.wheel_ticket != e.ticket) continue;  // slot was reused
+    p.decay.wheel_ticket = 0;
+    if (!ln.valid || !p.decay.armed) continue;  // died or disarmed meanwhile
+    if (!dcfg_.expired(p.decay, now)) {
+      // Touched since registration: lazily reschedule at the new deadline
+      // (registrations are never updated on the hit path).
+      wheel_register(ln);
+      continue;
+    }
+    if (!coherence::is_stationary(p.state) || p.fetching || p.upgrading ||
+        // Table I gate: a line with a pending write in the L1 write buffer
+        // must not be switched off.
+        upper_->pending_write(ln.tag)) {
+      // The full sweep re-examined gated lines every tick; mirror that by
+      // re-registering for the next tick.
+      p.decay.wheel_ticket = wheel_.add(e.line_index, now + dcfg_.tick_period());
+      continue;
+    }
 
     const Addr line_addr = ln.tag;
     switch (coherence::classify_turnoff(p.state)) {
@@ -438,9 +490,9 @@ void L2Cache::decay_sweep(Cycle now) {
         break;
       }
       case coherence::TurnOffClass::kIgnore:
-        break;
+        break;  // unreachable for stationary states; defensive
     }
-  });
+  }
 }
 
 void L2Cache::turn_off_clean(Addr line_addr) {
@@ -449,7 +501,7 @@ void L2Cache::turn_off_clean(Addr line_addr) {
   if (ln == nullptr || ln->payload.state != MesiState::kTransientClean) return;
   upper_->back_invalidate(line_addr);
   stats_.decay_turnoffs.inc();
-  decayed_lines_.insert(line_addr);
+  decayed_lines_[line_addr] = eq_.now();
   line_off(*ln);
 }
 
@@ -471,7 +523,7 @@ void L2Cache::turn_off_dirty(Addr line_addr) {
     }
     stats_.decay_turnoffs.inc();
     stats_.writebacks.inc();
-    decayed_lines_.insert(line_addr);
+    decayed_lines_[line_addr] = eq_.now();
     line_off(*l2);
   };
   bus_.request(BusTxKind::kWriteBack, line_addr, core_, cfg_.line_bytes,

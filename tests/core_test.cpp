@@ -23,8 +23,7 @@ class FakePort final : public LoadStorePort {
  public:
   explicit FakePort(EventQueue& eq) : eq_(eq) {}
 
-  LoadOutcome try_load(Addr addr,
-                       std::function<void(Cycle)> on_done) override {
+  LoadOutcome try_load(Addr addr, LoadCallback on_done) override {
     ++loads;
     if (reject_next_loads > 0) {
       --reject_next_loads;

@@ -84,6 +84,73 @@ TEST(DecaySweeper, StopEndsRescheduling) {
   EXPECT_EQ(fired, 2);
 }
 
+// --- expiry wheel -----------------------------------------------------------------
+
+TEST(ExpiryWheel, DisabledForNonDecayTechniques) {
+  decay::ExpiryWheel w;
+  w.configure(DecayConfig{Technique::kProtocol, 4000, 4});
+  EXPECT_FALSE(w.enabled());
+  w.configure(DecayConfig{Technique::kBaseline, 0, 4});
+  EXPECT_FALSE(w.enabled());
+}
+
+TEST(ExpiryWheel, CollectsAtTheRegisteredTickOnly) {
+  const DecayConfig d{Technique::kDecay, 1000, 4};  // tick 250
+  decay::ExpiryWheel w;
+  w.configure(d);
+  ASSERT_TRUE(w.enabled());
+
+  // A line touched at cycle 120 expires at the first tick >= 1120 -> 1250.
+  const std::uint64_t t = w.add(7, d.first_expiry_tick(120));
+  EXPECT_NE(t, 0u);
+  std::vector<decay::ExpiryWheel::Entry> due;
+  for (Cycle tick = 250; tick <= 1000; tick += 250) {
+    w.collect_due(tick, due);
+    EXPECT_TRUE(due.empty()) << "tick " << tick;
+  }
+  w.collect_due(1250, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].line_index, 7u);
+  EXPECT_EQ(due[0].ticket, t);
+  EXPECT_EQ(w.entries(), 0u);
+}
+
+TEST(ExpiryWheel, BucketsComeBackSortedByLineIndex) {
+  const DecayConfig d{Technique::kDecay, 1000, 4};
+  decay::ExpiryWheel w;
+  w.configure(d);
+  // Register out of array order; the sweep must visit in array order to
+  // reproduce the full sweep's turn-off choreography exactly.
+  w.add(42, 1000);
+  w.add(3, 1000);
+  w.add(17, 1000);
+  std::vector<decay::ExpiryWheel::Entry> due;
+  w.collect_due(250, due);
+  w.collect_due(500, due);
+  w.collect_due(750, due);
+  w.collect_due(1000, due);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].line_index, 3u);
+  EXPECT_EQ(due[1].line_index, 17u);
+  EXPECT_EQ(due[2].line_index, 42u);
+}
+
+TEST(ExpiryWheel, TicketsDistinguishReRegistrations) {
+  const DecayConfig d{Technique::kDecay, 1000, 4};
+  decay::ExpiryWheel w;
+  w.configure(d);
+  const std::uint64_t stale = w.add(5, 250);
+  const std::uint64_t live = w.add(5, 500);
+  EXPECT_NE(stale, live);
+  std::vector<decay::ExpiryWheel::Entry> due;
+  w.collect_due(250, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].ticket, stale);  // the consumer drops it by ticket check
+  w.collect_due(500, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].ticket, live);
+}
+
 // --- leakage model ----------------------------------------------------------------
 
 TEST(LeakageModel, UnityAtReferenceTemperature) {

@@ -1,0 +1,157 @@
+// Golden-metrics regression guard for the simulation kernel.
+//
+// Pins four configurations (three decay techniques across cache sizes and
+// hierarchical-tick settings, plus one baseline) and asserts EXACT RunMetrics
+// equality — integers with EXPECT_EQ, doubles bit-for-bit via hexfloat
+// constants. The expectations were captured from the kernel immediately
+// before the expiry-wheel / calendar-queue / SmallFn rewrite (after the
+// write-stats and decay-attribution fixes of the same PR), so this suite
+// is the proof that the performance work preserved simulated behavior
+// exactly: turn-off schedules, event interleaving, power integrals,
+// everything.
+//
+// If an intentional modeling change shifts these numbers, re-capture with
+// the documented procedure (see the comment on kGolden) in the same commit
+// that changes the model — never loosen the comparisons.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cdsim/power/energy.hpp"
+#include "cdsim/sim/experiment.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace {
+
+using namespace cdsim;
+
+struct GoldenCase {
+  const char* bench;
+  std::uint64_t total_mib;
+  decay::Technique technique;
+  Cycle decay_time;
+  std::uint32_t hierarchical_ticks;
+  std::uint64_t instr_per_core;
+
+  Cycle cycles;
+  std::uint64_t instructions;
+  double ipc;
+  double l2_occupation;
+  double l2_miss_rate;
+  std::uint64_t l2_accesses;
+  std::uint64_t l2_misses;
+  std::uint64_t l2_decay_turnoffs;
+  std::uint64_t l2_decay_induced_misses;
+  std::uint64_t l2_coherence_invals;
+  std::uint64_t l2_writebacks;
+  double amat;
+  double mem_bandwidth;
+  std::uint64_t mem_bytes;
+  double energy;
+  double avg_l2_temp_kelvin;
+  double bus_utilization;
+  double ledger[power::kNumComponents];
+};
+
+// Captured by running each configuration through sim::run_config and
+// printing every field with "%a" / exact integers (one-off harness; the
+// same values are cross-checkable via bench_kernel's JSON for the 8 MiB
+// decay64K cell). Hexfloat constants are exact — no rounding on re-parse.
+constexpr GoldenCase kGolden[] = {
+    // mpeg2enc 4MiB decay64K ticks=4 instr=200000
+    {"mpeg2enc", 4, decay::Technique::kDecay, 64 * 1024, 4, 200000,
+     160844u, 800008u, 0x1.3e52f454924cep+2, 0x1.bc5f2ddb78311p-5,
+     0x1.32eaccf8018dp-3, 89796u, 13457u, 1703u, 400u, 1123u, 783u,
+     0x1.a6d57904c21dap+4, 0x1.c1ac3b0e0cf99p+1, 565056u,
+     0x1.4611521388846p+19, 0x1.49b220c819294p+8, 0x1.5bbf1687df405p-2,
+     {0x1.3880ccccccccdp+18, 0x1.017fc058fb134p+18, 0x1.214beb851eb84p+13,
+      0x1.c173edfd0ead2p+14, 0x1.8f9828f5c28f5p+13, 0x1.2005bcd90d6ap+14,
+      0x1.1f045c5160962p+13, 0x1.1a872b020c49bp+11, 0x1.ab153bc09fd76p+11}},
+    // FMM 8MiB sel_decay64K ticks=4 instr=200000
+    {"FMM", 8, decay::Technique::kSelectiveDecay, 64 * 1024, 4, 200000,
+     411619u, 800000u, 0x1.f18c2842516f5p+0, 0x1.5236ba75abd56p-5,
+     0x1.f6b47007850a1p-3, 102949u, 25270u, 3671u, 1815u, 2653u, 0u,
+     0x1.4fe989f54ffa1p+4, 0x1.2c84c871c8bd1p+1, 966400u,
+     0x1.2cb0af0345b2ap+20, 0x1.498a472494b73p+8, 0x1.d3049a088261ep-3,
+     {0x1.388p+18, 0x1.48f9af555731ep+19, 0x1.06b2666666664p+13,
+      0x1.1f1b120950c05p+16, 0x1.f8070a3d70a3fp+13, 0x1.17eb6ef3f4a19p+16,
+      0x1.73b4b5af75239p+15, 0x1.e333333333335p+11, 0x1.05af481a34b17p+14}},
+    // WATER-NS 2MiB decay128K ticks=8 instr=300000
+    {"WATER-NS", 2, decay::Technique::kDecay, 128 * 1024, 8, 300000,
+     412161u, 1200012u, 0x1.74ac73036d3c3p+1, 0x1.ecadeb7fda8ddp-4,
+     0x1.8b72a55726327p-3, 140603u, 27149u, 7228u, 2717u, 6178u, 2303u,
+     0x1.2477f25405a5ap+4, 0x1.894d086125c88p+1, 1266432u,
+     0x1.45b736eb30357p+20, 0x1.498a590729906p+8, 0x1.38bc11b11f36dp-2,
+     {0x1.d4c1333333333p+18, 0x1.4998fee5c8141p+19, 0x1.6886666666662p+13,
+      0x1.1fa61af715035p+16, 0x1.4bee70a3d70a5p+14, 0x1.9866f615dec72p+15,
+      0x1.5587404721b0bp+13, 0x1.3c9ba5e353f7ep+12, 0x1.1460959157e71p+12}},
+    // mpeg2enc 4MiB baseline instr=200000
+    {"mpeg2enc", 4, decay::Technique::kBaseline, 0, 4, 200000,
+     150133u, 800008u, 0x1.5508cc01350e5p+2, 0x1p+0, 0x1.1e802cd580851p-3,
+     92821u, 12985u, 0u, 0u, 1115u, 0u, 0x1.848baf494991dp+4,
+     0x1.a0b6691f6f3d4p+1, 488768u, 0x1.c104eb44f4748p+19,
+     0x1.49c54c98e4eep+8, 0x1.4395748213767p-2,
+     {0x1.3880cccccccccp+18, 0x1.e0b53556d8de9p+17, 0x1.20f1ae147ae14p+13,
+      0x1.a386df6c602d4p+14, 0x1.97be28f5c28f3p+13, 0x1.2747bdc6f1db4p+18,
+      0x0p+0, 0x1.e8c49ba5e354p+10, 0x0p+0}},
+};
+
+class GoldenMetricsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenMetricsTest, RunMetricsAreBitIdentical) {
+  const GoldenCase& g = kGolden[GetParam()];
+  decay::DecayConfig d{g.technique, g.decay_time, g.hierarchical_ticks};
+  const std::string trace = std::string(g.bench) + "/" +
+                            std::to_string(g.total_mib) + "MiB/" + d.label();
+  SCOPED_TRACE(trace);
+  sim::SystemConfig cfg = sim::make_system_config(g.total_mib * MiB, d);
+  cfg.instructions_per_core = g.instr_per_core;
+  const sim::RunMetrics m =
+      sim::run_config(cfg, workload::benchmark_by_name(g.bench));
+
+  EXPECT_EQ(m.cycles, g.cycles);
+  EXPECT_EQ(m.instructions, g.instructions);
+  EXPECT_EQ(m.l2_accesses, g.l2_accesses);
+  EXPECT_EQ(m.l2_misses, g.l2_misses);
+  EXPECT_EQ(m.l2_decay_turnoffs, g.l2_decay_turnoffs);
+  EXPECT_EQ(m.l2_decay_induced_misses, g.l2_decay_induced_misses);
+  EXPECT_EQ(m.l2_coherence_invals, g.l2_coherence_invals);
+  EXPECT_EQ(m.l2_writebacks, g.l2_writebacks);
+  EXPECT_EQ(m.mem_bytes, g.mem_bytes);
+
+  // Doubles: exact binary equality, not a tolerance. The kernel is fully
+  // deterministic; any drift here means simulated behavior changed.
+  EXPECT_EQ(m.ipc, g.ipc);
+  EXPECT_EQ(m.l2_occupation, g.l2_occupation);
+  EXPECT_EQ(m.l2_miss_rate, g.l2_miss_rate);
+  EXPECT_EQ(m.amat, g.amat);
+  EXPECT_EQ(m.mem_bandwidth, g.mem_bandwidth);
+  EXPECT_EQ(m.energy, g.energy);
+  EXPECT_EQ(m.avg_l2_temp_kelvin, g.avg_l2_temp_kelvin);
+  EXPECT_EQ(m.bus_utilization, g.bus_utilization);
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    const auto c = static_cast<power::Component>(i);
+    EXPECT_EQ(m.ledger.get(c), g.ledger[i]) << to_string(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedConfigs, GoldenMetricsTest,
+                         ::testing::Range<std::size_t>(0, std::size(kGolden)));
+
+// The kernel must also be self-deterministic: two runs of the same config
+// in one process give identical results (guards accidental global state).
+TEST(GoldenMetricsTest, RepeatRunsAreIdentical) {
+  decay::DecayConfig d{decay::Technique::kDecay, 64 * 1024, 4};
+  sim::SystemConfig cfg = sim::make_system_config(1 * MiB, d);
+  cfg.instructions_per_core = 50000;
+  const auto& bench = workload::benchmark_by_name("FMM");
+  const sim::RunMetrics a = sim::run_config(cfg, bench);
+  const sim::RunMetrics b = sim::run_config(cfg, bench);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.l2_decay_turnoffs, b.l2_decay_turnoffs);
+  EXPECT_EQ(a.l2_occupation, b.l2_occupation);
+}
+
+}  // namespace

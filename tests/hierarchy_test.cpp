@@ -269,6 +269,74 @@ TEST(Hierarchy, BaselineOccupationIsAlwaysFull) {
   EXPECT_DOUBLE_EQ(h.l2s[0]->occupation(h.eq.now()), 1.0);
 }
 
+// --- write statistics on contended upgrades ---------------------------------------
+
+TEST(Hierarchy, CancelledUpgradeCountsAsWriteMissNotHit) {
+  Harness h;
+  h.load(0, 0x1000);
+  h.load(1, 0x1000);  // both Shared
+  const auto hits0 = h.l2s[0]->stats().write_hits.value();
+  const auto hits1 = h.l2s[1]->stats().write_hits.value();
+
+  // Both cores store to the Shared line in the same cycle: both queue a
+  // BusUpgr. Core 0's wins arbitration and invalidates core 1's copy, so
+  // core 1's queued upgrade is cancelled by its validator and must retire
+  // as a write MISS (BusRdX), not the write hit it optimistically looked
+  // like at issue time.
+  ASSERT_TRUE(h.l1s[0]->try_store(0x1000));
+  ASSERT_TRUE(h.l1s[1]->try_store(0x1000));
+  h.drain(0);
+  h.drain(1);
+
+  EXPECT_EQ(h.bus.cancelled_transactions(), 1u);
+  // Core 0: a clean upgrade hit.
+  EXPECT_EQ(h.l2s[0]->stats().write_hits.value(), hits0 + 1);
+  EXPECT_EQ(h.l2s[0]->stats().write_misses.value(), 0u);
+  // Core 1: the cancelled upgrade became a genuine write miss. Before the
+  // fix it was double-counted as a hit and the miss vanished entirely.
+  EXPECT_EQ(h.l2s[1]->stats().write_hits.value(), hits1);
+  EXPECT_EQ(h.l2s[1]->stats().write_misses.value(), 1u);
+  // Core 1 ends up the owner (its BusRdX ran last).
+  EXPECT_EQ(h.l2s[1]->line_state(0x1000), MesiState::kModified);
+  EXPECT_EQ(h.l2s[0]->line_state(0x1000), MesiState::kInvalid);
+}
+
+TEST(Hierarchy, WriteMissOnDecayedLineCountsDecayInduced) {
+  Harness h(decay::Technique::kDecay, 4096);
+  h.load(0, 0x1000);
+  h.load(1, 0x1000);             // both Shared
+  h.run_for(3 * 4096);           // both copies decay away
+  ASSERT_EQ(h.l2s[1]->line_state(0x1000), MesiState::kInvalid);
+  const auto dim_before = h.l2s[1]->stats().decay_induced_misses.value();
+  h.store(1, 0x1000);            // miss on a line decay killed
+  EXPECT_EQ(h.l2s[1]->stats().decay_induced_misses.value(), dim_before + 1);
+}
+
+// --- decay-attribution aging -------------------------------------------------------
+
+TEST(Hierarchy, DecayAttributionSetIsBoundedByAging) {
+  // Small decay interval so lines decay quickly; every decayed line is a
+  // distinct address that is never touched again, the worst case for the
+  // attribution map. 64 KiB slice = 1024 lines per generation.
+  Harness h(decay::Technique::kDecay, 2048);
+  const Addr stride = 64;
+  std::size_t peak = 0;
+  std::uint64_t addr = 0;
+  // Each round streams 1024 fresh lines through the cache, then idles so
+  // they all decay. The purge threshold is 4096 entries; by round 8 the
+  // map would hold 8K entries without aging.
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 1024; ++i, addr += stride) h.load(0, addr);
+    h.run_for(3 * 2048);
+    peak = std::max(peak, h.l2s[0]->decay_attribution_entries());
+  }
+  const std::uint64_t turnoffs = h.l2s[0]->stats().decay_turnoffs.value();
+  EXPECT_GT(turnoffs, 6000u);  // the workload really did decay ~8K lines
+  // Aging kept the map well below one-entry-per-turnoff growth.
+  EXPECT_LT(peak, 6000u);
+  EXPECT_LT(h.l2s[0]->decay_attribution_entries(), 6000u);
+}
+
 // --- eviction / inclusion -----------------------------------------------------------
 
 TEST(Hierarchy, CapacityEvictionBackInvalidatesL1AndWritesBackDirty) {

@@ -123,10 +123,14 @@ TEST_F(ParallelRunnerTest, ParallelGridIsBitIdenticalToSerial) {
   ASSERT_GE(suite.size(), 2u);
   const std::vector<workload::Benchmark> benches{suite[0], suite[3]};
   const std::vector<std::uint64_t> sizes{1 * MiB, 2 * MiB};
+  // Decay-heavy mix on purpose: the expiry-wheel sweep, its gated-line
+  // retries, and a non-default hierarchical tick count must all stay
+  // bit-identical between the serial and the sharded engine.
   const std::vector<decay::DecayConfig> techs{
       {decay::Technique::kProtocol, 0, 4},
       {decay::Technique::kDecay, 128 * 1024, 4},
       {decay::Technique::kSelectiveDecay, 64 * 1024, 4},
+      {decay::Technique::kDecay, 64 * 1024, 8},
   };
   const decay::DecayConfig baseline{decay::Technique::kBaseline, 0, 4};
 
@@ -136,13 +140,14 @@ TEST_F(ParallelRunnerTest, ParallelGridIsBitIdenticalToSerial) {
   sim::ExperimentRunner parallel(kInstr, cache_path("parallel"));
   const sim::SweepStats sweep = parallel.run_grid(benches, sizes, techs, 4);
   EXPECT_EQ(sweep.workers, 4u);
-  // 2 benchmarks x 2 sizes x (3 techniques + baseline), all fresh.
-  EXPECT_EQ(sweep.simulated, 16u);
+  // 2 benchmarks x 2 sizes x (4 techniques + baseline), all fresh.
+  EXPECT_EQ(sweep.simulated, 20u);
   EXPECT_EQ(sweep.reused, 0u);
 
   for (const auto& bench : benches) {
     for (const std::uint64_t bytes : sizes) {
-      for (const auto* tech : {&baseline, &techs[0], &techs[1], &techs[2]}) {
+      for (const auto* tech :
+           {&baseline, &techs[0], &techs[1], &techs[2], &techs[3]}) {
         SCOPED_TRACE(bench.config.name + "/" + std::to_string(bytes / MiB) +
                      "MB/" + tech->label());
         expect_metrics_identical(serial.run(bench, bytes, *tech),
