@@ -27,6 +27,7 @@
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
 #include "cdsim/mem/memory.hpp"
+#include "cdsim/verify/observer.hpp"
 
 namespace cdsim::bus {
 
@@ -46,6 +47,10 @@ struct BusConfig {
 struct SnoopReply {
   bool had_line = false;      ///< Held valid data (drives S vs E fill).
   bool supplied_data = false; ///< Is the dirty owner and will flush.
+  /// The flush also writes memory. Under MESI every flush does; under MOESI
+  /// an Owned/Modified owner answering a BusRd keeps ownership and leaves
+  /// memory stale — the bus must then not generate memory write traffic.
+  bool memory_update = false;
 };
 
 /// Interface implemented by every agent that snoops the bus (the L2
@@ -114,6 +119,12 @@ class SnoopBus {
   [[nodiscard]] std::size_t num_agents() const noexcept {
     return snoopers_.size();
   }
+
+  /// Attaches a differential-verification observer (nullptr detaches). The
+  /// bus reports write-back resolutions — the single point that knows
+  /// whether a queued write-back actually reached memory or was dropped by
+  /// its cancellation validator.
+  void set_observer(verify::AccessObserver* obs) noexcept { obs_ = obs; }
 
   /// Issues a transaction on behalf of `requester` (index in attach order).
   /// `bytes` is the payload size (a line for fills/write-backs, 0 for
@@ -213,6 +224,10 @@ class SnoopBus {
     // no occupancy, no memory traffic.
     if (tx.hooks.validator && !tx.hooks.validator()) {
       cancelled_.inc();
+      if (obs_ && tx.kind == coherence::BusTxKind::kWriteBack) {
+        obs_->on_writeback_resolved(tx.requester, tx.line_addr, granted,
+                                    /*cancelled=*/true);
+      }
       if (tx.hooks.on_cancel) tx.hooks.on_cancel();
       return;
     }
@@ -225,12 +240,14 @@ class SnoopBus {
     // (Write-backs are point-to-point to memory; no snoop needed, but they
     // are still broadcast for protocol completeness — third parties ignore
     // them, see coherence::apply_snoop.)
+    bool flush_writes_memory = false;
     for (std::size_t i = 0; i < snoopers_.size(); ++i) {
       if (static_cast<CoreId>(i) == tx.requester) continue;
       const SnoopReply r = snoopers_[i]->snoop(tx.kind, tx.line_addr,
                                                tx.requester);
       res.shared = res.shared || r.had_line;
       res.supplied_by_cache = res.supplied_by_cache || r.supplied_data;
+      flush_writes_memory = flush_writes_memory || r.memory_update;
     }
 
     Cycle done = granted + cfg_.address_phase;
@@ -240,10 +257,13 @@ class SnoopBus {
       case coherence::BusTxKind::kBusRd:
       case coherence::BusTxKind::kBusRdX: {
         if (res.supplied_by_cache) {
-          // Dirty owner flushes: data to requester and memory (MESI flush
-          // updates memory so the requester may install clean).
+          // Dirty owner flushes: data to the requester, and to memory when
+          // the protocol says the flush ends ownership (MESI always; MOESI
+          // keeps an Owned supplier responsible and memory stale).
           done += cfg_.cache_to_cache_latency + beats;
-          mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+          if (flush_writes_memory) {
+            mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+          }
         } else {
           // Memory supplies.
           done = mem_.schedule_read(granted + cfg_.address_phase, tx.bytes);
@@ -256,6 +276,10 @@ class SnoopBus {
       case coherence::BusTxKind::kWriteBack:
         done += beats;
         mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+        if (obs_) {
+          obs_->on_writeback_resolved(tx.requester, tx.line_addr, granted,
+                                      /*cancelled=*/false);
+        }
         break;
     }
 
@@ -277,6 +301,7 @@ class SnoopBus {
   EventQueue& eq_;
   BusConfig cfg_;
   mem::MemoryController& mem_;
+  verify::AccessObserver* obs_ = nullptr;
   std::vector<Snooper*> snoopers_;
   std::vector<std::deque<Pending>> queues_;
   std::size_t next_rr_ = 0;

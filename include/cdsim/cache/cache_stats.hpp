@@ -20,6 +20,10 @@ struct CacheStats {
   Counter backinvals;         ///< Inclusion-driven invalidations from below.
   Counter decay_turnoffs;     ///< Lines switched off by a decay engine.
   Counter decay_induced_misses;  ///< Misses to lines a decay engine killed.
+  /// MOESI only: M->O downgrades (dirty owner answered a remote BusRd and
+  /// kept ownership). Always 0 under MESI — tests use this to prove a run
+  /// actually exercised the Owned state.
+  Counter owned_downgrades;
   /// Decay-induced misses split by address-space region (bits 40+ of the
   /// line address; see workload synthetic address map). Diagnostic only.
   Counter decay_induced_by_region[8];

@@ -36,6 +36,11 @@ enum class MesiState : std::uint8_t {
   kModified,
   kTransientClean,
   kTransientDirty,
+  /// Owned (MOESI runs only): dirty *and* shared — this cache answers for
+  /// the line while S copies replicate it; memory is stale. MesiState is
+  /// the unified controller state space; a controller running plain MESI
+  /// never enters this state (see coherence/protocol.hpp).
+  kOwned,
 };
 
 /// Human-readable state name (for logs, tests and the Table I harness).
@@ -47,6 +52,7 @@ constexpr std::string_view to_string(MesiState s) noexcept {
     case MesiState::kModified: return "M";
     case MesiState::kTransientClean: return "TC";
     case MesiState::kTransientDirty: return "TD";
+    case MesiState::kOwned: return "O";
   }
   return "?";
 }
@@ -55,7 +61,7 @@ constexpr std::string_view to_string(MesiState s) noexcept {
 /// requires turn-off requests to wait for a stationary state (§III).
 constexpr bool is_stationary(MesiState s) noexcept {
   return s == MesiState::kShared || s == MesiState::kExclusive ||
-         s == MesiState::kModified;
+         s == MesiState::kModified || s == MesiState::kOwned;
 }
 
 /// Valid (powered, data-holding) states. TC/TD still hold data and must
@@ -65,7 +71,8 @@ constexpr bool holds_data(MesiState s) noexcept {
 }
 
 constexpr bool is_dirty(MesiState s) noexcept {
-  return s == MesiState::kModified || s == MesiState::kTransientDirty;
+  return s == MesiState::kModified || s == MesiState::kTransientDirty ||
+         s == MesiState::kOwned;
 }
 
 /// Bus transactions a snoopy L2 can observe or issue.
@@ -121,6 +128,7 @@ constexpr SnoopOutcome apply_snoop(MesiState s, BusTxKind kind) noexcept {
           o.next = MesiState::kShared;
           break;
         case MesiState::kModified:
+        case MesiState::kOwned:  // unreachable under MESI; defensively as M
           // BusRd/Flush edge of Fig. 2: supply and downgrade.
           o.next = MesiState::kShared;
           o.supply_data = true;
@@ -156,6 +164,7 @@ constexpr SnoopOutcome apply_snoop(MesiState s, BusTxKind kind) noexcept {
           o.invalidated = true;
           break;
         case MesiState::kModified:
+        case MesiState::kOwned:  // unreachable under MESI; defensively as M
           o.next = MesiState::kInvalid;
           o.supply_data = true;
           o.memory_update = true;
@@ -206,6 +215,7 @@ constexpr TurnOffClass classify_turnoff(MesiState s) noexcept {
     case MesiState::kExclusive:
       return TurnOffClass::kCleanTurnOff;
     case MesiState::kModified:
+    case MesiState::kOwned:  // unreachable under MESI; dirty either way
       return TurnOffClass::kDirtyTurnOff;
     case MesiState::kInvalid:
     case MesiState::kTransientClean:
@@ -218,8 +228,8 @@ constexpr TurnOffClass classify_turnoff(MesiState s) noexcept {
 /// State entered when a turn-off request is accepted.
 constexpr MesiState turnoff_transient(MesiState s) noexcept {
   CDSIM_ASSERT(is_stationary(s));
-  return s == MesiState::kModified ? MesiState::kTransientDirty
-                                   : MesiState::kTransientClean;
+  return is_dirty(s) ? MesiState::kTransientDirty
+                     : MesiState::kTransientClean;
 }
 
 // ---------------------------------------------------------------------------

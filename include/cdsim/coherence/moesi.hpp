@@ -125,7 +125,6 @@ constexpr MoesiSnoopOutcome moesi_apply_snoop(MoesiState s,
       break;
 
     case BusTxKind::kBusRdX:
-    case BusTxKind::kBusUpgr:
       switch (s) {
         case MoesiState::kInvalid:
           break;
@@ -150,6 +149,33 @@ constexpr MoesiSnoopOutcome moesi_apply_snoop(MoesiState s,
           o.next = MoesiState::kInvalid;
           o.supply_data = true;
           o.memory_update = true;
+          o.invalidated = true;
+          o.cancel_turnoff_wb = true;
+          break;
+      }
+      break;
+
+    case BusTxKind::kBusUpgr:
+      // Invalidation-only: the requester already holds the line (it issued
+      // the upgrade from S, or O) — no data moves and memory is not
+      // written. A snooped O (or dying TD) owner therefore dies *silently*:
+      // the requester's identical copy becomes the new M and inherits the
+      // dirty-data responsibility, exactly how ownership migrates in real
+      // MOESI. (BusRdX differs: there the requester has no data, so the
+      // owner must flush.)
+      switch (s) {
+        case MoesiState::kInvalid:
+          break;
+        case MoesiState::kShared:
+        case MoesiState::kExclusive:
+        case MoesiState::kOwned:
+        case MoesiState::kModified:  // unreachable: M excludes sharers
+          o.next = MoesiState::kInvalid;
+          o.invalidated = true;
+          break;
+        case MoesiState::kTransientClean:
+        case MoesiState::kTransientDirty:
+          o.next = MoesiState::kInvalid;
           o.invalidated = true;
           o.cancel_turnoff_wb = true;
           break;

@@ -1,0 +1,121 @@
+#pragma once
+// Runtime coherence-protocol selection over the unified controller state
+// space.
+//
+// The L2 controller stores coherence::MesiState (extended with kOwned) and
+// dispatches its pure protocol decisions — snoop application and turn-off
+// classification — through the functions below. kMesi forwards directly to
+// the MESI transition functions of mesi.hpp; kMoesi converts into the
+// MoesiState space of moesi.hpp, applies the MOESI functions, and converts
+// back, so each protocol's canonical FSM remains the single source of truth
+// and stays testable in isolation (tests/moesi_test.cpp).
+
+#include "cdsim/coherence/mesi.hpp"
+#include "cdsim/coherence/moesi.hpp"
+
+namespace cdsim::coherence {
+
+/// Which snooping protocol a cache hierarchy runs. MESI is the paper's §III
+/// design point; MOESI realizes the §III extension sketch (Owned-state
+/// turn-off requires invalidating the remaining copies first).
+enum class Protocol : std::uint8_t { kMesi, kMoesi };
+
+constexpr std::string_view to_string(Protocol p) noexcept {
+  return p == Protocol::kMesi ? "MESI" : "MOESI";
+}
+
+/// Exact, total conversion between the unified state space and MoesiState.
+constexpr MoesiState to_moesi(MesiState s) noexcept {
+  switch (s) {
+    case MesiState::kInvalid: return MoesiState::kInvalid;
+    case MesiState::kShared: return MoesiState::kShared;
+    case MesiState::kExclusive: return MoesiState::kExclusive;
+    case MesiState::kModified: return MoesiState::kModified;
+    case MesiState::kTransientClean: return MoesiState::kTransientClean;
+    case MesiState::kTransientDirty: return MoesiState::kTransientDirty;
+    case MesiState::kOwned: return MoesiState::kOwned;
+  }
+  return MoesiState::kInvalid;
+}
+
+constexpr MesiState from_moesi(MoesiState s) noexcept {
+  switch (s) {
+    case MoesiState::kInvalid: return MesiState::kInvalid;
+    case MoesiState::kShared: return MesiState::kShared;
+    case MoesiState::kExclusive: return MesiState::kExclusive;
+    case MoesiState::kModified: return MesiState::kModified;
+    case MoesiState::kTransientClean: return MesiState::kTransientClean;
+    case MoesiState::kTransientDirty: return MesiState::kTransientDirty;
+    case MoesiState::kOwned: return MesiState::kOwned;
+  }
+  return MesiState::kInvalid;
+}
+
+/// Protocol-dispatched snoop application over the unified state space.
+constexpr SnoopOutcome apply_snoop(Protocol p, MesiState s,
+                                   BusTxKind kind) noexcept {
+  if (p == Protocol::kMesi) return apply_snoop(s, kind);
+  const MoesiSnoopOutcome mo = moesi_apply_snoop(to_moesi(s), kind);
+  SnoopOutcome o;
+  o.next = from_moesi(mo.next);
+  o.had_line = mo.had_line;
+  o.supply_data = mo.supply_data;
+  o.memory_update = mo.memory_update;
+  o.invalidated = mo.invalidated;
+  o.cancel_turnoff_wb = mo.cancel_turnoff_wb;
+  return o;
+}
+
+/// Protocol-dispatched turn-off classification in the MOESI class space
+/// (a superset; MESI never yields kOwnedTurnOff).
+constexpr MoesiTurnOffClass classify_turnoff(Protocol p,
+                                             MesiState s) noexcept {
+  if (p == Protocol::kMoesi) return moesi_classify_turnoff(to_moesi(s));
+  switch (classify_turnoff(s)) {
+    case TurnOffClass::kCleanTurnOff:
+      return MoesiTurnOffClass::kCleanTurnOff;
+    case TurnOffClass::kDirtyTurnOff:
+      return MoesiTurnOffClass::kDirtyTurnOff;
+    case TurnOffClass::kIgnore:
+      return MoesiTurnOffClass::kIgnore;
+  }
+  return MoesiTurnOffClass::kIgnore;
+}
+
+// --- sanity: the conversions are inverse bijections ------------------------
+static_assert(from_moesi(to_moesi(MesiState::kOwned)) == MesiState::kOwned);
+static_assert(from_moesi(to_moesi(MesiState::kModified)) ==
+              MesiState::kModified);
+static_assert(to_moesi(from_moesi(MoesiState::kOwned)) == MoesiState::kOwned);
+static_assert(to_moesi(from_moesi(MoesiState::kTransientDirty)) ==
+              MoesiState::kTransientDirty);
+
+// The MOESI-defining edges survive the dispatch: a dirty owner answering a
+// BusRd keeps ownership (M -> O) and does NOT update memory.
+static_assert(apply_snoop(Protocol::kMoesi, MesiState::kModified,
+                          BusTxKind::kBusRd)
+                  .next == MesiState::kOwned);
+static_assert(!apply_snoop(Protocol::kMoesi, MesiState::kModified,
+                           BusTxKind::kBusRd)
+                   .memory_update);
+static_assert(apply_snoop(Protocol::kMesi, MesiState::kModified,
+                          BusTxKind::kBusRd)
+                  .memory_update);
+static_assert(classify_turnoff(Protocol::kMoesi, MesiState::kOwned) ==
+              MoesiTurnOffClass::kOwnedTurnOff);
+static_assert(classify_turnoff(Protocol::kMesi, MesiState::kModified) ==
+              MoesiTurnOffClass::kDirtyTurnOff);
+// Upgrades are invalidation-only: a snooped Owned owner dies silently (the
+// requester's identical S copy becomes the new M), so no data or memory
+// traffic may be implied — the bus's kBusUpgr arm moves no bytes.
+static_assert(!apply_snoop(Protocol::kMoesi, MesiState::kOwned,
+                           BusTxKind::kBusUpgr)
+                   .supply_data);
+static_assert(!apply_snoop(Protocol::kMoesi, MesiState::kOwned,
+                           BusTxKind::kBusUpgr)
+                   .memory_update);
+static_assert(apply_snoop(Protocol::kMoesi, MesiState::kOwned,
+                          BusTxKind::kBusUpgr)
+                  .invalidated);
+
+}  // namespace cdsim::coherence

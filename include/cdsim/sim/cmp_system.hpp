@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cdsim/bus/snoop_bus.hpp"
+#include "cdsim/coherence/protocol.hpp"
 #include "cdsim/common/event_queue.hpp"
 #include "cdsim/core/core_model.hpp"
 #include "cdsim/decay/technique.hpp"
@@ -23,6 +24,7 @@
 #include "cdsim/sim/l2_cache.hpp"
 #include "cdsim/sim/metrics.hpp"
 #include "cdsim/thermal/rc_model.hpp"
+#include "cdsim/verify/observer.hpp"
 #include "cdsim/workload/benchmarks.hpp"
 
 namespace cdsim::sim {
@@ -31,10 +33,13 @@ struct SystemConfig {
   std::uint32_t num_cores = 4;
   /// Total L2 capacity across all private slices (paper sweeps 1..8 MB).
   std::uint64_t total_l2_bytes = 4 * MiB;
+  /// Snooping protocol of the L2 slices (paper §III: MESI; the MOESI
+  /// extension realizes the §III sketch for the Owned state).
+  coherence::Protocol protocol = coherence::Protocol::kMesi;
 
   core::CoreConfig core;
   L1Config l1;
-  L2Config l2;  ///< size_bytes is overridden with total_l2_bytes/num_cores.
+  L2Config l2;  ///< size_bytes/protocol are overridden from the above.
   bus::BusConfig bus;
   mem::MemoryConfig mem;
   decay::DecayConfig decay;
@@ -46,13 +51,19 @@ struct SystemConfig {
   bool thermal_feedback = true;
 
   std::uint64_t instructions_per_core = 4'000'000;
+  /// Per-core instruction budgets for trace replay (empty = every core
+  /// uses instructions_per_core; otherwise size must equal num_cores).
+  std::vector<std::uint64_t> per_core_instructions;
   std::uint64_t seed = 42;
 };
 
 /// One fully-wired CMP simulation.
 class CmpSystem {
  public:
-  CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench);
+  /// `streams` overrides the benchmark's preset workload streams when set
+  /// (fuzzing, trace capture/replay); `bench` still names the run.
+  CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
+            const workload::StreamFactory& streams = {});
   ~CmpSystem();
 
   CmpSystem(const CmpSystem&) = delete;
@@ -61,6 +72,10 @@ class CmpSystem {
   /// Runs all cores to completion of their instruction budgets and closes
   /// the books (final power/thermal sample). Call once.
   RunMetrics run();
+
+  /// Attaches a differential-verification observer to every component that
+  /// reports data movement (L1s, L2s, bus). Must be called before run().
+  void set_observer(verify::AccessObserver* obs);
 
   // --- component access (tests, custom harnesses) -------------------------
   [[nodiscard]] EventQueue& events() noexcept { return eq_; }

@@ -24,6 +24,7 @@
 #include "cdsim/common/event_queue.hpp"
 #include "cdsim/common/types.hpp"
 #include "cdsim/core/core_model.hpp"
+#include "cdsim/verify/observer.hpp"
 
 namespace cdsim::sim {
 
@@ -51,6 +52,9 @@ class L1Cache final : public core::LoadStorePort {
 
   /// Wires the level below. Must be called before any access.
   void connect_l2(L2Cache* l2) { l2_ = l2; }
+
+  /// Attaches a differential-verification observer (nullptr detaches).
+  void set_observer(verify::AccessObserver* obs) noexcept { obs_ = obs; }
 
   // --- core-facing (LoadStorePort) ----------------------------------------
   core::LoadOutcome try_load(Addr addr, core::LoadCallback on_done) override;
@@ -104,6 +108,7 @@ class L1Cache final : public core::LoadStorePort {
   L1Config cfg_;
   CoreId core_;
   L2Cache* l2_ = nullptr;
+  verify::AccessObserver* obs_ = nullptr;
 
   cache::TagArray<NoPayload> tags_;
   cache::MshrFile mshr_;

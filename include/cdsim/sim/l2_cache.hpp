@@ -31,11 +31,13 @@
 #include "cdsim/cache/mshr.hpp"
 #include "cdsim/cache/tag_array.hpp"
 #include "cdsim/coherence/mesi.hpp"
+#include "cdsim/coherence/protocol.hpp"
 #include "cdsim/common/event_queue.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/decay/sweeper.hpp"
 #include "cdsim/decay/technique.hpp"
 #include "cdsim/sim/l1_cache.hpp"
+#include "cdsim/verify/observer.hpp"
 
 namespace cdsim::sim {
 
@@ -50,6 +52,13 @@ struct L2Config {
   Cycle retry_interval = 4;
   /// Cycles to invalidate the L1 copy during a turn-off (InvUpp edge).
   Cycle l1_inval_latency = 2;
+  /// Snooping protocol this slice speaks. All slices on one bus must agree.
+  coherence::Protocol protocol = coherence::Protocol::kMesi;
+  /// TEST-ONLY fault injection: a dirty decay turn-off silently discards
+  /// the line instead of writing it back (memory keeps stale data). Used by
+  /// the differential-verification suite to prove the oracle catches
+  /// wrong-data bugs; never set outside tests.
+  bool test_lose_decay_writeback = false;
 };
 
 /// One private L2 slice.
@@ -70,6 +79,9 @@ class L2Cache final : public bus::Snooper {
   void start();
   /// Stops the sweeper (simulation teardown).
   void stop();
+
+  /// Attaches a differential-verification observer (nullptr detaches).
+  void set_observer(verify::AccessObserver* obs) noexcept { obs_ = obs; }
 
   // --- upper-level (L1) interface -----------------------------------------
   /// Read request from an L1 miss. Always eventually responds (internally
@@ -169,6 +181,12 @@ class L2Cache final : public bus::Snooper {
   void retry(EventQueue::Callback fn);
   void turn_off_clean(Addr line_addr);
   void turn_off_dirty(Addr line_addr);
+  /// MOESI O-state turn-off: revoke the remaining S copies (BusUpgr
+  /// broadcast), then write back like a dirty turn-off (§III extension).
+  void turn_off_owned(Addr line_addr);
+  /// Queues the TD flush write-back (shared tail of the dirty and owned
+  /// turn-off paths).
+  void issue_turnoff_writeback(Addr line_addr);
   void cancel_td_wb(Payload& p);
   void age_decay_attribution(Cycle now);
 
@@ -178,6 +196,7 @@ class L2Cache final : public bus::Snooper {
   CoreId core_;
   bus::SnoopBus& bus_;
   L1Cache* upper_;
+  verify::AccessObserver* obs_ = nullptr;
 
   cache::TagArray<Payload> tags_;
   cache::MshrFile mshr_;

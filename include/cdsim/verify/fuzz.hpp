@@ -1,0 +1,102 @@
+#pragma once
+// Adversarial fuzz driver for the differential-verification oracle.
+//
+// run_fuzz() sweeps a matrix of hostile scenarios — {MESI, MOESI} x
+// {baseline, protocol, decay, selective decay} x several decay times x
+// seeds — each driving a small, contended CMP with FuzzerWorkload streams
+// while DifferentialChecker shadows every data movement. Every scenario is
+// captured to a Trace as it runs, so a divergence immediately yields a
+// replayable repro; failures are greedily shrunk (verify/shrink.hpp) and,
+// when a report directory is configured, written next to a plain-text
+// failure report as .cdt files CI can upload.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdsim/coherence/protocol.hpp"
+#include "cdsim/decay/technique.hpp"
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/verify/oracle.hpp"
+#include "cdsim/workload/fuzzer.hpp"
+#include "cdsim/workload/trace_file.hpp"
+
+namespace cdsim::verify {
+
+struct FuzzOptions {
+  /// Total scenarios; the 16-cell (protocol x technique x decay-time)
+  /// matrix repeats with fresh seeds until this many ran.
+  std::size_t scenarios = 208;
+  std::uint64_t base_seed = 0x5eedu;
+  std::uint64_t instructions_per_core = 30000;
+  /// When nonempty, each failure writes fuzz_<i>.cdt, fuzz_<i>.min.cdt and
+  /// fuzz_<i>.report.txt into this directory (created if missing).
+  std::string report_dir;
+  bool shrink_failures = true;
+  std::size_t max_failures = 4;  ///< Stop keeping detail after this many.
+  /// TEST-ONLY: arm the L2's lost-write-back fault in every scenario, so
+  /// the capture -> shrink -> report pipeline itself can be exercised.
+  bool inject_writeback_loss = false;
+};
+
+/// One cell of the fuzz matrix, self-contained and replayable.
+struct FuzzScenario {
+  std::size_t index = 0;
+  coherence::Protocol protocol = coherence::Protocol::kMesi;
+  decay::DecayConfig decay;
+  std::uint32_t num_cores = 4;
+  std::uint64_t total_l2_bytes = 128 * KiB;
+  std::uint64_t instructions_per_core = 30000;
+  std::uint64_t seed = 1;
+  workload::FuzzerConfig fuzz;
+  /// Enables the L2's test-only lost-write-back fault (the bug the suite
+  /// proves the oracle catches).
+  bool inject_writeback_loss = false;
+
+  [[nodiscard]] std::string label() const;
+  [[nodiscard]] sim::SystemConfig system_config() const;
+};
+
+/// The deterministic scenario matrix for `opts`.
+std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts);
+
+/// Result of one checked run (fresh generation or trace replay).
+struct ScenarioOutcome {
+  sim::RunMetrics metrics;
+  std::vector<Divergence> divergences;  ///< First few, with detail.
+  std::uint64_t total_divergences = 0;
+  std::uint64_t loads_checked = 0;
+  std::uint64_t fills_checked = 0;
+  std::uint64_t writes_serialized = 0;
+  std::uint64_t owned_downgrades = 0;  ///< MOESI M->O transitions seen.
+  workload::Trace trace;               ///< Captured ops (when capturing).
+};
+
+/// Runs one scenario with the oracle attached; `capture` records the ops.
+ScenarioOutcome run_scenario(const FuzzScenario& sc, bool capture = true);
+
+/// Replays `trace` under the scenario's configuration with the oracle
+/// attached (used by the shrinker's predicate and by repro tooling).
+ScenarioOutcome replay_scenario(const FuzzScenario& sc,
+                                const workload::Trace& trace);
+
+struct FuzzFailure {
+  FuzzScenario scenario;
+  std::vector<Divergence> divergences;
+  workload::Trace trace;   ///< Full captured repro.
+  workload::Trace shrunk;  ///< Minimized repro (empty if shrinking off).
+};
+
+struct FuzzReport {
+  std::size_t scenarios_run = 0;
+  std::uint64_t loads_checked = 0;
+  std::uint64_t fills_checked = 0;
+  std::uint64_t writes_serialized = 0;
+  std::uint64_t divergences = 0;
+  std::uint64_t owned_downgrades = 0;
+  std::vector<FuzzFailure> failures;
+};
+
+FuzzReport run_fuzz(const FuzzOptions& opts = {});
+
+}  // namespace cdsim::verify

@@ -1,0 +1,88 @@
+#pragma once
+// Per-access observation interface for differential verification.
+//
+// The cache hierarchy and bus carry an optional AccessObserver pointer and
+// report every event that creates or moves line *data*: load hits, fills
+// (with their data source), write serializations, dirty-owner flushes,
+// write-backs, and data-dropping invalidations. A null observer costs one
+// predicted branch per event, so attaching nothing keeps the kernel
+// bit-identical and effectively free.
+//
+// verify::DifferentialChecker (cdsim/verify/oracle.hpp) implements this
+// interface to maintain a flat reference memory model — a per-line
+// last-writer version map with bus-order semantics — and checks every
+// load's returned version against it.
+//
+// This header is intentionally dependency-free (fundamental types only) so
+// the sim-layer headers can include it without pulling the verifier in.
+
+#include "cdsim/common/types.hpp"
+
+namespace cdsim::verify {
+
+/// Events are reported at their *serialization point* in bus order:
+///  * hits at the hit-decision cycle;
+///  * fills at the bus grant (where the snoop broadcast resolved and the
+///    data source — memory or a flushing owner — was decided);
+///  * write serializations at the cycle the line atomically becomes (or
+///    already is) Modified for that store;
+///  * flushes during the address phase of the transaction that triggered
+///    them (always before the same transaction's on_fill);
+///  * write-backs in two halves: `initiated` when the controller queues the
+///    transaction (the data snapshot), `resolved` at the bus grant where it
+///    either reaches memory or is cancelled by its validator.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// A load served by a valid local copy at `core` (`l1`: served by the L1,
+  /// otherwise by the L2 slice).
+  virtual void on_load_hit(CoreId core, Addr line, Cycle now, bool l1) {
+    (void)core, (void)line, (void)now, (void)l1;
+  }
+
+  /// A line installed at `core` at a fill's bus grant. `from_cache`: the
+  /// data is supplied by the snooped owner's flush (otherwise memory).
+  /// `for_write`: the fill is a BusRdX write-allocate (the fetched data
+  /// underlies the merging store).
+  virtual void on_fill(CoreId core, Addr line, Cycle now, bool from_cache,
+                       bool for_write) {
+    (void)core, (void)line, (void)now, (void)from_cache, (void)for_write;
+  }
+
+  /// A store to `line` serialized at `core` (the copy is Modified from this
+  /// instant in bus order).
+  virtual void on_write_serialized(CoreId core, Addr line, Cycle now) {
+    (void)core, (void)line, (void)now;
+  }
+
+  /// The dirty owner `core` flushes `line` on the bus in response to a
+  /// snoop. `memory_update`: the flush also writes memory (MESI always;
+  /// MOESI only for ownership-ending transactions).
+  virtual void on_flush_supply(CoreId core, Addr line, Cycle now,
+                               bool memory_update) {
+    (void)core, (void)line, (void)now, (void)memory_update;
+  }
+
+  /// `core` queued a write-back of its dirty copy of `line` (eviction or
+  /// turn-off). The data carried is the copy's content at this instant.
+  virtual void on_writeback_initiated(CoreId core, Addr line, Cycle now) {
+    (void)core, (void)line, (void)now;
+  }
+
+  /// A previously-initiated write-back reached its bus grant. `cancelled`:
+  /// its validator dropped it (the data already reached memory via a snoop
+  /// flush), so memory is NOT written.
+  virtual void on_writeback_resolved(CoreId core, Addr line, Cycle now,
+                                     bool cancelled) {
+    (void)core, (void)line, (void)now, (void)cancelled;
+  }
+
+  /// `core`'s copy of `line` stopped holding data (snoop invalidation,
+  /// eviction, or turn-off completion).
+  virtual void on_invalidate(CoreId core, Addr line, Cycle now) {
+    (void)core, (void)line, (void)now;
+  }
+};
+
+}  // namespace cdsim::verify

@@ -1,0 +1,46 @@
+#pragma once
+// Greedy failure-trace minimizer.
+//
+// Given a trace whose replay diverges from the reference model, shrink it
+// to a small still-diverging repro: first binary-search the shortest
+// failing prefix (the divergence is an event at a point in time; nothing
+// after it is needed), then delta-debug the remainder with geometrically
+// shrinking removal chunks until the trace is 1-minimal or the replay
+// budget runs out. Every candidate is validated by actually replaying it,
+// so the result is guaranteed to still reproduce — no monotonicity
+// assumption is trusted beyond search ordering.
+//
+// This is the executable cousin of the CSP-based error-localisation idea
+// (Bekkouche et al., arXiv:1404.6567): explain a failing run by the
+// minimal subset of it that still fails.
+
+#include <cstddef>
+#include <functional>
+
+#include "cdsim/workload/trace_file.hpp"
+
+namespace cdsim::verify {
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (each replays a simulation).
+  std::size_t max_replays = 500;
+};
+
+struct ShrinkStats {
+  std::size_t replays = 0;
+  std::size_t initial_ops = 0;
+  std::size_t final_ops = 0;
+  bool reproduced = false;  ///< The input trace failed at all.
+};
+
+/// Predicate: does replaying this candidate still show the failure?
+using ReproPredicate = std::function<bool(const workload::Trace&)>;
+
+/// Minimizes `failing` under `still_fails`. Returns the smallest found
+/// still-failing trace (or `failing` unchanged when it does not reproduce).
+workload::Trace shrink_trace(const workload::Trace& failing,
+                             const ReproPredicate& still_fails,
+                             ShrinkStats* stats = nullptr,
+                             const ShrinkOptions& opts = {});
+
+}  // namespace cdsim::verify

@@ -16,6 +16,16 @@ namespace cdsim::workload {
 /// Replays `ops` in order; when the script ends it either loops or repeats
 /// the final op forever (so the simulator's instruction budget, not the
 /// script length, ends the run).
+///
+/// kRepeatLast tail semantics: the final op is returned verbatim exactly
+/// once (it is part of the script); every repeat after that is re-stamped
+/// with `dependent = false` while addr/type/gap/chain are preserved. A
+/// repeated *dependent* load would chain on its own previous issue through
+/// the core's per-chain tracker, serializing the filler tail on the memory
+/// latency — the tail's timing would then depend on how often the op
+/// happens to repeat instead of on the script, which breaks the
+/// determinism contract trace replay relies on (a captured run replayed
+/// with a larger budget must degrade into uniform, independent filler).
 class ScriptedWorkload final : public WorkloadStream {
  public:
   enum class AtEnd { kLoop, kRepeatLast };
@@ -27,11 +37,15 @@ class ScriptedWorkload final : public WorkloadStream {
   }
 
   MemOp next(Cycle /*now*/) override {
-    const MemOp op = ops_[pos_];
+    MemOp op = ops_[pos_];
     if (pos_ + 1 < ops_.size()) {
       ++pos_;
     } else if (at_end_ == AtEnd::kLoop) {
       pos_ = 0;
+    } else if (tail_repeat_) {
+      op.dependent = false;  // see class comment
+    } else {
+      tail_repeat_ = true;  // final op returned verbatim this once
     }
     return op;
   }
@@ -42,6 +56,7 @@ class ScriptedWorkload final : public WorkloadStream {
   std::vector<MemOp> ops_;
   std::size_t pos_ = 0;
   AtEnd at_end_;
+  bool tail_repeat_ = false;
   std::string name_;
 };
 

@@ -7,6 +7,7 @@
 // is exactly reproducible.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -53,5 +54,11 @@ class WorkloadStream {
 };
 
 using StreamPtr = std::unique_ptr<WorkloadStream>;
+
+/// Builds the stream for one core. Harnesses that drive the simulator with
+/// non-benchmark workloads (fuzzing, trace replay, capture decorators) pass
+/// one of these to CmpSystem instead of the benchmark's preset streams.
+using StreamFactory = std::function<StreamPtr(CoreId core,
+                                              std::uint64_t seed)>;
 
 }  // namespace cdsim::workload

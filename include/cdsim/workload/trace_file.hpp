@@ -1,0 +1,106 @@
+#pragma once
+// Portable .cdt trace format: capture, storage, and replay of per-core
+// memory-operation streams.
+//
+// A Trace is the exact sequence of MemOps the simulator drew from each
+// core's workload stream, in global draw order. Because every workload
+// stream is a deterministic function of its inputs and the event kernel is
+// deterministic, replaying a captured trace through ScriptedWorkload (with
+// per-core budgets of exactly sum(gap+1)) reproduces the original run
+// bit-identically — which is what makes traces usable as divergence
+// repros, as shrinker input, and as a scenario class of their own (real
+// program traces driven through the leakage techniques).
+//
+// On-disk layout (.cdt, all integers little-endian, version 1):
+//
+//   offset  size  field
+//   0       4     magic "CDTF"
+//   4       4     u32 format version (1)
+//   8       4     u32 num_cores
+//   12      8     u64 record count N
+//   20      16*N  records: u64 addr | u32 gap | u8 core | u8 type
+//                          | u8 flags (bit0 = dependent) | u8 chain
+//   20+16N  8     u64 FNV-1a checksum over the N*16 record bytes
+//
+// The reader rejects wrong magic, unsupported versions, truncated or
+// oversized files, checksum mismatches, and out-of-range fields — a
+// corrupt trace fails loudly instead of replaying garbage.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdsim/workload/scripted.hpp"
+#include "cdsim/workload/stream.hpp"
+
+namespace cdsim::workload {
+
+/// One drawn operation: which core drew it plus the op itself.
+struct TraceRecord {
+  CoreId core = 0;
+  MemOp op;
+};
+
+/// A captured (or hand-built) trace plus its .cdt (de)serialization.
+struct Trace {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint32_t num_cores = 0;
+  std::vector<TraceRecord> records;  ///< Global draw order.
+
+  /// Writes the trace to `path`. Returns false (and sets *error) on I/O
+  /// failure or unserializable content.
+  bool save(const std::string& path, std::string* error = nullptr) const;
+
+  /// Reads a .cdt file. Returns nullopt (and sets *error) for unreadable,
+  /// corrupt, truncated, or version-mismatched files.
+  static std::optional<Trace> load(const std::string& path,
+                                   std::string* error = nullptr);
+
+  /// Per-core op sequences, in draw order (size = num_cores).
+  [[nodiscard]] std::vector<std::vector<MemOp>> ops_by_core() const;
+
+  /// Instruction budget that makes a replayed core commit exactly its
+  /// recorded ops: sum of (gap + 1) per core. Cores with no records get 1
+  /// (they replay a single idle filler op — see replay_factory).
+  [[nodiscard]] std::vector<std::uint64_t> per_core_instructions() const;
+};
+
+/// Stream decorator that records every drawn op into `sink` before handing
+/// it to the simulator. The event kernel is single-threaded, so appends
+/// from all cores interleave in deterministic global draw order.
+class CaptureStream final : public WorkloadStream {
+ public:
+  CaptureStream(StreamPtr inner, CoreId core, Trace* sink)
+      : inner_(std::move(inner)), core_(core), sink_(sink) {}
+
+  MemOp next(Cycle now) override {
+    const MemOp op = inner_->next(now);
+    sink_->records.push_back(TraceRecord{core_, op});
+    return op;
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+
+ private:
+  StreamPtr inner_;
+  CoreId core_;
+  Trace* sink_;
+};
+
+/// Wraps `inner` so every produced stream records into `sink`. The caller
+/// must size sink->num_cores and keep it alive for the run.
+StreamFactory capture_factory(StreamFactory inner, Trace* sink);
+
+/// Replays a trace: each core gets a ScriptedWorkload over its recorded
+/// ops (AtEnd::kRepeatLast). Cores without records replay a single idle
+/// load to a reserved line so the core model stays constructible; pair
+/// with Trace::per_core_instructions() so such cores commit exactly one
+/// instruction. The trace is copied into shared state — the factory
+/// outlives the Trace it was built from.
+StreamFactory replay_factory(const Trace& trace);
+
+}  // namespace cdsim::workload

@@ -13,10 +13,14 @@ static_assert(arms_on_entry(Technique::kDecay, MesiState::kShared));
 static_assert(arms_on_entry(Technique::kDecay, MesiState::kExclusive));
 static_assert(!arms_on_entry(Technique::kDecay, MesiState::kInvalid));
 
-// Selective Decay arms only on transitions into S/E, never into M.
+// Selective Decay arms only on transitions into S/E, never into a dirty
+// state (M, or MOESI's O — an Owned turn-off costs an invalidation
+// broadcast on top of the write-back).
 static_assert(arms_on_entry(Technique::kSelectiveDecay, MesiState::kShared));
 static_assert(arms_on_entry(Technique::kSelectiveDecay, MesiState::kExclusive));
 static_assert(!arms_on_entry(Technique::kSelectiveDecay, MesiState::kModified));
+static_assert(!arms_on_entry(Technique::kSelectiveDecay, MesiState::kOwned));
+static_assert(arms_on_entry(Technique::kDecay, MesiState::kOwned));
 
 // Protocol / baseline never decay.
 static_assert(!arms_on_entry(Technique::kProtocol, MesiState::kShared));

@@ -6,16 +6,21 @@
 
 namespace cdsim::sim {
 
-CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench)
+CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
+                     const workload::StreamFactory& streams)
     : cfg_(cfg), bench_(bench), leak_model_(cfg.leakage) {
   CDSIM_ASSERT(cfg_.num_cores >= 1);
   CDSIM_ASSERT(cfg_.total_l2_bytes % cfg_.num_cores == 0);
+  CDSIM_ASSERT_MSG(cfg_.per_core_instructions.empty() ||
+                       cfg_.per_core_instructions.size() == cfg_.num_cores,
+                   "per_core_instructions must be empty or one per core");
 
   mem_ = std::make_unique<mem::MemoryController>(eq_, cfg_.mem);
   bus_ = std::make_unique<bus::SnoopBus>(eq_, cfg_.bus, *mem_);
 
   L2Config l2cfg = cfg_.l2;
   l2cfg.size_bytes = cfg_.total_l2_bytes / cfg_.num_cores;
+  l2cfg.protocol = cfg_.protocol;
 
   const double slice_mb = static_cast<double>(l2cfg.size_bytes) /
                           static_cast<double>(MiB);
@@ -29,10 +34,13 @@ CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench)
     l1s_.back()->connect_l2(l2s_.back().get());
     bus_->attach(l2s_.back().get());
 
-    streams_.push_back(workload::make_stream(bench_, c, cfg_.seed));
+    streams_.push_back(streams ? streams(c, cfg_.seed)
+                               : workload::make_stream(bench_, c, cfg_.seed));
+    const std::uint64_t budget = cfg_.per_core_instructions.empty()
+                                     ? cfg_.instructions_per_core
+                                     : cfg_.per_core_instructions[c];
     cores_.push_back(std::make_unique<core::CoreModel>(
-        eq_, cfg_.core, c, *streams_.back(), *l1s_.back(),
-        cfg_.instructions_per_core));
+        eq_, cfg_.core, c, *streams_.back(), *l1s_.back(), budget));
   }
 
   // Warm-start the thermal network near equilibrium so short runs operate
@@ -56,6 +64,13 @@ CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench)
 }
 
 CmpSystem::~CmpSystem() = default;
+
+void CmpSystem::set_observer(verify::AccessObserver* obs) {
+  CDSIM_ASSERT_MSG(!ran_, "observer must be attached before run()");
+  bus_->set_observer(obs);
+  for (auto& l1 : l1s_) l1->set_observer(obs);
+  for (auto& l2 : l2s_) l2->set_observer(obs);
+}
 
 void CmpSystem::arm_sampler() {
   eq_.schedule_in(cfg_.thermal.sample_period, [this] {
@@ -241,18 +256,34 @@ std::uint64_t CmpSystem::check_coherence_invariants() const {
   // Single-writer: a line owned (M/E/TD) by one L2 must not be valid in any
   // other L2. Lines mid-fill (`fetching`) still expose their installed
   // state, so this holds at every instant of the simulation.
+  //
+  // MOESI relaxations: an Owned line coexists with remote Shared copies
+  // (but never with another dirty/exclusive owner), and a TransientDirty
+  // line may coexist with Shared copies while an O turn-off's
+  // ownership-revocation broadcast is still queued.
+  const bool moesi = cfg_.protocol == coherence::Protocol::kMoesi;
   for (CoreId a = 0; a < cfg_.num_cores; ++a) {
     l2s_[a]->for_each_valid_line([&](Addr line, MesiState sa) {
       ++checked;
-      const bool owner = sa == MesiState::kModified ||
-                         sa == MesiState::kExclusive ||
-                         sa == MesiState::kTransientDirty;
-      if (!owner) return;
+      const bool exclusive_owner = sa == MesiState::kModified ||
+                                   sa == MesiState::kExclusive ||
+                                   sa == MesiState::kTransientDirty;
+      const bool shared_owner = sa == MesiState::kOwned;
+      if (!exclusive_owner && !shared_owner) return;
       for (CoreId b = 0; b < cfg_.num_cores; ++b) {
         if (b == a) continue;
         const MesiState sb = l2s_[b]->line_state(line);
-        CDSIM_ASSERT_MSG(sb == MesiState::kInvalid,
-                         "single-writer invariant violated");
+        if (exclusive_owner &&
+            (!moesi || sa != MesiState::kTransientDirty)) {
+          CDSIM_ASSERT_MSG(sb == MesiState::kInvalid,
+                           "single-writer invariant violated");
+        } else {
+          // Owned (or MOESI TD mid-revocation): S replicas are legal,
+          // a second owner of any flavor is not.
+          CDSIM_ASSERT_MSG(sb == MesiState::kInvalid ||
+                               sb == MesiState::kShared,
+                           "single-owner invariant violated");
+        }
       }
     });
   }

@@ -13,6 +13,7 @@
 
 #include "cdsim/common/assert.hpp"
 #include "cdsim/common/rng.hpp"
+#include "cdsim/verify/oracle.hpp"
 
 namespace cdsim::sim {
 
@@ -162,7 +163,31 @@ SystemConfig normalized_run_config(const SystemConfig& cfg,
 
 RunMetrics run_config(const SystemConfig& cfg,
                       const workload::Benchmark& bench) {
-  CmpSystem sys(normalized_run_config(cfg, bench), bench);
+  const SystemConfig fixed = normalized_run_config(cfg, bench);
+  CmpSystem sys(fixed, bench);
+
+  // CDSIM_VERIFY=1: run every configuration against the differential
+  // reference-model oracle (see cdsim/verify/oracle.hpp) and abort on the
+  // first run whose delivered load values diverge from it. Roughly 2x
+  // slower; the null-observer default is bit-identical to not checking.
+  const char* venv = std::getenv("CDSIM_VERIFY");
+  if (venv != nullptr && *venv != '\0' &&
+      std::string_view(venv) != std::string_view("0")) {
+    verify::DifferentialChecker checker(fixed.num_cores);
+    sys.set_observer(&checker);
+    RunMetrics m = sys.run();
+    if (checker.total_divergences() != 0) {
+      std::fprintf(stderr,
+                   "cdsim: CDSIM_VERIFY: %llu value divergence(s) on %s/%s; "
+                   "first: %s\n",
+                   static_cast<unsigned long long>(
+                       checker.total_divergences()),
+                   m.benchmark.c_str(), m.technique.c_str(),
+                   verify::to_string(checker.divergences().front()).c_str());
+      std::abort();
+    }
+    return m;
+  }
   return sys.run();
 }
 

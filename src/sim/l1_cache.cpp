@@ -29,6 +29,7 @@ core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
     // Synchronous hit fast path: no event scheduled, the core accounts the
     // (pipeline-hidden) latency itself.
     stats_.read_hits.inc();
+    if (obs_) obs_->on_load_hit(core_, line, eq_.now(), /*l1=*/true);
     tags_.touch(*ln);
     return {.accepted = true, .completed = true, .latency = cfg_.hit_latency};
   }

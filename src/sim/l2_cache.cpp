@@ -60,7 +60,10 @@ void apply_arming(const decay::DecayConfig& dcfg, decay::LineDecayState& d,
   } else if (dcfg.technique == decay::Technique::kSelectiveDecay) {
     if (to == MesiState::kShared || to == MesiState::kExclusive) {
       d.armed = true;
-    } else if (to == MesiState::kModified) {
+    } else if (to == MesiState::kModified || to == MesiState::kOwned) {
+      // Dirty states disarm: Selective Decay avoids costly dirty turn-offs,
+      // and an Owned turn-off is costlier still (invalidation broadcast +
+      // write-back).
       d.armed = false;
     }
   }
@@ -76,6 +79,7 @@ void L2Cache::cancel_td_wb(Payload& p) {
 
 void L2Cache::line_off(LineT& ln) {
   CDSIM_ASSERT(ln.valid);
+  if (obs_) obs_->on_invalidate(core_, ln.tag, eq_.now());
   cancel_td_wb(ln.payload);
   ln.payload.state = MesiState::kInvalid;
   ln.payload.fetching = false;
@@ -153,6 +157,7 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
   if (ln && !ln->payload.fetching) {
     // Hit on a stationary line.
     if (!counted) stats_.read_hits.inc();
+    if (obs_) obs_->on_load_hit(core_, line_addr, eq_.now(), /*l1=*/false);
     touch(*ln);
     const Cycle done = eq_.now() + access_latency();
     eq_.schedule_at(done, [cb = std::move(on_done), done] { cb(done, true); });
@@ -233,6 +238,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
     switch (p.state) {
       case MesiState::kModified: {
         if (!counted) stats_.write_hits.inc();
+        if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
         touch(*ln);
         const Cycle done = eq_.now() + access_latency();
         eq_.schedule_at(done,
@@ -244,12 +250,14 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         if (!counted) stats_.write_hits.inc();
         p.state = MesiState::kModified;
         apply_arming(dcfg_, p.decay, MesiState::kModified);
+        if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
         touch(*ln);
         const Cycle done = eq_.now() + access_latency();
         eq_.schedule_at(done,
                         [cb = std::move(on_done), done] { cb(done, true); });
         return;
       }
+      case MesiState::kOwned:  // MOESI: dirty-shared still needs the Upgr
       case MesiState::kShared: {
         if (p.upgrading) {
           // A previous store's upgrade is already in flight; retire this
@@ -267,11 +275,14 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         // Exactly one of on_done / on_cancel fires; share the response.
         auto cb = std::make_shared<Response>(std::move(on_done));
         bus::RequestHooks hooks;
-        // Only meaningful while the line is still our Shared copy; a snoop
-        // invalidation while queued turns the upgrade into a write miss.
+        // Only meaningful while the line is still our upgradable (Shared or
+        // Owned) copy; a snoop invalidation while queued turns the upgrade
+        // into a write miss.
         hooks.validator = [this, line_addr] {
           LineT* l2 = tags_.find(line_addr);
-          return l2 != nullptr && l2->payload.state == MesiState::kShared;
+          return l2 != nullptr &&
+                 (l2->payload.state == MesiState::kShared ||
+                  l2->payload.state == MesiState::kOwned);
         };
         // The hit is only known at the grant: a cancelled upgrade re-enters
         // as an ordinary (still uncounted) write so the resulting miss is
@@ -284,12 +295,14 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         hooks.on_grant = [this, line_addr, counted](const bus::BusResult&) {
           LineT* l2 = tags_.find(line_addr);
           CDSIM_ASSERT_MSG(l2 != nullptr &&
-                               l2->payload.state == MesiState::kShared,
-                           "upgrade granted for a non-Shared line");
+                               (l2->payload.state == MesiState::kShared ||
+                                l2->payload.state == MesiState::kOwned),
+                           "upgrade granted for a non-upgradable line");
           if (!counted) stats_.write_hits.inc();
           l2->payload.upgrading = false;
           l2->payload.state = MesiState::kModified;
           apply_arming(dcfg_, l2->payload.decay, MesiState::kModified);
+          if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
         };
         hooks.on_done = [cb](const bus::BusResult& res) {
           (*cb)(res.done_at, true);
@@ -377,6 +390,14 @@ void L2Cache::install_at_grant(Addr line_addr, bool is_write,
   wheel_register(installed);
   on_lines_.add(eq_.now(), +1.0);
   decayed_lines_.erase(line_addr);
+  if (obs_) {
+    // The fill's data source (owner flush vs memory) was decided by the
+    // snoop broadcast that just resolved; a write-allocate fill also
+    // serializes its store here (the line is Modified from this grant).
+    obs_->on_fill(core_, line_addr, eq_.now(), res.supplied_by_cache,
+                  is_write);
+    if (is_write) obs_->on_write_serialized(core_, line_addr, eq_.now());
+  }
 }
 
 void L2Cache::evict(LineT& victim) {
@@ -391,6 +412,7 @@ void L2Cache::evict(LineT& victim) {
     // this line is superseded by the eviction write-back.
     cancel_td_wb(victim.payload);
     stats_.writebacks.inc();
+    if (obs_) obs_->on_writeback_initiated(core_, vline, eq_.now());
     bus_.request(BusTxKind::kWriteBack, vline, core_, cfg_.line_bytes,
                  bus::SnoopBus::Completion{});
   }
@@ -407,18 +429,26 @@ bus::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
   if (ln == nullptr) return {};
 
   Payload& p = ln->payload;
-  const coherence::SnoopOutcome out = coherence::apply_snoop(p.state, kind);
-  bus::SnoopReply reply{out.had_line, out.supply_data};
+  const coherence::SnoopOutcome out =
+      coherence::apply_snoop(cfg_.protocol, p.state, kind);
+  bus::SnoopReply reply{out.had_line, out.supply_data, out.memory_update};
 
   if (out.cancel_turnoff_wb) cancel_td_wb(p);
+  if (out.supply_data && obs_) {
+    // Flush precedes the requester's on_grant install, so the verifier sees
+    // the supplied data before the fill that consumes it.
+    obs_->on_flush_supply(core_, line_addr, eq_.now(), out.memory_update);
+  }
 
   if (out.invalidated) {
     upper_->back_invalidate(line_addr);
     stats_.coherence_invals.inc();
     line_off(*ln);
   } else if (out.next != p.state) {
-    // Downgrade (e.g. M->S on a remote BusRd): a transition into S arms
-    // Selective Decay and restarts the countdown.
+    // Downgrade (e.g. M->S on a remote BusRd, or MOESI's M->O): a
+    // transition into S arms Selective Decay and restarts the countdown;
+    // entering O disarms it (dirty turn-offs are what it avoids).
+    if (out.next == MesiState::kOwned) stats_.owned_downgrades.inc();
     p.state = out.next;
     apply_arming(dcfg_, p.decay, out.next);
     p.decay.last_touch = eq_.now();
@@ -476,20 +506,29 @@ void L2Cache::decay_sweep(Cycle now) {
     }
 
     const Addr line_addr = ln.tag;
-    switch (coherence::classify_turnoff(p.state)) {
-      case coherence::TurnOffClass::kCleanTurnOff:
+    switch (coherence::classify_turnoff(cfg_.protocol, p.state)) {
+      case coherence::MoesiTurnOffClass::kCleanTurnOff:
         p.state = MesiState::kTransientClean;
         eq_.schedule_in(cfg_.l1_inval_latency,
                         [this, line_addr] { turn_off_clean(line_addr); });
         break;
-      case coherence::TurnOffClass::kDirtyTurnOff: {
+      case coherence::MoesiTurnOffClass::kDirtyTurnOff: {
         p.state = MesiState::kTransientDirty;
         p.td_wb_token = std::make_shared<bool>(true);
         eq_.schedule_in(cfg_.l1_inval_latency,
                         [this, line_addr] { turn_off_dirty(line_addr); });
         break;
       }
-      case coherence::TurnOffClass::kIgnore:
+      case coherence::MoesiTurnOffClass::kOwnedTurnOff: {
+        // §III: "considering the Owned state of the MOESI, other copies
+        // must be invalidated before a line is turned off."
+        p.state = MesiState::kTransientDirty;
+        p.td_wb_token = std::make_shared<bool>(true);
+        eq_.schedule_in(cfg_.l1_inval_latency,
+                        [this, line_addr] { turn_off_owned(line_addr); });
+        break;
+      }
+      case coherence::MoesiTurnOffClass::kIgnore:
         break;  // unreachable for stationary states; defensive
     }
   }
@@ -509,11 +548,52 @@ void L2Cache::turn_off_dirty(Addr line_addr) {
   LineT* ln = tags_.find(line_addr);
   if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) return;
   upper_->back_invalidate(line_addr);
+  issue_turnoff_writeback(line_addr);
+}
+
+void L2Cache::turn_off_owned(Addr line_addr) {
+  LineT* ln = tags_.find(line_addr);
+  // A snoop or eviction may have finished the line off already.
+  if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) return;
+  upper_->back_invalidate(line_addr);
+
+  // Ownership-revocation broadcast: invalidate the remaining S copies
+  // system-wide, then flush like a dirty turn-off. The validator drops the
+  // broadcast when a snoop already finished this line off (the snoop's
+  // flush-and-cancel also cleared the token).
+  std::shared_ptr<bool> token = ln->payload.td_wb_token;
+  CDSIM_ASSERT(token != nullptr);
+  bus::RequestHooks hooks;
+  hooks.validator = [token] { return *token; };
+  hooks.on_done = [this, line_addr](const bus::BusResult&) {
+    issue_turnoff_writeback(line_addr);
+  };
+  bus_.request(BusTxKind::kBusUpgr, line_addr, core_, /*bytes=*/0,
+               std::move(hooks));
+}
+
+void L2Cache::issue_turnoff_writeback(Addr line_addr) {
+  LineT* ln = tags_.find(line_addr);
+  if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) {
+    return;  // finished via snoop/eviction while this step was in flight
+  }
+
+  if (cfg_.test_lose_decay_writeback) {
+    // Injected fault (see L2Config): drop the dirty data on the floor.
+    // Timing-wise this looks like a clean turn-off; memory keeps its stale
+    // copy, which is exactly the wrong-data bug the differential oracle
+    // must catch (and the internal invariants cannot).
+    stats_.decay_turnoffs.inc();
+    decayed_lines_[line_addr] = eq_.now();
+    line_off(*ln);
+    return;
+  }
 
   // Flush on the bus (Grant/Flush edge); the validator lets a snoop that
   // already moved the data cancel this write-back.
   std::shared_ptr<bool> token = ln->payload.td_wb_token;
   CDSIM_ASSERT(token != nullptr);
+  if (obs_) obs_->on_writeback_initiated(core_, line_addr, eq_.now());
   bus::RequestHooks hooks;
   hooks.validator = [token] { return *token; };
   hooks.on_done = [this, line_addr](const bus::BusResult&) {

@@ -1,0 +1,209 @@
+#include "cdsim/verify/fuzz.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/verify/shrink.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace cdsim::verify {
+
+namespace {
+
+/// The 16 (protocol x technique-config) cells the matrix cycles through.
+/// Decay times are deliberately tiny (the fuzzer's runs are tens of
+/// thousands of cycles): small windows mean *more* turn-off edges per
+/// instruction, which is the point.
+struct MatrixCell {
+  coherence::Protocol protocol;
+  decay::Technique technique;
+  Cycle decay_time;
+};
+
+constexpr Cycle kDecayTimes[3] = {1024, 2048, 4096};
+
+std::vector<MatrixCell> matrix_cells() {
+  std::vector<MatrixCell> cells;
+  for (const auto protocol :
+       {coherence::Protocol::kMesi, coherence::Protocol::kMoesi}) {
+    cells.push_back({protocol, decay::Technique::kBaseline, 2048});
+    cells.push_back({protocol, decay::Technique::kProtocol, 2048});
+    for (const Cycle t : kDecayTimes) {
+      cells.push_back({protocol, decay::Technique::kDecay, t});
+    }
+    for (const Cycle t : kDecayTimes) {
+      cells.push_back({protocol, decay::Technique::kSelectiveDecay, t});
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::string FuzzScenario::label() const {
+  std::ostringstream os;
+  os << "fuzz#" << index << "/" << coherence::to_string(protocol) << "/"
+     << decay.label() << "/l2=" << total_l2_bytes / KiB << "K/seed=" << seed;
+  if (inject_writeback_loss) os << "/INJECTED-WB-LOSS";
+  return os.str();
+}
+
+sim::SystemConfig FuzzScenario::system_config() const {
+  sim::SystemConfig cfg;
+  cfg.num_cores = num_cores;
+  cfg.total_l2_bytes = total_l2_bytes;
+  cfg.protocol = protocol;
+  cfg.decay = decay;
+  if (!decay::uses_decay(cfg.decay.technique)) cfg.decay.decay_time = 0;
+  // A small L1 keeps the L2 (where all the turn-off machinery lives) in
+  // the line of fire instead of swallowing the whole footprint.
+  cfg.l1.size_bytes = 8 * KiB;
+  cfg.l2.test_lose_decay_writeback = inject_writeback_loss;
+  cfg.instructions_per_core = instructions_per_core;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
+  const std::vector<MatrixCell> cells = matrix_cells();
+  std::vector<FuzzScenario> out;
+  out.reserve(opts.scenarios);
+  for (std::size_t i = 0; i < opts.scenarios; ++i) {
+    const MatrixCell& cell = cells[i % cells.size()];
+    FuzzScenario sc;
+    sc.index = i;
+    sc.protocol = cell.protocol;
+    sc.decay = decay::DecayConfig{cell.technique, cell.decay_time, 4};
+    sc.num_cores = 4;
+    // Alternate slice pressure between rounds of the matrix.
+    sc.total_l2_bytes = ((i / cells.size()) % 2 == 0) ? 128 * KiB : 256 * KiB;
+    sc.instructions_per_core = opts.instructions_per_core;
+    sc.seed = opts.base_seed + i;
+    sc.fuzz.num_cores = sc.num_cores;
+    sc.fuzz.decay_window = cell.decay_time;
+    sc.inject_writeback_loss = opts.inject_writeback_loss;
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+namespace {
+
+ScenarioOutcome run_with_factory(const FuzzScenario& sc,
+                                 sim::SystemConfig cfg,
+                                 const workload::StreamFactory& factory) {
+  workload::Benchmark bench;  // names the run; streams come from `factory`
+  bench.config.name = sc.label();
+  DifferentialChecker checker(cfg.num_cores);
+  sim::CmpSystem sys(cfg, bench, factory);
+  sys.set_observer(&checker);
+
+  ScenarioOutcome out;
+  out.metrics = sys.run();
+  sys.check_coherence_invariants();
+  out.divergences = checker.divergences();
+  out.total_divergences = checker.total_divergences();
+  out.loads_checked = checker.loads_checked();
+  out.fills_checked = checker.fills_checked();
+  out.writes_serialized = checker.writes_serialized();
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    out.owned_downgrades += sys.l2(c).stats().owned_downgrades.value();
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const FuzzScenario& sc, bool capture) {
+  sim::SystemConfig cfg = sc.system_config();
+  workload::Trace trace;
+  trace.num_cores = cfg.num_cores;
+
+  const workload::FuzzerConfig& fc = sc.fuzz;
+  workload::StreamFactory base = [&fc](CoreId core,
+                                       std::uint64_t seed) {
+    return std::make_unique<workload::FuzzerWorkload>(fc, core, seed);
+  };
+  const workload::StreamFactory factory =
+      capture ? workload::capture_factory(std::move(base), &trace) : base;
+
+  ScenarioOutcome out = run_with_factory(sc, cfg, factory);
+  if (capture) out.trace = std::move(trace);
+  return out;
+}
+
+ScenarioOutcome replay_scenario(const FuzzScenario& sc,
+                                const workload::Trace& trace) {
+  sim::SystemConfig cfg = sc.system_config();
+  CDSIM_ASSERT_MSG(trace.num_cores == cfg.num_cores,
+                   "trace core count does not match the scenario");
+  cfg.per_core_instructions = trace.per_core_instructions();
+  return run_with_factory(sc, cfg, workload::replay_factory(trace));
+}
+
+namespace {
+
+void write_failure_report(const std::string& dir, const FuzzFailure& f) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  const std::string stem =
+      dir + "/fuzz_" + std::to_string(f.scenario.index);
+
+  std::string err;
+  const bool full_ok = f.trace.save(stem + ".cdt", &err);
+  bool min_ok = false;
+  if (!f.shrunk.records.empty()) {
+    min_ok = f.shrunk.save(stem + ".min.cdt", &err);
+  }
+
+  std::ofstream rep(stem + ".report.txt", std::ios::trunc);
+  rep << "Differential-verification failure\n"
+      << "scenario: " << f.scenario.label() << "\n"
+      << "captured trace: " << f.trace.records.size() << " ops"
+      << (full_ok ? "" : " (SAVE FAILED)") << "\n"
+      << "shrunken trace: " << f.shrunk.records.size() << " ops"
+      << (min_ok ? "" : " (not saved)") << "\n"
+      << "divergences (first " << f.divergences.size() << "):\n";
+  for (const Divergence& d : f.divergences) {
+    rep << "  " << to_string(d) << "\n";
+  }
+  rep << "\nreplay: load the .cdt with workload::Trace::load, rebuild the\n"
+         "scenario config (label above), and run verify::replay_scenario.\n";
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  FuzzReport rep;
+  for (const FuzzScenario& sc : fuzz_matrix(opts)) {
+    ScenarioOutcome out = run_scenario(sc, /*capture=*/true);
+    ++rep.scenarios_run;
+    rep.loads_checked += out.loads_checked;
+    rep.fills_checked += out.fills_checked;
+    rep.writes_serialized += out.writes_serialized;
+    rep.divergences += out.total_divergences;
+    rep.owned_downgrades += out.owned_downgrades;
+
+    if (out.total_divergences != 0 && rep.failures.size() < opts.max_failures) {
+      FuzzFailure f;
+      f.scenario = sc;
+      f.divergences = out.divergences;
+      f.trace = std::move(out.trace);
+      if (opts.shrink_failures) {
+        const auto pred = [&sc](const workload::Trace& t) {
+          return replay_scenario(sc, t).total_divergences != 0;
+        };
+        f.shrunk = shrink_trace(f.trace, pred);
+      }
+      if (!opts.report_dir.empty()) write_failure_report(opts.report_dir, f);
+      rep.failures.push_back(std::move(f));
+    }
+  }
+  return rep;
+}
+
+}  // namespace cdsim::verify

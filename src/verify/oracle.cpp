@@ -1,0 +1,153 @@
+#include "cdsim/verify/oracle.hpp"
+
+#include <sstream>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::verify {
+
+std::string to_string(const Divergence& d) {
+  std::ostringstream os;
+  os << "core " << d.core << " line 0x" << std::hex << d.line << std::dec
+     << " @cycle " << d.cycle << " [" << d.context << "]: observed v"
+     << d.observed << ", reference model says v" << d.expected;
+  return os.str();
+}
+
+DifferentialChecker::DifferentialChecker(std::uint32_t num_cores,
+                                         std::size_t max_recorded)
+    : num_cores_(num_cores), max_recorded_(max_recorded), copy_(num_cores) {
+  CDSIM_ASSERT(num_cores >= 1);
+}
+
+Version DifferentialChecker::mem_version(Addr line) const {
+  const auto it = mem_.find(line);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+Version DifferentialChecker::oracle_version(Addr line) const {
+  const auto it = oracle_.find(line);
+  return it == oracle_.end() ? 0 : it->second;
+}
+
+void DifferentialChecker::diverge(CoreId core, Addr line, Cycle now,
+                                  Version observed, Version expected,
+                                  const char* context) {
+  ++total_divergences_;
+  if (recorded_.size() < max_recorded_) {
+    recorded_.push_back(Divergence{core, line, now, observed, expected,
+                                   std::string(context)});
+  }
+}
+
+void DifferentialChecker::on_load_hit(CoreId core, Addr line, Cycle now,
+                                      bool l1) {
+  CDSIM_ASSERT(core < num_cores_);
+  ++loads_checked_;
+  const auto it = copy_[core].find(line);
+  if (it == copy_[core].end()) {
+    // A hit on a copy the shadow never saw installed: the hierarchy is
+    // reading data whose provenance the protocol cannot explain.
+    diverge(core, line, now, /*observed=*/0, oracle_version(line),
+            l1 ? "l1-hit-untracked" : "l2-hit-untracked");
+    return;
+  }
+  const Version expected = oracle_version(line);
+  if (it->second != expected) {
+    diverge(core, line, now, it->second, expected, l1 ? "l1-hit" : "l2-hit");
+  }
+}
+
+void DifferentialChecker::on_fill(CoreId core, Addr line, Cycle now,
+                                  bool from_cache, bool for_write) {
+  CDSIM_ASSERT(core < num_cores_);
+  ++fills_checked_;
+  Version v;
+  if (from_cache) {
+    // The supplying owner's flush ran during this grant's address phase,
+    // strictly before this install.
+    if (!flush_valid_ || flush_line_ != line) {
+      diverge(core, line, now, /*observed=*/0, oracle_version(line),
+              "fill-no-flush");
+      v = mem_version(line);
+    } else {
+      v = flush_version_;
+    }
+    flush_valid_ = false;
+  } else {
+    v = mem_version(line);
+  }
+  const Version expected = oracle_version(line);
+  if (v != expected) {
+    diverge(core, line, now, v, expected,
+            from_cache ? (for_write ? "fill-c2c-write" : "fill-c2c")
+                       : (for_write ? "fill-mem-write" : "fill-mem"));
+  }
+  copy_[core][line] = v;
+}
+
+void DifferentialChecker::on_write_serialized(CoreId core, Addr line,
+                                              Cycle /*now*/) {
+  CDSIM_ASSERT(core < num_cores_);
+  ++writes_serialized_;
+  const Version v = ++next_version_;
+  oracle_[line] = v;
+  copy_[core][line] = v;
+}
+
+void DifferentialChecker::on_flush_supply(CoreId core, Addr line,
+                                          Cycle now, bool memory_update) {
+  CDSIM_ASSERT(core < num_cores_);
+  const auto it = copy_[core].find(line);
+  Version v = 0;
+  if (it == copy_[core].end()) {
+    diverge(core, line, now, /*observed=*/0, oracle_version(line),
+            "flush-untracked");
+  } else {
+    v = it->second;
+  }
+  flush_valid_ = true;
+  flush_line_ = line;
+  flush_version_ = v;
+  if (memory_update) mem_[line] = v;
+}
+
+void DifferentialChecker::on_writeback_initiated(CoreId core, Addr line,
+                                                 Cycle now) {
+  CDSIM_ASSERT(core < num_cores_);
+  const auto it = copy_[core].find(line);
+  Version v = 0;
+  if (it == copy_[core].end()) {
+    diverge(core, line, now, /*observed=*/0, oracle_version(line),
+            "writeback-untracked");
+  } else {
+    v = it->second;
+  }
+  pending_wb_[{core, line}].push_back(v);
+}
+
+void DifferentialChecker::on_writeback_resolved(CoreId core, Addr line,
+                                                Cycle now, bool cancelled) {
+  CDSIM_ASSERT(core < num_cores_);
+  const auto it = pending_wb_.find({core, line});
+  if (it == pending_wb_.end() || it->second.empty()) {
+    diverge(core, line, now, /*observed=*/0, mem_version(line),
+            "writeback-unmatched");
+    return;
+  }
+  const Version v = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) pending_wb_.erase(it);
+  // A cancelled write-back means the data already reached memory through a
+  // snoop flush; applying it would be wrong only if versions moved on, and
+  // dropping it mirrors exactly what the bus did.
+  if (!cancelled) mem_[line] = v;
+}
+
+void DifferentialChecker::on_invalidate(CoreId core, Addr line,
+                                        Cycle /*now*/) {
+  CDSIM_ASSERT(core < num_cores_);
+  copy_[core].erase(line);
+}
+
+}  // namespace cdsim::verify

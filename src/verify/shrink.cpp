@@ -1,0 +1,102 @@
+#include "cdsim/verify/shrink.hpp"
+
+#include <algorithm>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::verify {
+
+namespace {
+
+using workload::Trace;
+
+Trace prefix_of(const Trace& t, std::size_t n) {
+  Trace out;
+  out.num_cores = t.num_cores;
+  out.records.assign(t.records.begin(),
+                     t.records.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+Trace without_range(const Trace& t, std::size_t begin, std::size_t count) {
+  Trace out;
+  out.num_cores = t.num_cores;
+  const std::size_t end = std::min(begin + count, t.records.size());
+  out.records.reserve(t.records.size() - (end - begin));
+  out.records.assign(t.records.begin(),
+                     t.records.begin() + static_cast<std::ptrdiff_t>(begin));
+  out.records.insert(out.records.end(),
+                     t.records.begin() + static_cast<std::ptrdiff_t>(end),
+                     t.records.end());
+  return out;
+}
+
+}  // namespace
+
+Trace shrink_trace(const Trace& failing, const ReproPredicate& still_fails,
+                   ShrinkStats* stats, const ShrinkOptions& opts) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st = ShrinkStats{};
+  st.initial_ops = failing.records.size();
+
+  auto fails = [&](const Trace& cand) {
+    if (st.replays >= opts.max_replays) return false;
+    ++st.replays;
+    return still_fails(cand);
+  };
+
+  if (failing.records.empty() || !fails(failing)) {
+    st.final_ops = failing.records.size();
+    return failing;  // does not reproduce; nothing to shrink
+  }
+  st.reproduced = true;
+  Trace cur = failing;
+
+  // Phase 1: shortest failing prefix. The predicate is monotone for
+  // prefixes in practice (a divergence at record k needs records 0..k);
+  // the search result is verified before being adopted, so a non-monotone
+  // predicate can only cost effectiveness, never correctness.
+  std::size_t lo = 1;
+  std::size_t hi = cur.records.size();
+  while (lo < hi && st.replays < opts.max_replays) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (fails(prefix_of(cur, mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (lo < cur.records.size()) {
+    Trace cand = prefix_of(cur, lo);
+    if (fails(cand)) cur = std::move(cand);
+  }
+
+  // Phase 2: delta-debugging chunk removal, chunk size halving to 1.
+  std::size_t chunk = std::max<std::size_t>(cur.records.size() / 2, 1);
+  while (st.replays < opts.max_replays) {
+    bool removed = false;
+    for (std::size_t i = 0;
+         i < cur.records.size() && st.replays < opts.max_replays;) {
+      if (cur.records.size() <= 1) break;
+      Trace cand = without_range(cur, i, chunk);
+      if (!cand.records.empty() &&
+          cand.records.size() < cur.records.size() && fails(cand)) {
+        cur = std::move(cand);
+        removed = true;  // retry the same index against the shifted tail
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed) break;  // 1-minimal
+    } else {
+      chunk = std::max<std::size_t>(chunk / 2, 1);
+    }
+  }
+
+  st.final_ops = cur.records.size();
+  return cur;
+}
+
+}  // namespace cdsim::verify

@@ -1,0 +1,172 @@
+#include "cdsim/workload/fuzzer.hpp"
+
+#include <algorithm>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::workload {
+
+namespace {
+
+// Address map (region id in bits 40+, per-core partition in bits 32+,
+// matching the synthetic generator's layout so diagnostics like
+// decay_induced_by_region keep working).
+constexpr Addr kPrivateBase = 0x1ull << 40;   // churn + chains (per core)
+constexpr Addr kSharedBase = 0x2ull << 40;    // false share / pingpong / straddle
+
+constexpr Addr kFalseShareOffset = 0x000000;
+constexpr Addr kPingpongOffset = 0x100000;
+constexpr Addr kStraddleOffset = 0x200000;
+constexpr Addr kChainOffset = 0x400000;
+
+}  // namespace
+
+FuzzerWorkload::FuzzerWorkload(const FuzzerConfig& cfg, CoreId core,
+                               std::uint64_t seed)
+    : cfg_(cfg),
+      core_(core),
+      // Mix the core id into the seed the same way the synthetic generator
+      // family does: per-core streams must be decorrelated.
+      rng_(SplitMix64(seed ^ (0x9e3779b97f4a7c15ULL *
+                              (static_cast<std::uint64_t>(core) + 1)))
+               .next()) {
+  CDSIM_ASSERT(cfg_.line_bytes >= 8);
+  CDSIM_ASSERT(cfg_.num_cores >= 1);
+  CDSIM_ASSERT(cfg_.issue_width >= 1);
+  CDSIM_ASSERT(cfg_.false_share_lines >= 1);
+  CDSIM_ASSERT(cfg_.pingpong_lines >= 1);
+  CDSIM_ASSERT(cfg_.straddle_lines >= 1);
+  CDSIM_ASSERT(cfg_.chain_lines >= 1);
+  CDSIM_ASSERT(cfg_.churn_lines >= 1);
+}
+
+MemOp FuzzerWorkload::next(Cycle /*now*/) {
+  while (queue_.empty()) refill();
+  const MemOp op = queue_.front();
+  queue_.pop_front();
+  return op;
+}
+
+void FuzzerWorkload::push(AccessType type, Addr addr, std::uint32_t gap,
+                          bool dependent, std::uint8_t chain) {
+  queue_.push_back(MemOp{type, addr, gap, dependent, chain});
+}
+
+std::uint32_t FuzzerWorkload::small_gap() {
+  return static_cast<std::uint32_t>(
+      rng_.below(static_cast<std::uint64_t>(cfg_.max_gap) + 1));
+}
+
+void FuzzerWorkload::refill() {
+  const double pick = rng_.uniform();
+  if (pick < cfg_.w_false_share) {
+    burst_false_share();
+  } else if (pick < cfg_.w_false_share + cfg_.w_pingpong) {
+    burst_pingpong();
+  } else if (pick < cfg_.w_false_share + cfg_.w_pingpong + cfg_.w_straddle) {
+    burst_straddle();
+  } else if (pick < cfg_.w_false_share + cfg_.w_pingpong + cfg_.w_straddle +
+                        cfg_.w_chain) {
+    burst_chain();
+  } else {
+    burst_churn();
+  }
+}
+
+void FuzzerWorkload::burst_false_share() {
+  // Every core picks offsets inside the same line: ownership must ping-pong
+  // while each core believes it touches "its own" bytes.
+  const Addr line = kSharedBase + kFalseShareOffset +
+                    rng_.below(cfg_.false_share_lines) * cfg_.line_bytes;
+  const Addr mine =
+      line + (static_cast<Addr>(core_) * 8) % cfg_.line_bytes;
+  const std::uint64_t n = 1 + rng_.below(3);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const bool store = rng_.chance(cfg_.store_fraction);
+    push(store ? AccessType::kStore : AccessType::kLoad, mine, small_gap(),
+         false, 0);
+  }
+}
+
+void FuzzerWorkload::burst_pingpong() {
+  // Store-then-load alternation over a tiny pool all cores fight for:
+  // S->M upgrades racing invalidations, and under MOESI a steady source of
+  // M->O downgrades (a remote load snooping our fresh store).
+  const Addr line = kSharedBase + kPingpongOffset +
+                    rng_.below(cfg_.pingpong_lines) * cfg_.line_bytes;
+  const std::uint64_t n = 2 + rng_.below(4);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const bool store = ((pingpong_step_++ + core_) & 1) == 0;
+    push(store ? AccessType::kStore : AccessType::kLoad, line, small_gap(),
+         false, 0);
+  }
+}
+
+void FuzzerWorkload::burst_straddle() {
+  // Touch a handful of lines, sleep one large-gap filler, re-touch them:
+  // the reuse intervals land just under or just past the decay window, so
+  // the re-accesses hit either still-armed lines or lines that were turned
+  // off (and, if dirty, written back) — the exact edge §III must keep
+  // coherent. Several lines share one sleep so the episode's instruction
+  // cost is amortized.
+  const std::uint32_t k = std::max<std::uint32_t>(cfg_.straddle_park, 1);
+  Addr lines[16];
+  const std::uint32_t n = k > 16 ? 16 : k;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    lines[i] = kSharedBase + kStraddleOffset +
+               rng_.below(cfg_.straddle_lines) * cfg_.line_bytes;
+    const bool dirty = rng_.chance(cfg_.store_fraction);
+    push(dirty ? AccessType::kStore : AccessType::kLoad, lines[i],
+         small_gap(), false, 0);
+  }
+
+  // Sleep between 0.5x and 1.3x the decay window (in cycles), expressed as
+  // a gap in instructions on an otherwise-idle filler access to the
+  // private churn region.
+  const double frac = 0.5 + 0.8 * rng_.uniform();
+  const auto sleep_gap = static_cast<std::uint32_t>(
+      frac * static_cast<double>(cfg_.decay_window) *
+      static_cast<double>(cfg_.issue_width));
+  const Addr filler = kPrivateBase | (static_cast<Addr>(core_) << 32) |
+                      ((churn_pos_++ % cfg_.churn_lines) * cfg_.line_bytes);
+  push(AccessType::kLoad, filler, sleep_gap, false, 0);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const bool re_store = rng_.chance(cfg_.store_fraction);
+    push(re_store ? AccessType::kStore : AccessType::kLoad, lines[i],
+         small_gap(), false, 0);
+  }
+}
+
+void FuzzerWorkload::burst_chain() {
+  // Pointer chase: each load depends on the previous load of its chain.
+  const std::uint8_t chain = next_chain_;
+  next_chain_ = static_cast<std::uint8_t>((next_chain_ + 1) % kMaxChains);
+  const Addr base = (kPrivateBase | (static_cast<Addr>(core_) << 32)) +
+                    kChainOffset;
+  const std::uint64_t n = 3 + rng_.below(4);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Addr addr = base + rng_.below(cfg_.chain_lines) * cfg_.line_bytes;
+    push(AccessType::kLoad, addr, small_gap(), /*dependent=*/i > 0, chain);
+  }
+}
+
+void FuzzerWorkload::burst_churn() {
+  // Sequential private sweep: fills sets, forces evictions, feeds clean
+  // decays, and sprinkles stores/ifetches for access-type coverage.
+  const Addr base = kPrivateBase | (static_cast<Addr>(core_) << 32);
+  const std::uint64_t n = 2 + rng_.below(6);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Addr addr =
+        base + (churn_pos_++ % cfg_.churn_lines) * cfg_.line_bytes;
+    AccessType type = AccessType::kLoad;
+    if (rng_.chance(cfg_.ifetch_fraction)) {
+      type = AccessType::kIFetch;
+    } else if (rng_.chance(cfg_.store_fraction * 0.5)) {
+      type = AccessType::kStore;
+    }
+    push(type, addr, small_gap(), false, 0);
+  }
+}
+
+}  // namespace cdsim::workload

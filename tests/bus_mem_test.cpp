@@ -86,7 +86,9 @@ TEST(SnoopBus, MemorySuppliesWhenNoDirtyOwner) {
 
 TEST(SnoopBus, CacheToCacheFasterThanMemory) {
   BusFixture dirty, clean;
-  dirty.s0.reply = {.had_line = true, .supplied_data = true};
+  // A MESI dirty owner: flushes to the requester AND memory.
+  dirty.s0.reply = {.had_line = true, .supplied_data = true,
+                    .memory_update = true};
   BusResult rd, rc;
   dirty.bus.request(BusTxKind::kBusRd, 0x40, 1, 64,
                     [&](const BusResult& r) { rd = r; });
@@ -98,6 +100,21 @@ TEST(SnoopBus, CacheToCacheFasterThanMemory) {
   // The flush also updates memory (write traffic, no read).
   EXPECT_EQ(dirty.mem.write_count(), 1u);
   EXPECT_EQ(dirty.mem.read_count(), 0u);
+}
+
+TEST(SnoopBus, OwnedSupplyGeneratesNoMemoryTraffic) {
+  // A MOESI Owned supplier keeps ownership: the requester gets the data
+  // cache-to-cache while memory stays stale — no write, and no read.
+  BusFixture f;
+  f.s0.reply = {.had_line = true, .supplied_data = true,
+                .memory_update = false};
+  BusResult got;
+  f.bus.request(BusTxKind::kBusRd, 0x40, 1, 64,
+                [&](const BusResult& r) { got = r; });
+  f.eq.run();
+  EXPECT_TRUE(got.supplied_by_cache);
+  EXPECT_EQ(f.mem.write_count(), 0u);
+  EXPECT_EQ(f.mem.read_count(), 0u);
 }
 
 TEST(SnoopBus, UpgradeCarriesNoData) {

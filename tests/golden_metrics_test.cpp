@@ -16,11 +16,18 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "cdsim/power/energy.hpp"
+#include "cdsim/sim/cmp_system.hpp"
 #include "cdsim/sim/experiment.hpp"
 #include "cdsim/workload/benchmarks.hpp"
+#include "cdsim/workload/fuzzer.hpp"
+#include "cdsim/workload/trace_file.hpp"
 
 namespace {
 
@@ -138,6 +145,63 @@ TEST_P(GoldenMetricsTest, RunMetricsAreBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(PinnedConfigs, GoldenMetricsTest,
                          ::testing::Range<std::size_t>(0, std::size(kGolden)));
+
+// The .cdt trace-replay path, pinned the same way: a deterministic
+// fuzzer-generated trace is written to disk, read back, and replayed
+// through ScriptedWorkload with per-core budgets — every metric must come
+// out bit-identical to the values captured when the path was introduced.
+// This puts the whole capture -> serialize -> parse -> replay pipeline
+// under the exact-hexfloat regression guard.
+TEST(GoldenMetricsTest, TraceReplayCdtPathIsPinned) {
+  workload::FuzzerConfig fc;
+  fc.num_cores = 2;
+  fc.decay_window = 2048;
+  workload::Trace t;
+  t.num_cores = 2;
+  for (CoreId c = 0; c < 2; ++c) {
+    workload::FuzzerWorkload w(fc, c, /*seed=*/99);
+    Cycle now = 0;
+    for (int i = 0; i < 1200; ++i) t.records.push_back({c, w.next(now += 2)});
+  }
+
+  const std::string path = ::testing::TempDir() + "golden_replay_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".cdt";
+  std::string err;
+  ASSERT_TRUE(t.save(path, &err)) << err;
+  const auto loaded = workload::Trace::load(path, &err);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value()) << err;
+
+  sim::SystemConfig cfg;
+  cfg.num_cores = 2;
+  cfg.total_l2_bytes = 128 * KiB;
+  cfg.decay = decay::DecayConfig{decay::Technique::kDecay, 2048, 4};
+  cfg.l1.size_bytes = 8 * KiB;
+  cfg.per_core_instructions = loaded->per_core_instructions();
+  ASSERT_EQ(cfg.per_core_instructions[0], 207251u);
+  ASSERT_EQ(cfg.per_core_instructions[1], 286103u);
+  workload::Benchmark bench;
+  bench.config.name = "trace-replay";
+  sim::CmpSystem sys(cfg, bench, workload::replay_factory(*loaded));
+  const sim::RunMetrics m = sys.run();
+
+  EXPECT_EQ(m.cycles, 93395u);
+  EXPECT_EQ(m.instructions, 493354u);
+  EXPECT_EQ(m.l2_accesses, 1985u);
+  EXPECT_EQ(m.l2_misses, 1765u);
+  EXPECT_EQ(m.l2_decay_turnoffs, 1372u);
+  EXPECT_EQ(m.l2_decay_induced_misses, 776u);
+  EXPECT_EQ(m.l2_coherence_invals, 66u);
+  EXPECT_EQ(m.l2_writebacks, 415u);
+  EXPECT_EQ(m.mem_bytes, 119424u);
+  EXPECT_EQ(m.ipc, 0x1.5213966768a0ep+2);
+  EXPECT_EQ(m.l2_occupation, 0x1.2ace7608f0f88p-6);
+  EXPECT_EQ(m.l2_miss_rate, 0x1.c74120e2fb7c7p-1);
+  EXPECT_EQ(m.amat, 0x1.040db33747356p+7);
+  EXPECT_EQ(m.mem_bandwidth, 0x1.4758c098cbffep+0);
+  EXPECT_EQ(m.energy, 0x1.152adee424fddp+18);
+}
 
 // The kernel must also be self-deterministic: two runs of the same config
 // in one process give identical results (guards accidental global state).

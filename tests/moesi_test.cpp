@@ -60,13 +60,23 @@ TEST(Moesi, OwnerKeepsSupplyingReaders) {
 }
 
 TEST(Moesi, RemoteWriterFlushesTheOwner) {
-  for (const BusTxKind k : {BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
-    const MoesiSnoopOutcome o = moesi_apply_snoop(kOwned, k);
-    EXPECT_EQ(o.next, kInvalid);
-    EXPECT_TRUE(o.supply_data);
-    EXPECT_TRUE(o.memory_update);  // ownership dies: data must be safe
-    EXPECT_TRUE(o.invalidated);
-  }
+  // BusRdX: the requester has no data, so the dying owner must flush.
+  const MoesiSnoopOutcome o = moesi_apply_snoop(kOwned, BusTxKind::kBusRdX);
+  EXPECT_EQ(o.next, kInvalid);
+  EXPECT_TRUE(o.supply_data);
+  EXPECT_TRUE(o.memory_update);  // ownership dies: data must be safe
+  EXPECT_TRUE(o.invalidated);
+}
+
+TEST(Moesi, UpgradeMigratesOwnershipSilently) {
+  // BusUpgr: the requester already holds the identical line in S — the
+  // owner dies without moving data; the new M inherits the dirty-data
+  // responsibility. No bus data phase, no memory write.
+  const MoesiSnoopOutcome o = moesi_apply_snoop(kOwned, BusTxKind::kBusUpgr);
+  EXPECT_EQ(o.next, kInvalid);
+  EXPECT_FALSE(o.supply_data);
+  EXPECT_FALSE(o.memory_update);
+  EXPECT_TRUE(o.invalidated);
 }
 
 TEST(Moesi, CleanStatesMatchMesiBehaviour) {
@@ -100,13 +110,22 @@ TEST(Moesi, WriteBackInertForThirdParties) {
 }
 
 TEST(Moesi, TransientDirtySnoopCancelsItsWriteback) {
-  for (const BusTxKind k :
-       {BusTxKind::kBusRd, BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
+  // Data-carrying transactions flush the dying line to the requester and
+  // memory; the queued turn-off write-back becomes moot either way.
+  for (const BusTxKind k : {BusTxKind::kBusRd, BusTxKind::kBusRdX}) {
     const MoesiSnoopOutcome o = moesi_apply_snoop(kTransientDirty, k);
     EXPECT_EQ(o.next, kInvalid) << to_string(k);
     EXPECT_TRUE(o.cancel_turnoff_wb);
     EXPECT_TRUE(o.memory_update);
   }
+  // An upgrade's requester already holds the data: the TD line dies
+  // silently and the upgrader's new M copy carries the responsibility.
+  const MoesiSnoopOutcome o =
+      moesi_apply_snoop(kTransientDirty, BusTxKind::kBusUpgr);
+  EXPECT_EQ(o.next, kInvalid);
+  EXPECT_TRUE(o.cancel_turnoff_wb);
+  EXPECT_FALSE(o.memory_update);
+  EXPECT_FALSE(o.supply_data);
 }
 
 // --- turn-off classification (the §III extension) -----------------------------------
@@ -182,19 +201,28 @@ TEST(Moesi, InvalidationAlwaysLandsInInvalid) {
 }
 
 TEST(Moesi, NoDirtyDataIsEverSilentlyDropped) {
-  // Whenever a dirty state leaves the dirty set, memory must be updated.
+  // Whenever a dirty state leaves the dirty set, the data must stay safe:
+  // either memory is made current, or — on an upgrade — the requester
+  // (which already holds the identical line and is entering M) inherits
+  // the dirty-data responsibility. Only BusUpgr transfers responsibility;
+  // every data-carrying transaction that kills a dirty line writes memory.
   for (const MoesiState s : {kOwned, kModified, kTransientDirty}) {
-    for (const BusTxKind k :
-         {BusTxKind::kBusRd, BusTxKind::kBusRdX, BusTxKind::kBusUpgr}) {
+    for (const BusTxKind k : {BusTxKind::kBusRd, BusTxKind::kBusRdX}) {
       const MoesiSnoopOutcome o = moesi_apply_snoop(s, k);
       if (!is_dirty(o.next)) {
-        EXPECT_TRUE(o.memory_update || o.supply_data)
-            << to_string(s) << " " << to_string(k);
-        // Stronger: leaving the dirty set without a surviving owner means
-        // memory itself must have been made current.
+        EXPECT_TRUE(o.supply_data) << to_string(s) << " " << to_string(k);
+        // Leaving the dirty set without a surviving owner means memory
+        // itself must have been made current.
         EXPECT_TRUE(o.memory_update) << to_string(s) << " " << to_string(k);
       }
     }
+    const MoesiSnoopOutcome o = moesi_apply_snoop(s, BusTxKind::kBusUpgr);
+    EXPECT_FALSE(is_dirty(o.next)) << to_string(s);
+    // The upgrading writer installs M: moesi_fill_state(was_write) is
+    // dirty, so responsibility migrated rather than vanished.
+    EXPECT_TRUE(is_dirty(moesi_fill_state(/*was_write=*/true, false)));
+    EXPECT_FALSE(o.supply_data) << to_string(s);
+    EXPECT_FALSE(o.memory_update) << to_string(s);
   }
 }
 

@@ -1,0 +1,249 @@
+// .cdt trace format: round-trip fidelity, replay determinism, and the
+// reader's corruption/version error paths.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cdsim/verify/fuzz.hpp"
+#include "cdsim/workload/fuzzer.hpp"
+#include "cdsim/workload/trace_file.hpp"
+
+namespace {
+
+using namespace cdsim;
+using workload::Trace;
+using workload::TraceRecord;
+
+/// Unique temp path per test (tests run in one process; the pid suffix
+/// keeps parallel ctest invocations of this binary apart).
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "cdt_" + tag + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".cdt";
+}
+
+Trace small_trace() {
+  Trace t;
+  t.num_cores = 2;
+  t.records.push_back({0, {AccessType::kLoad, 0x1040, 3, false, 0}});
+  t.records.push_back({1, {AccessType::kStore, 0x2080, 0, false, 2}});
+  t.records.push_back({0, {AccessType::kLoad, 0x10c0, 7, true, 5}});
+  t.records.push_back({1, {AccessType::kIFetch, 0x3000, 2, false, 0}});
+  return t;
+}
+
+void expect_traces_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.num_cores, b.num_cores);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.records[i].core, b.records[i].core);
+    EXPECT_EQ(a.records[i].op.addr, b.records[i].op.addr);
+    EXPECT_EQ(a.records[i].op.type, b.records[i].op.type);
+    EXPECT_EQ(a.records[i].op.gap, b.records[i].op.gap);
+    EXPECT_EQ(a.records[i].op.dependent, b.records[i].op.dependent);
+    EXPECT_EQ(a.records[i].op.chain, b.records[i].op.chain);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(TraceFile, SaveLoadRoundTripPreservesEveryField) {
+  const Trace t = small_trace();
+  const std::string path = temp_path("roundtrip");
+  std::string err;
+  ASSERT_TRUE(t.save(path, &err)) << err;
+  const auto loaded = Trace::load(path, &err);
+  ASSERT_TRUE(loaded.has_value()) << err;
+  expect_traces_equal(t, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, CaptureReadReplayIsBitIdentical) {
+  // Capture a hostile scenario, write it to disk, read it back, replay it
+  // through ScriptedWorkload — the RunMetrics must match the original run
+  // exactly (doubles compared bit-for-bit via EXPECT_EQ).
+  verify::FuzzScenario sc;
+  sc.decay = decay::DecayConfig{decay::Technique::kDecay, 2048, 4};
+  sc.seed = 31415;
+  sc.fuzz.decay_window = 2048;
+  sc.instructions_per_core = 12000;
+
+  const verify::ScenarioOutcome original = verify::run_scenario(sc);
+  ASSERT_EQ(original.total_divergences, 0u);
+  ASSERT_GT(original.trace.records.size(), 0u);
+
+  const std::string path = temp_path("capture");
+  std::string err;
+  ASSERT_TRUE(original.trace.save(path, &err)) << err;
+  const auto loaded = Trace::load(path, &err);
+  ASSERT_TRUE(loaded.has_value()) << err;
+  expect_traces_equal(original.trace, *loaded);
+  std::remove(path.c_str());
+
+  const verify::ScenarioOutcome replay = verify::replay_scenario(sc, *loaded);
+  EXPECT_EQ(replay.total_divergences, 0u);
+  EXPECT_EQ(replay.metrics.cycles, original.metrics.cycles);
+  EXPECT_EQ(replay.metrics.instructions, original.metrics.instructions);
+  EXPECT_EQ(replay.metrics.l2_accesses, original.metrics.l2_accesses);
+  EXPECT_EQ(replay.metrics.l2_misses, original.metrics.l2_misses);
+  EXPECT_EQ(replay.metrics.l2_decay_turnoffs,
+            original.metrics.l2_decay_turnoffs);
+  EXPECT_EQ(replay.metrics.l2_writebacks, original.metrics.l2_writebacks);
+  EXPECT_EQ(replay.metrics.mem_bytes, original.metrics.mem_bytes);
+  EXPECT_EQ(replay.metrics.ipc, original.metrics.ipc);
+  EXPECT_EQ(replay.metrics.amat, original.metrics.amat);
+  EXPECT_EQ(replay.metrics.energy, original.metrics.energy);
+  EXPECT_EQ(replay.metrics.l2_occupation, original.metrics.l2_occupation);
+}
+
+// ---------------------------------------------------------------------------
+// Budgets and idle cores
+// ---------------------------------------------------------------------------
+
+TEST(TraceFile, PerCoreInstructionsSumGapPlusOne) {
+  const Trace t = small_trace();
+  const auto budget = t.per_core_instructions();
+  ASSERT_EQ(budget.size(), 2u);
+  EXPECT_EQ(budget[0], (3u + 1) + (7u + 1));
+  EXPECT_EQ(budget[1], (0u + 1) + (2u + 1));
+}
+
+TEST(TraceFile, IdleCoreGetsUnitBudgetAndFillerStream) {
+  Trace t;
+  t.num_cores = 4;  // cores 1..3 never scheduled
+  t.records.push_back({0, {AccessType::kLoad, 0x40, 2, false, 0}});
+  const auto budget = t.per_core_instructions();
+  ASSERT_EQ(budget.size(), 4u);
+  EXPECT_EQ(budget[0], 3u);
+  EXPECT_EQ(budget[1], 1u);
+
+  const workload::StreamFactory factory = workload::replay_factory(t);
+  const workload::StreamPtr s = factory(3, 0);
+  ASSERT_NE(s, nullptr);
+  const workload::MemOp op = s->next(0);
+  EXPECT_EQ(op.type, AccessType::kLoad);
+  EXPECT_EQ(op.gap, 0u);
+
+  // A trace with idle cores must also replay end-to-end.
+  verify::FuzzScenario sc;
+  sc.instructions_per_core = 1;  // overridden by per-core budgets anyway
+  const verify::ScenarioOutcome out = verify::replay_scenario(sc, t);
+  EXPECT_EQ(out.total_divergences, 0u);
+  EXPECT_EQ(out.metrics.instructions, 3u + 1 + 1 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Reader error paths
+// ---------------------------------------------------------------------------
+
+class TraceFileErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("errors");
+    std::string err;
+    ASSERT_TRUE(small_trace().save(path_, &err)) << err;
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes_ = ss.str();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_bytes(const std::string& b) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(b.data(), static_cast<std::streamsize>(b.size()));
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(TraceFileErrors, RejectsBadMagic) {
+  std::string b = bytes_;
+  b[0] = 'X';
+  write_bytes(b);
+  std::string err;
+  EXPECT_FALSE(Trace::load(path_, &err).has_value());
+  EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+}
+
+TEST_F(TraceFileErrors, RejectsVersionMismatch) {
+  std::string b = bytes_;
+  b[4] = 99;  // version little-endian low byte
+  write_bytes(b);
+  std::string err;
+  EXPECT_FALSE(Trace::load(path_, &err).has_value());
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST_F(TraceFileErrors, RejectsTruncation) {
+  write_bytes(bytes_.substr(0, bytes_.size() - 5));
+  std::string err;
+  EXPECT_FALSE(Trace::load(path_, &err).has_value());
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST_F(TraceFileErrors, RejectsCorruptRecordByte) {
+  std::string b = bytes_;
+  b[20] ^= 0x5a;  // first record's addr low byte
+  write_bytes(b);
+  std::string err;
+  EXPECT_FALSE(Trace::load(path_, &err).has_value());
+  EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+}
+
+TEST_F(TraceFileErrors, RejectsOverflowingRecordCount) {
+  // A crafted header whose record count makes the naive size arithmetic
+  // (header + n*16 + checksum) wrap back to the file size must be rejected
+  // loudly, not reserve petabytes or read out of bounds. The 8 trailing
+  // bytes hold the FNV-1a basis — the checksum of a wrapped zero-length
+  // record region — so only the count validation stands between this file
+  // and the record parser.
+  std::string b;
+  b += "CDTF";
+  const auto u32 = [&b](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) b.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  const auto u64 = [&b](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  u32(Trace::kFormatVersion);
+  u32(2);                             // num_cores
+  u64(1ull << 60);                    // record count: (1<<60)*16 wraps to 0
+  u64(14695981039346656037ull);       // FNV-1a offset basis
+  write_bytes(b);
+  std::string err;
+  EXPECT_FALSE(Trace::load(path_, &err).has_value());
+  EXPECT_NE(err.find("truncated or oversized"), std::string::npos) << err;
+}
+
+TEST_F(TraceFileErrors, RejectsHeaderShorterThanMinimum) {
+  write_bytes("CDTF");
+  std::string err;
+  EXPECT_FALSE(Trace::load(path_, &err).has_value());
+  EXPECT_NE(err.find("too short"), std::string::npos) << err;
+}
+
+TEST_F(TraceFileErrors, RejectsMissingFile) {
+  std::string err;
+  EXPECT_FALSE(Trace::load(path_ + ".does-not-exist", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+TEST_F(TraceFileErrors, SaveRejectsOutOfRangeCore) {
+  Trace t = small_trace();
+  t.records[1].core = 9;  // > num_cores
+  std::string err;
+  EXPECT_FALSE(t.save(path_, &err));
+  EXPECT_NE(err.find("core"), std::string::npos) << err;
+}
+
+}  // namespace

@@ -247,5 +247,46 @@ TEST(Scripted, RepeatLastHoldsFinalOp) {
   EXPECT_EQ(w.next(0).addr, 0x80u);
 }
 
+TEST(Scripted, RepeatLastRestampsDependenceConsistently) {
+  // The final op is a dependent pointer-chase load. It must be returned
+  // verbatim once (it is part of the script); every repeat after that is
+  // the same op re-stamped independent — a repeated dependent load would
+  // chain on its own previous issue and serialize the filler tail, making
+  // replay timing depend on the repeat count instead of the script.
+  std::vector<MemOp> ops = {
+      {AccessType::kLoad, 0x40, 2, false, 1},
+      {AccessType::kLoad, 0x80, 5, true, 3},
+  };
+  ScriptedWorkload w(ops, ScriptedWorkload::AtEnd::kRepeatLast);
+  (void)w.next(0);
+
+  const MemOp last = w.next(0);  // the scripted final op, verbatim
+  EXPECT_EQ(last.addr, 0x80u);
+  EXPECT_TRUE(last.dependent);
+  EXPECT_EQ(last.gap, 5u);
+  EXPECT_EQ(last.chain, 3u);
+
+  for (int i = 0; i < 3; ++i) {
+    const MemOp rep = w.next(0);  // tail filler: re-stamped
+    EXPECT_EQ(rep.addr, 0x80u);
+    EXPECT_EQ(rep.type, AccessType::kLoad);
+    EXPECT_FALSE(rep.dependent);
+    EXPECT_EQ(rep.gap, 5u);    // pacing preserved
+    EXPECT_EQ(rep.chain, 3u);  // identity preserved
+  }
+}
+
+TEST(Scripted, LoopModeNeverRestamps) {
+  std::vector<MemOp> ops = {
+      {AccessType::kLoad, 0x40, 1, true, 2},
+  };
+  ScriptedWorkload w(ops);  // kLoop
+  for (int i = 0; i < 4; ++i) {
+    const MemOp op = w.next(0);
+    EXPECT_TRUE(op.dependent) << i;
+    EXPECT_EQ(op.chain, 2u) << i;
+  }
+}
+
 }  // namespace
 }  // namespace cdsim::workload
