@@ -2,10 +2,17 @@
 //
 //   ./fuzz_verify [scenarios] [report_dir]
 //       Runs the adversarial fuzz matrix ({MESI, MOESI} x all four leakage
-//       techniques x three decay times x seeds) with the reference-model
-//       oracle attached, printing a summary. Exit code 1 on any divergence;
-//       failing scenarios are captured, shrunk, and written to report_dir
-//       as .cdt traces (CI uploads them as artifacts).
+//       techniques x three decay times x {4-core snoop bus, 8/16-core
+//       directory mesh} x seeds) with the reference-model oracle attached,
+//       printing a summary. Exit code 1 on any divergence; failing
+//       scenarios are captured, shrunk, and written to report_dir as .cdt
+//       traces (CI uploads them as artifacts).
+//
+//   ./fuzz_verify --dmesh-smoke [scenarios] [report_dir]
+//       The many-core CI gate: restricts the matrix to 16-core
+//       directory-mesh cells (hot-home contention + all-to-all sharing
+//       over the NoC, both protocols, all techniques). Default 64
+//       scenarios.
 //
 //   ./fuzz_verify --demo-bug
 //       Injects the test-only "dirty decay turn-off loses its write-back"
@@ -30,14 +37,18 @@ using namespace cdsim;
 
 namespace {
 
-int run_matrix(std::size_t scenarios, const char* report_dir) {
+int run_matrix(std::size_t scenarios, const char* report_dir,
+               bool dmesh_only) {
   verify::FuzzOptions opts;
   opts.scenarios = scenarios;
+  opts.dmesh_only = dmesh_only;
   if (report_dir != nullptr) opts.report_dir = report_dir;
 
   std::printf("fuzz_verify: %zu scenarios across {MESI, MOESI} x "
-              "{baseline, protocol, decay, sel_decay} x {1K, 2K, 4K}\n",
-              opts.scenarios);
+              "{baseline, protocol, decay, sel_decay} x {1K, 2K, 4K} x %s\n",
+              opts.scenarios,
+              dmesh_only ? "{16-core directory mesh}"
+                         : "{bus4, dmesh16/dmesh8}");
   const verify::FuzzReport rep = verify::run_fuzz(opts);
 
   std::printf("\n  scenarios run       %zu\n", rep.scenarios_run);
@@ -122,15 +133,25 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--demo-bug") == 0) {
     return demo_bug();
   }
+  bool dmesh_only = false;
+  int arg = 1;
   std::size_t scenarios = 208;
-  if (argc > 1) {
-    const unsigned long long v = std::strtoull(argv[1], nullptr, 10);
+  if (argc > arg && std::strcmp(argv[arg], "--dmesh-smoke") == 0) {
+    dmesh_only = true;
+    scenarios = 64;
+    ++arg;
+  }
+  if (argc > arg) {
+    const unsigned long long v = std::strtoull(argv[arg], nullptr, 10);
     if (v == 0) {
-      std::fprintf(stderr, "usage: %s [scenarios] [report_dir] | --demo-bug\n",
+      std::fprintf(stderr,
+                   "usage: %s [--dmesh-smoke] [scenarios] [report_dir] | "
+                   "--demo-bug\n",
                    argv[0]);
       return 2;
     }
     scenarios = static_cast<std::size_t>(v);
+    ++arg;
   }
-  return run_matrix(scenarios, argc > 2 ? argv[2] : nullptr);
+  return run_matrix(scenarios, argc > arg ? argv[arg] : nullptr, dmesh_only);
 }

@@ -27,9 +27,18 @@
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
 #include "cdsim/mem/memory.hpp"
+#include "cdsim/noc/interconnect.hpp"
 #include "cdsim/verify/observer.hpp"
 
 namespace cdsim::bus {
+
+// The transaction vocabulary (snoop interface, result, hooks) is shared
+// with the directory mesh and lives in noc/interconnect.hpp; these aliases
+// keep the historical bus:: spellings working.
+using noc::BusResult;
+using noc::RequestHooks;
+using noc::Snooper;
+using noc::SnoopReply;
 
 struct BusConfig {
   /// Cycles from request to earliest possible grant (arbiter latency).
@@ -43,64 +52,10 @@ struct BusConfig {
   Cycle cache_to_cache_latency = 10;
 };
 
-/// What a snooping cache reports back during the address phase.
-struct SnoopReply {
-  bool had_line = false;      ///< Held valid data (drives S vs E fill).
-  bool supplied_data = false; ///< Is the dirty owner and will flush.
-  /// The flush also writes memory. Under MESI every flush does; under MOESI
-  /// an Owned/Modified owner answering a BusRd keeps ownership and leaves
-  /// memory stale — the bus must then not generate memory write traffic.
-  bool memory_update = false;
-};
-
-/// Interface implemented by every agent that snoops the bus (the L2
-/// controllers). `snoop` must apply the coherence side effects immediately
-/// (atomic-at-grant semantics) and return what happened.
-class Snooper {
- public:
-  virtual ~Snooper() = default;
-  virtual SnoopReply snoop(coherence::BusTxKind kind, Addr line_addr,
-                           CoreId requester) = 0;
-};
-
-/// Completion report for one bus transaction.
-struct BusResult {
-  Cycle granted_at = 0;
-  /// Cycle the requested line is available at the requester (fills), or the
-  /// transaction fully retired (upgrades / write-backs).
-  Cycle done_at = 0;
-  /// Another L2 held the line at snoop time (requester fills S, not E).
-  bool shared = false;
-  /// Data came from a dirty owner's flush rather than memory.
-  bool supplied_by_cache = false;
-};
-
-/// Callbacks and guards attached to one bus transaction. All four are
-/// move-only SmallFn with inline buffers sized for the L2 controller's
-/// captures, so issuing a transaction does not allocate.
-struct RequestHooks {
-  /// Fires at BusResult::done_at (data delivered / transaction retired).
-  SmallFn<void(const BusResult&), 32> on_done;
-  /// Fires at the grant cycle, after the snoop broadcast resolved. L2
-  /// controllers use this to install the line's tag+state atomically in
-  /// bus order (data arrives later), which keeps coherence exact across
-  /// overlapping split transactions.
-  SmallFn<void(const BusResult&), 32> on_grant;
-  /// Checked at the grant cycle before anything happens. Returning false
-  /// drops the transaction (no snoop, no occupancy, no traffic) — used to
-  /// cancel a TD turn-off write-back whose data already reached memory via
-  /// a snoop flush (see coherence::SnoopOutcome::cancel_turnoff_wb), and to
-  /// abandon a BusUpgr whose S line was invalidated while queued.
-  SmallFn<bool(), 24> validator;
-  /// Fires at the grant cycle when the validator dropped the transaction,
-  /// so the requester can fall back (e.g. reissue an upgrade as BusRdX).
-  SmallFn<void(), 40> on_cancel;
-};
-
 /// The shared snoopy bus.
-class SnoopBus {
+class SnoopBus final : public noc::Interconnect {
  public:
-  using Completion = SmallFn<void(const BusResult&), 32>;
+  using noc::Interconnect::request;  // the Completion convenience overload
 
   SnoopBus(EventQueue& eq, const BusConfig& cfg, mem::MemoryController& mem)
       : eq_(eq), cfg_(cfg), mem_(mem) {}
@@ -110,13 +65,13 @@ class SnoopBus {
 
   /// Registers a snooping agent. The agent's position in attach order is
   /// its round-robin arbitration slot. Must be called before any request.
-  void attach(Snooper* s) {
+  void attach(Snooper* s) override {
     CDSIM_ASSERT(s != nullptr);
     snoopers_.push_back(s);
     queues_.emplace_back();
   }
 
-  [[nodiscard]] std::size_t num_agents() const noexcept {
+  [[nodiscard]] std::size_t num_agents() const noexcept override {
     return snoopers_.size();
   }
 
@@ -124,21 +79,13 @@ class SnoopBus {
   /// bus reports write-back resolutions — the single point that knows
   /// whether a queued write-back actually reached memory or was dropped by
   /// its cancellation validator.
-  void set_observer(verify::AccessObserver* obs) noexcept { obs_ = obs; }
-
-  /// Issues a transaction on behalf of `requester` (index in attach order).
-  /// `bytes` is the payload size (a line for fills/write-backs, 0 for
-  /// upgrades). `on_done` fires at BusResult::done_at.
-  void request(coherence::BusTxKind kind, Addr line_addr, CoreId requester,
-               std::uint32_t bytes, Completion on_done) {
-    RequestHooks hooks;
-    hooks.on_done = std::move(on_done);
-    request(kind, line_addr, requester, bytes, std::move(hooks));
+  void set_observer(verify::AccessObserver* obs) noexcept override {
+    obs_ = obs;
   }
 
   /// Full-control variant with grant hook and cancellation validator.
   void request(coherence::BusTxKind kind, Addr line_addr, CoreId requester,
-               std::uint32_t bytes, RequestHooks hooks) {
+               std::uint32_t bytes, RequestHooks hooks) override {
     CDSIM_ASSERT(requester < queues_.size());
     queues_[requester].push_back(
         Pending{kind, line_addr, requester, bytes, std::move(hooks)});
@@ -147,27 +94,28 @@ class SnoopBus {
   }
 
   // --- statistics ---------------------------------------------------------
-  [[nodiscard]] std::uint64_t transactions(coherence::BusTxKind k) const {
+  [[nodiscard]] std::uint64_t transactions(
+      coherence::BusTxKind k) const override {
     return tx_count_[static_cast<std::size_t>(k)].value();
   }
-  [[nodiscard]] std::uint64_t total_transactions() const {
+  [[nodiscard]] std::uint64_t total_transactions() const override {
     std::uint64_t n = 0;
     for (const auto& c : tx_count_) n += c.value();
     return n;
   }
-  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept override {
     return bytes_.value();
   }
   /// Fraction of cycles the bus was occupied over [0, now]. The last
   /// transaction may extend past `now`; the ratio is clamped to 1.
-  [[nodiscard]] double utilization(Cycle now) const {
+  [[nodiscard]] double utilization(Cycle now) const override {
     const double u =
         safe_div(static_cast<double>(busy_cycles_), static_cast<double>(now));
     return u > 1.0 ? 1.0 : u;
   }
 
   /// Transactions dropped by their validator (cancelled write-backs).
-  [[nodiscard]] std::uint64_t cancelled_transactions() const noexcept {
+  [[nodiscard]] std::uint64_t cancelled_transactions() const noexcept override {
     return cancelled_.value();
   }
 

@@ -1,0 +1,171 @@
+#pragma once
+// Directory coherence over a 2D-mesh NoC: the scale-out Interconnect.
+//
+// Cores/L2 slices sit one per mesh tile; every line address is interleaved
+// to a *home tile* whose directory bank serializes all transactions for
+// that line. A transaction's life is:
+//
+//   request packet (requester -> home, XY mesh route)
+//     -> [home bank latency + occupancy]  -> GRANT at the home:
+//          validator check, directed snoops to exactly the tracked
+//          holders (atomic-at-grant, like the bus's address phase),
+//          directory bitmap refresh by probing the involved caches
+//     -> data legs over the mesh:
+//          fill from owner:   home -> owner (fwd) -> requester (data)
+//          fill from memory:  home -> memory tile -> memory read
+//                             -> requester (data)
+//          upgrade:           home -> sharers (inval) -> acks -> home
+//                             -> requester (ack)
+//          write-back:        data travelled with the request; home ->
+//                             memory tile (data), posted write
+//
+// Functional equivalence with the snoopy bus: coherence side effects apply
+// atomically at the grant, exactly as the bus applies them at its grant —
+// so the L2 controller and the differential oracle see the same contract,
+// and every directory run is verifiable against the flat last-writer
+// reference model. The directory merely *narrows* the snoop set (a snoop
+// at a non-holder is a no-op on the bus too) and re-times the data.
+//
+// One behavior is deliberately stronger than the bus: a read that reaches
+// the home while the owner's write-back is still in flight (the copy died
+// at eviction; memory is stale until the write-back lands) is *deferred*
+// behind that write-back instead of reading stale memory. The per-core
+// FIFO queues of the bus make that window unreachable there; the mesh's
+// many paths would expose it, so the home closes it — the standard
+// late-write-back handling of directory protocols.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cdsim/coherence/directory.hpp"
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/stats.hpp"
+#include "cdsim/mem/memory.hpp"
+#include "cdsim/noc/interconnect.hpp"
+#include "cdsim/noc/mesh.hpp"
+
+namespace cdsim::noc {
+
+struct DirectoryMeshConfig {
+  NocConfig noc;
+  /// Cycles from request arrival at the home tile to its earliest grant
+  /// (directory bank lookup).
+  Cycle directory_latency = 3;
+  /// Cycles one grant occupies its home bank (serialization under hot-home
+  /// contention).
+  Cycle bank_occupancy = 1;
+  /// Payload bytes of a control message (request, forward, inval, ack).
+  std::uint32_t ctrl_bytes = 8;
+  /// Tile adjacent to the memory controller (edge of the mesh).
+  std::uint32_t mem_tile = 0;
+  /// Home-interleave granularity; CmpSystem sets it to the L2 line size so
+  /// consecutive lines map to consecutive home tiles.
+  std::uint32_t home_interleave_bytes = 64;
+};
+
+/// The directory-mesh fabric. CoreId c lives on tile c.
+class DirectoryMesh final : public Interconnect {
+ public:
+  using Interconnect::request;  // the Completion convenience overload
+
+  DirectoryMesh(EventQueue& eq, const DirectoryMeshConfig& cfg,
+                mem::MemoryController& mem, std::uint32_t num_cores);
+
+  DirectoryMesh(const DirectoryMesh&) = delete;
+  DirectoryMesh& operator=(const DirectoryMesh&) = delete;
+
+  // --- Interconnect -------------------------------------------------------
+  void attach(Snooper* s) override;
+  [[nodiscard]] std::size_t num_agents() const noexcept override {
+    return snoopers_.size();
+  }
+  void set_observer(verify::AccessObserver* obs) noexcept override {
+    obs_ = obs;
+  }
+  void request(coherence::BusTxKind kind, Addr line_addr, CoreId requester,
+               std::uint32_t bytes, RequestHooks hooks) override;
+  void note_clean_drop(CoreId core, Addr line_addr) override;
+
+  [[nodiscard]] std::uint64_t transactions(
+      coherence::BusTxKind k) const override {
+    return tx_count_[static_cast<std::size_t>(k)].value();
+  }
+  [[nodiscard]] std::uint64_t total_transactions() const override {
+    std::uint64_t n = 0;
+    for (const auto& c : tx_count_) n += c.value();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept override {
+    return noc_.bytes_injected();
+  }
+  /// Bottleneck (busiest-link) occupancy — the mesh's analogue of bus
+  /// utilization.
+  [[nodiscard]] double utilization(Cycle now) const override {
+    return noc_.max_link_utilization(now);
+  }
+  [[nodiscard]] std::uint64_t cancelled_transactions() const noexcept override {
+    return cancelled_.value();
+  }
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] const coherence::Directory& directory() const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] const MeshNoc& noc() const noexcept { return noc_; }
+  [[nodiscard]] std::uint32_t home_tile(Addr line_addr) const noexcept {
+    // Line-interleaved homes: consecutive lines map to consecutive tiles,
+    // spreading an arbitrary stream across every bank.
+    return static_cast<std::uint32_t>(
+        (line_addr / cfg_.home_interleave_bytes) % noc_.num_tiles());
+  }
+  /// Requests parked behind an in-flight write-back (see file comment).
+  [[nodiscard]] std::uint64_t deferrals() const noexcept {
+    return dir_.stats().deferrals.value();
+  }
+  /// BusUpgr grants whose requester held the line in TD — the §III Owned
+  /// turn-off's invalidation round, served as a directed recall.
+  [[nodiscard]] std::uint64_t recalls() const noexcept {
+    return dir_.stats().recalls.value();
+  }
+
+ private:
+  struct Tx {
+    coherence::BusTxKind kind;
+    Addr line;
+    CoreId requester;
+    std::uint32_t bytes;
+    RequestHooks hooks;
+  };
+  using TxPtr = std::unique_ptr<Tx>;
+
+  /// Request packet arrived at the home: schedule its bank grant.
+  void home_arrive(TxPtr tx);
+  /// The grant: validator, directed snoops, directory refresh, data legs.
+  void process(TxPtr tx);
+  void data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
+                 bool flush_writes_memory, CoreId supplier);
+  /// Re-dispatches transactions deferred on `line` (newest write-back for
+  /// it just resolved).
+  void wake_deferred(Addr line);
+
+  EventQueue& eq_;
+  DirectoryMeshConfig cfg_;
+  mem::MemoryController& mem_;
+  MeshNoc noc_;
+  coherence::Directory dir_;
+  verify::AccessObserver* obs_ = nullptr;
+  std::vector<Snooper*> snoopers_;
+
+  /// Earliest next grant per home bank.
+  std::vector<Cycle> bank_free_;
+  /// Per-line FIFO of transactions waiting for an in-flight write-back.
+  std::unordered_map<Addr, std::deque<TxPtr>> deferred_;
+
+  Counter tx_count_[4];
+  Counter cancelled_;
+};
+
+}  // namespace cdsim::noc

@@ -1,0 +1,163 @@
+#pragma once
+// Interconnect abstraction shared by the snoopy bus and the directory mesh.
+//
+// The L2 controllers speak one transaction vocabulary (BusRd / BusRdX /
+// BusUpgr / WriteBack with atomic-at-grant semantics) regardless of what
+// fabric carries it. This header defines that vocabulary — the snoop
+// interface, the per-transaction result and hook set — plus the abstract
+// Interconnect every fabric implements:
+//
+//   * bus::SnoopBus (bus/snoop_bus.hpp): the paper's 4-core shared snoopy
+//     bus. Grants serialize on the single bus; the address phase snoops
+//     every other agent.
+//   * noc::DirectoryMesh (noc/directory_mesh.hpp): a sharer-bitmap
+//     directory over a 2D-mesh NoC for 8-64 cores. Grants serialize at the
+//     line's home tile; the directory snoops exactly the tracked holders.
+//
+// Both provide the same functional contract — coherence decisions are
+// atomic at the grant, on_grant/on_done/validator/on_cancel fire with the
+// same meaning — so the L2 controller, the decay techniques, and the
+// differential-verification oracle are topology-agnostic. Only timing,
+// traffic, and energy differ.
+
+#include <cstdint>
+
+#include "cdsim/coherence/mesi.hpp"
+#include "cdsim/common/assert.hpp"
+#include "cdsim/common/small_fn.hpp"
+#include "cdsim/common/types.hpp"
+#include "cdsim/verify/observer.hpp"
+
+namespace cdsim::noc {
+
+/// Which fabric a CmpSystem builds (sim::SystemConfig::topology).
+enum class Topology : std::uint8_t {
+  kSnoopBus,      ///< Shared snoopy bus (the paper's §V platform).
+  kDirectoryMesh, ///< Sharer-bitmap directory over a 2D mesh (scale-out).
+};
+
+constexpr std::string_view to_string(Topology t) noexcept {
+  return t == Topology::kSnoopBus ? "bus" : "dmesh";
+}
+
+/// What a snooping cache reports back during the address phase.
+struct SnoopReply {
+  bool had_line = false;      ///< Held valid data (drives S vs E fill).
+  bool supplied_data = false; ///< Is the dirty owner and will flush.
+  /// The flush also writes memory. Under MESI every flush does; under MOESI
+  /// an Owned/Modified owner answering a BusRd keeps ownership and leaves
+  /// memory stale — the fabric must then not generate memory write traffic.
+  bool memory_update = false;
+};
+
+/// Interface implemented by every agent on the interconnect (the L2
+/// controllers). `snoop` must apply the coherence side effects immediately
+/// (atomic-at-grant semantics) and return what happened.
+class Snooper {
+ public:
+  virtual ~Snooper() = default;
+  virtual SnoopReply snoop(coherence::BusTxKind kind, Addr line_addr,
+                           CoreId requester) = 0;
+  /// Side-effect-free state probe. The directory uses it at each grant to
+  /// keep its sharer bitmap exact (a snoopy bus never calls it).
+  [[nodiscard]] virtual coherence::MesiState probe(Addr line_addr) const {
+    (void)line_addr;
+    return coherence::MesiState::kInvalid;
+  }
+};
+
+/// Completion report for one interconnect transaction.
+struct BusResult {
+  Cycle granted_at = 0;
+  /// Cycle the requested line is available at the requester (fills), or the
+  /// transaction fully retired (upgrades / write-backs).
+  Cycle done_at = 0;
+  /// Another L2 held the line at snoop time (requester fills S, not E).
+  bool shared = false;
+  /// Data came from a dirty owner's flush rather than memory.
+  bool supplied_by_cache = false;
+};
+
+/// Callbacks and guards attached to one transaction. All four are
+/// move-only SmallFn with inline buffers sized for the L2 controller's
+/// captures, so the hooks themselves never allocate. (On the snoopy bus
+/// the whole request path is allocation-free; the directory mesh does
+/// allocate one Tx per transaction to carry the hooks across the NoC.)
+struct RequestHooks {
+  /// Fires at BusResult::done_at (data delivered / transaction retired).
+  SmallFn<void(const BusResult&), 32> on_done;
+  /// Fires at the grant cycle, after the snoop set resolved. L2
+  /// controllers use this to install the line's tag+state atomically in
+  /// grant order (data arrives later), which keeps coherence exact across
+  /// overlapping split transactions.
+  SmallFn<void(const BusResult&), 32> on_grant;
+  /// Checked at the grant cycle before anything happens. Returning false
+  /// drops the transaction (no snoop, no occupancy, no traffic) — used to
+  /// cancel a TD turn-off write-back whose data already reached memory via
+  /// a snoop flush (see coherence::SnoopOutcome::cancel_turnoff_wb), and to
+  /// abandon a BusUpgr whose S line was invalidated while queued.
+  SmallFn<bool(), 24> validator;
+  /// Fires at the grant cycle when the validator dropped the transaction,
+  /// so the requester can fall back (e.g. reissue an upgrade as BusRdX).
+  SmallFn<void(), 40> on_cancel;
+};
+
+/// Abstract coherent interconnect: what the L2 slices are built against.
+class Interconnect {
+ public:
+  using Completion = SmallFn<void(const BusResult&), 32>;
+
+  virtual ~Interconnect() = default;
+
+  /// Registers an agent; its position in attach order is its CoreId on the
+  /// fabric. Must be called before any request.
+  virtual void attach(Snooper* s) = 0;
+  [[nodiscard]] virtual std::size_t num_agents() const noexcept = 0;
+
+  /// Attaches a differential-verification observer (nullptr detaches). The
+  /// fabric reports write-back resolutions — the single point that knows
+  /// whether a queued write-back actually reached memory or was dropped by
+  /// its cancellation validator.
+  virtual void set_observer(verify::AccessObserver* obs) noexcept = 0;
+
+  /// Full-control transaction issue with grant hook and cancellation
+  /// validator. `bytes` is the payload size (a line for fills and
+  /// write-backs, 0 for upgrades).
+  virtual void request(coherence::BusTxKind kind, Addr line_addr,
+                       CoreId requester, std::uint32_t bytes,
+                       RequestHooks hooks) = 0;
+
+  /// Convenience variant: completion callback only.
+  void request(coherence::BusTxKind kind, Addr line_addr, CoreId requester,
+               std::uint32_t bytes, Completion on_done) {
+    RequestHooks hooks;
+    hooks.on_done = std::move(on_done);
+    request(kind, line_addr, requester, bytes, std::move(hooks));
+  }
+
+  /// A clean line at `core` stopped holding data without any data traffic
+  /// (silent clean eviction or a decay turn-off of an S/E line). A snoopy
+  /// bus ignores it — snooping needs no global bookkeeping — while the
+  /// directory uses it to keep the sharer bitmap exact, which is what makes
+  /// the paper's "a decayed line is droppable iff clean" rule checkable
+  /// (see coherence/directory.hpp).
+  virtual void note_clean_drop(CoreId core, Addr line_addr) {
+    (void)core, (void)line_addr;
+  }
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] virtual std::uint64_t transactions(
+      coherence::BusTxKind k) const = 0;
+  [[nodiscard]] virtual std::uint64_t total_transactions() const = 0;
+  /// Payload bytes accepted onto the fabric.
+  [[nodiscard]] virtual std::uint64_t bytes_transferred() const noexcept = 0;
+  /// Occupancy of the fabric's scarcest resource over [0, now], in [0, 1]:
+  /// the single bus for kSnoopBus, the busiest mesh link for
+  /// kDirectoryMesh.
+  [[nodiscard]] virtual double utilization(Cycle now) const = 0;
+  /// Transactions dropped by their validator (cancelled write-backs).
+  [[nodiscard]] virtual std::uint64_t cancelled_transactions()
+      const noexcept = 0;
+};
+
+}  // namespace cdsim::noc

@@ -34,6 +34,7 @@ enum class Component : std::uint8_t {
   kL2OffResidual,   ///< Residual leakage of gated (off) lines.
   kBusDynamic,
   kDecayOverhead,   ///< Decay counters: dynamic resets + counter leakage.
+  kNocDynamic,      ///< Mesh-NoC link/router switching (flit-hops).
   kCount,
 };
 
@@ -51,6 +52,7 @@ constexpr std::string_view to_string(Component c) noexcept {
     case Component::kL2OffResidual: return "l2_off_residual";
     case Component::kBusDynamic: return "bus_dyn";
     case Component::kDecayOverhead: return "decay_overhead";
+    case Component::kNocDynamic: return "noc_dyn";
     case Component::kCount: break;
   }
   return "?";
@@ -120,6 +122,11 @@ struct PowerConfig {
   double l1_dyn_per_access = 0.03;
   /// Shared-bus dynamic energy per byte transferred.
   double bus_dyn_per_byte = 0.004;
+  /// Mesh-NoC dynamic energy per flit-hop (one flit crossing one
+  /// router+link). Calibrated so a one-hop line transfer (4-5 flits) costs
+  /// about what the same line costs on the bus, with longer routes paying
+  /// proportionally more.
+  double noc_dyn_per_flit_hop = 0.05;
 };
 
 }  // namespace cdsim::power

@@ -14,6 +14,7 @@
 
 #include "cdsim/bus/snoop_bus.hpp"
 #include "cdsim/coherence/protocol.hpp"
+#include "cdsim/noc/directory_mesh.hpp"
 #include "cdsim/common/event_queue.hpp"
 #include "cdsim/core/core_model.hpp"
 #include "cdsim/decay/technique.hpp"
@@ -31,6 +32,10 @@ namespace cdsim::sim {
 
 struct SystemConfig {
   std::uint32_t num_cores = 4;
+  /// Coherence fabric: the paper's snoopy bus, or a sharer-bitmap
+  /// directory over a 2D mesh for scaled-up CMPs (8-64 cores). The mesh
+  /// requires a power-of-two num_cores (tile-grid factorization).
+  noc::Topology topology = noc::Topology::kSnoopBus;
   /// Total L2 capacity across all private slices (paper sweeps 1..8 MB).
   std::uint64_t total_l2_bytes = 4 * MiB;
   /// Snooping protocol of the L2 slices (paper §III: MESI; the MOESI
@@ -40,7 +45,8 @@ struct SystemConfig {
   core::CoreConfig core;
   L1Config l1;
   L2Config l2;  ///< size_bytes/protocol are overridden from the above.
-  bus::BusConfig bus;
+  bus::BusConfig bus;      ///< Used when topology == kSnoopBus.
+  noc::DirectoryMeshConfig dmesh;  ///< Used when topology == kDirectoryMesh.
   mem::MemoryConfig mem;
   decay::DecayConfig decay;
   power::PowerConfig power;
@@ -56,6 +62,14 @@ struct SystemConfig {
   std::vector<std::uint64_t> per_core_instructions;
   std::uint64_t seed = 42;
 };
+
+/// Validates a SystemConfig, throwing std::invalid_argument with a
+/// descriptive message on misconfiguration (zero cores, > 64 cores, a
+/// total L2 size not divisible into per-core slices, a non-power-of-two
+/// core count on the mesh topology, or a per-core instruction vector of
+/// the wrong length). CmpSystem's constructor calls this; harnesses can
+/// call it early to fail before building workloads.
+void validate_system_config(const SystemConfig& cfg);
 
 /// One fully-wired CMP simulation.
 class CmpSystem {
@@ -82,7 +96,18 @@ class CmpSystem {
   [[nodiscard]] core::CoreModel& core_model(CoreId c) { return *cores_.at(c); }
   [[nodiscard]] L1Cache& l1(CoreId c) { return *l1s_.at(c); }
   [[nodiscard]] L2Cache& l2(CoreId c) { return *l2s_.at(c); }
-  [[nodiscard]] bus::SnoopBus& bus() noexcept { return *bus_; }
+  /// The snoopy bus (topology kSnoopBus only; asserts otherwise).
+  [[nodiscard]] bus::SnoopBus& bus() noexcept {
+    CDSIM_ASSERT(bus_ != nullptr);
+    return *bus_;
+  }
+  /// The directory mesh (topology kDirectoryMesh only; asserts otherwise).
+  [[nodiscard]] noc::DirectoryMesh& mesh() noexcept {
+    CDSIM_ASSERT(mesh_ != nullptr);
+    return *mesh_;
+  }
+  /// Topology-agnostic view of the coherence fabric.
+  [[nodiscard]] noc::Interconnect& interconnect() noexcept { return *ic_; }
   [[nodiscard]] mem::MemoryController& memory() noexcept { return *mem_; }
   [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const thermal::RcThermalModel& thermal_model() const {
@@ -104,7 +129,9 @@ class CmpSystem {
 
   EventQueue eq_;
   std::unique_ptr<mem::MemoryController> mem_;
-  std::unique_ptr<bus::SnoopBus> bus_;
+  std::unique_ptr<bus::SnoopBus> bus_;    ///< kSnoopBus (else null).
+  std::unique_ptr<noc::DirectoryMesh> mesh_;  ///< kDirectoryMesh (else null).
+  noc::Interconnect* ic_ = nullptr;       ///< Whichever of the two exists.
   std::vector<std::unique_ptr<workload::WorkloadStream>> streams_;
   std::vector<std::unique_ptr<L1Cache>> l1s_;
   std::vector<std::unique_ptr<L2Cache>> l2s_;
@@ -124,6 +151,7 @@ class CmpSystem {
   std::vector<std::uint64_t> prev_l2_fills_;
   std::vector<double> prev_l2_powered_;
   std::uint64_t prev_bus_bytes_ = 0;
+  std::uint64_t prev_noc_flit_hops_ = 0;
 };
 
 }  // namespace cdsim::sim

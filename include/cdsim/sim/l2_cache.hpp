@@ -26,7 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "cdsim/bus/snoop_bus.hpp"
+#include "cdsim/noc/interconnect.hpp"
 #include "cdsim/cache/cache_stats.hpp"
 #include "cdsim/cache/mshr.hpp"
 #include "cdsim/cache/tag_array.hpp"
@@ -62,7 +62,7 @@ struct L2Config {
 };
 
 /// One private L2 slice.
-class L2Cache final : public bus::Snooper {
+class L2Cache final : public noc::Snooper {
  public:
   /// Completion callback for upper-level requests. `may_cache_upper` is
   /// false when the line was invalidated while its fill was in flight — the
@@ -72,7 +72,7 @@ class L2Cache final : public bus::Snooper {
   using Response = SmallFn<void(Cycle done, bool may_cache_upper), 32>;
 
   L2Cache(EventQueue& eq, const L2Config& cfg,
-          const decay::DecayConfig& dcfg, CoreId core, bus::SnoopBus& bus,
+          const decay::DecayConfig& dcfg, CoreId core, noc::Interconnect& ic,
           L1Cache* upper);
 
   /// Arms the decay sweeper. Call once after construction.
@@ -92,9 +92,13 @@ class L2Cache final : public bus::Snooper {
   /// every store). Write-allocate on miss.
   void write(Addr addr, Response on_done);
 
-  // --- bus::Snooper ----------------------------------------------------------
-  bus::SnoopReply snoop(coherence::BusTxKind kind, Addr line_addr,
+  // --- noc::Snooper (snoopy bus AND directory mesh) -----------------------
+  noc::SnoopReply snoop(coherence::BusTxKind kind, Addr line_addr,
                         CoreId requester) override;
+  /// Side-effect-free state probe; the directory's bitmap-refresh hook.
+  [[nodiscard]] coherence::MesiState probe(Addr line_addr) const override {
+    return line_state(line_addr);
+  }
 
   // --- decay ------------------------------------------------------------------
   /// Periodic hierarchical-counter sweep: turns off expired lines.
@@ -172,7 +176,7 @@ class L2Cache final : public bus::Snooper {
   void wheel_register(LineT& ln);
   void issue_fetch(Addr line_addr, bool is_write);
   void install_at_grant(Addr line_addr, bool is_write,
-                        const bus::BusResult& res);
+                        const noc::BusResult& res);
   void evict(LineT& victim);
   void set_state(LineT& ln, coherence::MesiState next);
   void line_off(LineT& ln);
@@ -194,7 +198,7 @@ class L2Cache final : public bus::Snooper {
   L2Config cfg_;
   decay::DecayConfig dcfg_;
   CoreId core_;
-  bus::SnoopBus& bus_;
+  noc::Interconnect& ic_;
   L1Cache* upper_;
   verify::AccessObserver* obs_ = nullptr;
 

@@ -37,7 +37,17 @@ struct RunMetrics {
   power::EnergyLedger ledger;
 
   double avg_l2_temp_kelvin = 0.0;   ///< Mean end-of-run L2 block temp.
+  /// Fabric-bottleneck occupancy: the shared bus (kSnoopBus) or the
+  /// busiest mesh link (kDirectoryMesh).
   double bus_utilization = 0.0;
+
+  // --- interconnect (all zero / "bus" for snoop-bus runs) -----------------
+  std::string topology = "bus";      ///< noc::to_string of the fabric.
+  std::uint64_t noc_flit_hops = 0;   ///< Link traversals x flits (energy).
+  double noc_avg_packet_latency = 0.0;  ///< Mean mesh packet latency.
+  std::uint64_t dir_directed_snoops = 0;  ///< Snoops actually sent.
+  std::uint64_t dir_recalls = 0;     ///< Directed O-turn-off recalls.
+  std::uint64_t dir_deferrals = 0;   ///< Fills parked behind in-flight WBs.
 };
 
 /// A technique run normalized against its baseline (same benchmark, same

@@ -3,7 +3,8 @@
 //
 // run_fuzz() sweeps a matrix of hostile scenarios — {MESI, MOESI} x
 // {baseline, protocol, decay, selective decay} x several decay times x
-// seeds — each driving a small, contended CMP with FuzzerWorkload streams
+// {snoop bus @4 cores, directory mesh @8/16 cores} x seeds — each driving
+// a contended CMP with FuzzerWorkload streams
 // while DifferentialChecker shadows every data movement. Every scenario is
 // captured to a Trace as it runs, so a divergence immediately yields a
 // replayable repro; failures are greedily shrunk (verify/shrink.hpp) and,
@@ -24,8 +25,8 @@
 namespace cdsim::verify {
 
 struct FuzzOptions {
-  /// Total scenarios; the 16-cell (protocol x technique x decay-time)
-  /// matrix repeats with fresh seeds until this many ran.
+  /// Total scenarios; the 32-cell (protocol x technique x decay-time x
+  /// topology) matrix repeats with fresh seeds until this many ran.
   std::size_t scenarios = 208;
   std::uint64_t base_seed = 0x5eedu;
   std::uint64_t instructions_per_core = 30000;
@@ -37,12 +38,16 @@ struct FuzzOptions {
   /// TEST-ONLY: arm the L2's lost-write-back fault in every scenario, so
   /// the capture -> shrink -> report pipeline itself can be exercised.
   bool inject_writeback_loss = false;
+  /// Restrict the matrix to 16-core directory-mesh cells (the CI
+  /// many-core smoke gate): hot-home + all-to-all NoC stress only.
+  bool dmesh_only = false;
 };
 
 /// One cell of the fuzz matrix, self-contained and replayable.
 struct FuzzScenario {
   std::size_t index = 0;
   coherence::Protocol protocol = coherence::Protocol::kMesi;
+  noc::Topology topology = noc::Topology::kSnoopBus;
   decay::DecayConfig decay;
   std::uint32_t num_cores = 4;
   std::uint64_t total_l2_bytes = 128 * KiB;

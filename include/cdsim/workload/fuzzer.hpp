@@ -23,7 +23,13 @@
 //                       back into issue order;
 //  * private churn    — sequential per-core sweep with occasional stores
 //                       and ifetches: eviction pressure, clean decays, and
-//                       trace-format coverage of every AccessType.
+//                       trace-format coverage of every AccessType;
+//  * hot home node    — (directory topologies) every core hammers a pool
+//                       of lines that all interleave to ONE home tile:
+//                       maximal directory-bank serialization plus
+//                       all-to-all false sharing through a single mesh
+//                       hotspot. Off by default (w_hot_home = 0), so
+//                       snoop-bus streams are unchanged.
 //
 // A FuzzerWorkload is a pure function of (config, core, seed); the `now`
 // argument is deliberately ignored so a captured fuzz trace replays the
@@ -51,6 +57,7 @@ struct FuzzerConfig {
   std::uint64_t straddle_lines = 32;
   std::uint64_t chain_lines = 64;    ///< Per-core pointer-chase pool.
   std::uint64_t churn_lines = 192;   ///< Per-core eviction-pressure pool.
+  std::uint64_t hot_home_lines = 12; ///< Hot-home contention pool.
 
   /// Decay window the straddle sleeps target (cycles). Straddle fillers
   /// sleep between 0.5x and 1.3x this window so reuse lands on both sides
@@ -75,6 +82,13 @@ struct FuzzerConfig {
   double w_pingpong = 0.26;
   double w_straddle = 0.10;
   double w_chain = 0.16;
+  /// Hot-home weight; 0 (the default) disables the pattern and leaves
+  /// every legacy stream bit-identical. Enable together with home_tiles.
+  double w_hot_home = 0.0;
+  /// Home-interleave modulus of the system under test (the mesh tile
+  /// count): hot-home lines are spaced home_tiles lines apart so they all
+  /// map to one directory bank. Required (nonzero) when w_hot_home > 0.
+  std::uint32_t home_tiles = 0;
 };
 
 /// Deterministic hostile stream for one core.
@@ -96,6 +110,7 @@ class FuzzerWorkload final : public WorkloadStream {
   void burst_straddle();
   void burst_chain();
   void burst_churn();
+  void burst_hot_home();
 
   FuzzerConfig cfg_;
   CoreId core_;

@@ -1,0 +1,19 @@
+#include "cdsim/coherence/directory.hpp"
+
+#include <sstream>
+
+namespace cdsim::coherence {
+
+std::string to_string(const DirectoryEntry& e) {
+  std::ostringstream os;
+  os << "{sharers=0x" << std::hex << e.sharers << std::dec << ", owner=";
+  if (e.owner == kNoCore) {
+    os << "-";
+  } else {
+    os << e.owner;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cdsim::coherence

@@ -1,0 +1,311 @@
+#include "cdsim/noc/directory_mesh.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace cdsim::noc {
+
+using coherence::BusTxKind;
+using coherence::MesiState;
+
+DirectoryMesh::DirectoryMesh(EventQueue& eq, const DirectoryMeshConfig& cfg,
+                             mem::MemoryController& mem,
+                             std::uint32_t num_cores)
+    : eq_(eq),
+      cfg_(cfg),
+      mem_(mem),
+      noc_(eq, cfg.noc, mesh_dims(num_cores).width,
+           mesh_dims(num_cores).height),
+      dir_(num_cores) {
+  CDSIM_ASSERT(cfg_.mem_tile < noc_.num_tiles());
+  CDSIM_ASSERT(cfg_.home_interleave_bytes >= 1);
+  bank_free_.assign(noc_.num_tiles(), 0);
+}
+
+void DirectoryMesh::attach(Snooper* s) {
+  CDSIM_ASSERT(s != nullptr);
+  CDSIM_ASSERT_MSG(snoopers_.size() < noc_.num_tiles(),
+                   "one agent per mesh tile");
+  snoopers_.push_back(s);
+}
+
+void DirectoryMesh::request(BusTxKind kind, Addr line_addr, CoreId requester,
+                            std::uint32_t bytes, RequestHooks hooks) {
+  CDSIM_ASSERT(requester < snoopers_.size());
+  auto tx = std::make_unique<Tx>(
+      Tx{kind, line_addr, requester, bytes, std::move(hooks)});
+  // A write-back's request packet carries the line; everything else is a
+  // control message.
+  const std::uint32_t payload =
+      kind == BusTxKind::kWriteBack ? bytes : cfg_.ctrl_bytes;
+  noc_.send(requester, home_tile(line_addr), payload,
+            [this, tx = std::move(tx)](Cycle) mutable {
+              home_arrive(std::move(tx));
+            });
+}
+
+void DirectoryMesh::note_clean_drop(CoreId core, Addr line_addr) {
+  // Bookkeeping is applied at the drop instant (shrinking the bitmap early
+  // only narrows future snoop sets — a directed snoop to a dropped copy
+  // would have been a no-op anyway); the PutS/PutE control message still
+  // crosses the mesh for timing and energy.
+  dir_.note_clean_drop(core, line_addr);
+  noc_.send(core, home_tile(line_addr), cfg_.ctrl_bytes, {});
+}
+
+void DirectoryMesh::home_arrive(TxPtr tx) {
+  // Preserve per-line arrival order past a parked queue: anything that is
+  // not the unblocking write-back joins the queue's tail.
+  if (tx->kind != BusTxKind::kWriteBack) {
+    const auto it = deferred_.find(tx->line);
+    if (it != deferred_.end() && !it->second.empty()) {
+      dir_.stats().deferrals.inc();
+      it->second.push_back(std::move(tx));
+      return;
+    }
+  }
+  const std::uint32_t home = home_tile(tx->line);
+  const Cycle earliest = eq_.now() + cfg_.directory_latency;
+  const Cycle grant = earliest > bank_free_[home] ? earliest : bank_free_[home];
+  bank_free_[home] = grant + cfg_.bank_occupancy;
+  eq_.schedule_at(grant, [this, tx = std::move(tx)]() mutable {
+    process(std::move(tx));
+  });
+}
+
+void DirectoryMesh::process(TxPtr tx) {
+  const Cycle granted = eq_.now();
+  const Addr line = tx->line;
+  const BusTxKind kind = tx->kind;
+
+  // A cancelled transaction vanishes before its snoop phase: no snoops, no
+  // traffic, no memory write — identical to the bus's validator semantics.
+  if (tx->hooks.validator && !tx->hooks.validator()) {
+    cancelled_.inc();
+    if (obs_ && kind == BusTxKind::kWriteBack) {
+      obs_->on_writeback_resolved(tx->requester, line, granted,
+                                  /*cancelled=*/true);
+    }
+    if (tx->hooks.on_cancel) tx->hooks.on_cancel();
+    if (kind == BusTxKind::kWriteBack) wake_deferred(line);
+    return;
+  }
+
+  // Late-write-back deferral: the recorded owner no longer holds data, so
+  // its dirty write-back is still crossing the fabric and memory is stale.
+  // Park the fill behind it (see the file comment in the header).
+  if (kind == BusTxKind::kBusRd || kind == BusTxKind::kBusRdX) {
+    const coherence::DirectoryEntry* e = dir_.find(line);
+    if (e != nullptr && e->owner != kNoCore) {
+      const bool owner_has_data =
+          e->owner != tx->requester &&
+          coherence::holds_data(snoopers_[e->owner]->probe(line));
+      if (!owner_has_data) {
+        dir_.stats().deferrals.inc();
+        deferred_[line].push_back(std::move(tx));
+        return;
+      }
+    }
+  }
+
+  tx_count_[static_cast<std::size_t>(kind)].inc();
+
+  BusResult res;
+  res.granted_at = granted;
+  res.done_at = granted;  // provisional; the data legs set the real value
+
+  bool flush_mem = false;
+  CoreId supplier = kNoCore;
+  std::uint64_t targets = 0;
+
+  if (kind == BusTxKind::kWriteBack) {
+    // A dirty *turn-off* write-back (requester still holds the line in TD)
+    // must not release tracking yet: the copy stays snoopable until the
+    // power-off completes, and the L2 reports that death through
+    // note_clean_drop. Eviction write-backs (the copy died at evict time)
+    // release here.
+    if (snoopers_[tx->requester]->probe(line) ==
+        MesiState::kTransientDirty) {
+      dir_.stats().owner_writebacks.inc();
+    } else {
+      dir_.writeback_granted(tx->requester, line);
+    }
+    if (obs_) {
+      obs_->on_writeback_resolved(tx->requester, line, granted,
+                                  /*cancelled=*/false);
+    }
+  } else {
+    coherence::DirectoryEntry& e = dir_.lookup(line);
+    targets = dir_.snoop_targets(e, tx->requester);
+
+    // A BusUpgr issued while the requester holds the line in TD is the
+    // §III Owned-turn-off invalidation round — served here as a recall
+    // directed at exactly the tracked sharers, not a broadcast.
+    if (kind == BusTxKind::kBusUpgr &&
+        snoopers_[tx->requester]->probe(line) ==
+            MesiState::kTransientDirty) {
+      dir_.stats().recalls.inc();
+    }
+
+    // Directed snoops, atomic at this grant (the bus's address phase,
+    // narrowed to the tracked holders).
+    for (CoreId t = 0; t < static_cast<CoreId>(snoopers_.size()); ++t) {
+      if (((targets >> t) & 1u) == 0) continue;
+      dir_.stats().directed_snoops.inc();
+      const SnoopReply r = snoopers_[t]->snoop(kind, line, tx->requester);
+      res.shared = res.shared || r.had_line;
+      if (r.supplied_data) {
+        CDSIM_ASSERT_MSG(supplier == kNoCore, "two suppliers for one line");
+        res.supplied_by_cache = true;
+        supplier = t;
+      }
+      flush_mem = flush_mem || r.memory_update;
+    }
+  }
+
+  // Install/commit at the grant — the same atomic contract as the bus.
+  if (tx->hooks.on_grant) tx->hooks.on_grant(res);
+
+  // Bitmap refresh: probe every involved cache, including the requester's
+  // just-installed copy. Write-backs change nothing beyond
+  // writeback_granted (the requester's TD copy lives until on_done).
+  if (kind != BusTxKind::kWriteBack) {
+    coherence::DirectoryEntry& e = dir_.lookup(line);
+    const std::uint64_t involved =
+        targets | (std::uint64_t{1} << tx->requester);
+    for (CoreId t = 0; t < static_cast<CoreId>(snoopers_.size()); ++t) {
+      if (((involved >> t) & 1u) == 0) continue;
+      dir_.record_probe(e, t, snoopers_[t]->probe(line));
+    }
+    CDSIM_ASSERT_MSG(e.owner == kNoCore || e.tracked(e.owner),
+                     "directory owner must be a tracked sharer");
+    dir_.drop_if_uncached(line);
+  }
+
+  data_legs(std::move(tx), res, targets, flush_mem, supplier);
+  if (kind == BusTxKind::kWriteBack) wake_deferred(line);
+}
+
+void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
+                              bool flush_mem, CoreId supplier) {
+  const std::uint32_t req_tile = tx->requester;
+  const std::uint32_t home = home_tile(tx->line);
+
+  switch (tx->kind) {
+    case BusTxKind::kBusRd:
+    case BusTxKind::kBusRdX: {
+      if (res.supplied_by_cache) {
+        CDSIM_ASSERT(supplier != kNoCore);
+        if (flush_mem) {
+          // The flush ends ownership (MESI always; MOESI for RdX): the
+          // dirty line also travels to the memory tile, posted on arrival.
+          const std::uint32_t bytes = tx->bytes;
+          noc_.send(supplier, cfg_.mem_tile, bytes,
+                    [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+        }
+        // Forward home -> owner, then the line owner -> requester.
+        auto sp = std::shared_ptr<Tx>(std::move(tx));
+        noc_.send(home, supplier, cfg_.ctrl_bytes,
+                  [this, sp, res, supplier, req_tile](Cycle) mutable {
+                    noc_.send(supplier, req_tile, sp->bytes,
+                              [sp, res](Cycle arr) mutable {
+                                if (sp->hooks.on_done) {
+                                  BusResult r = res;
+                                  r.done_at = arr;
+                                  sp->hooks.on_done(r);
+                                }
+                              });
+                  });
+      } else {
+        // home -> memory tile (read request), memory access, then the
+        // line memory tile -> requester.
+        auto sp = std::shared_ptr<Tx>(std::move(tx));
+        noc_.send(home, cfg_.mem_tile, cfg_.ctrl_bytes,
+                  [this, sp, res, req_tile](Cycle arr) mutable {
+                    const Cycle ready = mem_.schedule_read(arr, sp->bytes);
+                    eq_.schedule_at(ready, [this, sp, res,
+                                            req_tile]() mutable {
+                      noc_.send(cfg_.mem_tile, req_tile, sp->bytes,
+                                [sp, res](Cycle a2) mutable {
+                                  if (sp->hooks.on_done) {
+                                    BusResult r = res;
+                                    r.done_at = a2;
+                                    sp->hooks.on_done(r);
+                                  }
+                                });
+                    });
+                  });
+      }
+      break;
+    }
+
+    case BusTxKind::kBusUpgr: {
+      // The invalidations were applied at the grant; the packets model the
+      // inval/ack round trips, and the requester's ack closes the
+      // transaction once every sharer answered.
+      auto sp = std::shared_ptr<Tx>(std::move(tx));
+      auto remaining =
+          std::make_shared<std::uint32_t>(std::popcount(targets));
+      auto finish = [this, sp, res, req_tile, home]() mutable {
+        noc_.send(home, req_tile, cfg_.ctrl_bytes,
+                  [sp, res](Cycle a) mutable {
+                    if (sp->hooks.on_done) {
+                      BusResult r = res;
+                      r.done_at = a;
+                      sp->hooks.on_done(r);
+                    }
+                  });
+      };
+      if (*remaining == 0) {
+        finish();
+        break;
+      }
+      for (CoreId t = 0; t < static_cast<CoreId>(snoopers_.size()); ++t) {
+        if (((targets >> t) & 1u) == 0) continue;
+        noc_.send(home, t, cfg_.ctrl_bytes,
+                  [this, t, home, remaining, finish](Cycle) mutable {
+                    noc_.send(t, home, cfg_.ctrl_bytes,
+                              [remaining, finish](Cycle) mutable {
+                                if (--*remaining == 0) finish();
+                              });
+                  });
+      }
+      break;
+    }
+
+    case BusTxKind::kWriteBack: {
+      // The data reached the home with the request; forward it to memory.
+      const std::uint32_t bytes = tx->bytes;
+      noc_.send(home, cfg_.mem_tile, bytes,
+                [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+      if (tx->hooks.on_done) {
+        BusResult r = res;
+        r.done_at = res.granted_at + cfg_.directory_latency;
+        eq_.schedule_at(r.done_at,
+                        [cb = std::move(tx->hooks.on_done), r] { cb(r); });
+      }
+      break;
+    }
+  }
+}
+
+void DirectoryMesh::wake_deferred(Addr line) {
+  const auto it = deferred_.find(line);
+  if (it == deferred_.end()) return;
+  std::deque<TxPtr> queue = std::move(it->second);
+  deferred_.erase(it);
+  const std::uint32_t home = home_tile(line);
+  for (TxPtr& tx : queue) {
+    // Re-grant in FIFO order through the bank; a transaction may defer
+    // again if yet another write-back is in flight by then.
+    const Cycle earliest = eq_.now() + cfg_.bank_occupancy;
+    const Cycle grant =
+        earliest > bank_free_[home] ? earliest : bank_free_[home];
+    bank_free_[home] = grant + cfg_.bank_occupancy;
+    eq_.schedule_at(grant, [this, tx = std::move(tx)]() mutable {
+      process(std::move(tx));
+    });
+  }
+}
+
+}  // namespace cdsim::noc

@@ -3,5 +3,5 @@
 #include "cdsim/power/leakage.hpp"
 
 namespace cdsim::power {
-static_assert(kNumComponents == 9);
+static_assert(kNumComponents == 10);
 }  // namespace cdsim::power

@@ -1,22 +1,58 @@
 #include "cdsim/sim/cmp_system.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "cdsim/common/assert.hpp"
 
 namespace cdsim::sim {
 
+void validate_system_config(const SystemConfig& cfg) {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument("SystemConfig: " + why);
+  };
+  if (cfg.num_cores == 0) fail("num_cores must be at least 1");
+  if (cfg.num_cores > 64) {
+    fail("num_cores " + std::to_string(cfg.num_cores) +
+         " exceeds 64 (the directory's sharer bitmap width)");
+  }
+  if (cfg.total_l2_bytes == 0 ||
+      cfg.total_l2_bytes % cfg.num_cores != 0) {
+    fail("total_l2_bytes " + std::to_string(cfg.total_l2_bytes) +
+         " is not divisible into " + std::to_string(cfg.num_cores) +
+         " per-core slices");
+  }
+  if (cfg.topology == noc::Topology::kDirectoryMesh &&
+      !is_pow2(cfg.num_cores)) {
+    fail("num_cores " + std::to_string(cfg.num_cores) +
+         " must be a power of two for the mesh tile grid");
+  }
+  if (!cfg.per_core_instructions.empty() &&
+      cfg.per_core_instructions.size() != cfg.num_cores) {
+    fail("per_core_instructions has " +
+         std::to_string(cfg.per_core_instructions.size()) +
+         " entries; expected 0 or num_cores (" +
+         std::to_string(cfg.num_cores) + ")");
+  }
+}
+
 CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
                      const workload::StreamFactory& streams)
     : cfg_(cfg), bench_(bench), leak_model_(cfg.leakage) {
-  CDSIM_ASSERT(cfg_.num_cores >= 1);
-  CDSIM_ASSERT(cfg_.total_l2_bytes % cfg_.num_cores == 0);
-  CDSIM_ASSERT_MSG(cfg_.per_core_instructions.empty() ||
-                       cfg_.per_core_instructions.size() == cfg_.num_cores,
-                   "per_core_instructions must be empty or one per core");
+  validate_system_config(cfg_);
 
   mem_ = std::make_unique<mem::MemoryController>(eq_, cfg_.mem);
-  bus_ = std::make_unique<bus::SnoopBus>(eq_, cfg_.bus, *mem_);
+  if (cfg_.topology == noc::Topology::kSnoopBus) {
+    bus_ = std::make_unique<bus::SnoopBus>(eq_, cfg_.bus, *mem_);
+    ic_ = bus_.get();
+  } else {
+    noc::DirectoryMeshConfig dcfg = cfg_.dmesh;
+    dcfg.home_interleave_bytes = cfg_.l2.line_bytes;
+    mesh_ = std::make_unique<noc::DirectoryMesh>(eq_, dcfg, *mem_,
+                                                 cfg_.num_cores);
+    ic_ = mesh_.get();
+  }
 
   L2Config l2cfg = cfg_.l2;
   l2cfg.size_bytes = cfg_.total_l2_bytes / cfg_.num_cores;
@@ -30,9 +66,9 @@ CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
   for (CoreId c = 0; c < cfg_.num_cores; ++c) {
     l1s_.push_back(std::make_unique<L1Cache>(eq_, cfg_.l1, c));
     l2s_.push_back(std::make_unique<L2Cache>(eq_, l2cfg, cfg_.decay, c,
-                                             *bus_, l1s_.back().get()));
+                                             *ic_, l1s_.back().get()));
     l1s_.back()->connect_l2(l2s_.back().get());
-    bus_->attach(l2s_.back().get());
+    ic_->attach(l2s_.back().get());
 
     streams_.push_back(streams ? streams(c, cfg_.seed)
                                : workload::make_stream(bench_, c, cfg_.seed));
@@ -67,7 +103,7 @@ CmpSystem::~CmpSystem() = default;
 
 void CmpSystem::set_observer(verify::AccessObserver* obs) {
   CDSIM_ASSERT_MSG(!ran_, "observer must be attached before run()");
-  bus_->set_observer(obs);
+  ic_->set_observer(obs);
   for (auto& l1 : l1s_) l1->set_observer(obs);
   for (auto& l2 : l2s_) l2->set_observer(obs);
 }
@@ -172,11 +208,21 @@ void CmpSystem::sample_power(Cycle upto) {
         (l2_dyn + on_leak + off_leak + decay_ovh) / dtd * w_per_eu;
   }
 
-  const std::uint64_t bus_bytes = bus_->bytes_transferred();
-  bus_energy =
-      static_cast<double>(bus_bytes - prev_bus_bytes_) * pw.bus_dyn_per_byte;
-  prev_bus_bytes_ = bus_bytes;
-  ledger_.add(power::Component::kBusDynamic, bus_energy);
+  if (bus_ != nullptr) {
+    const std::uint64_t bus_bytes = bus_->bytes_transferred();
+    bus_energy = static_cast<double>(bus_bytes - prev_bus_bytes_) *
+                 pw.bus_dyn_per_byte;
+    prev_bus_bytes_ = bus_bytes;
+    ledger_.add(power::Component::kBusDynamic, bus_energy);
+  } else {
+    // Mesh NoC: dynamic energy scales with link traversals (flit-hops),
+    // not payload bytes — more hops, more switching.
+    const std::uint64_t fh = mesh_->noc().flit_hops();
+    bus_energy = static_cast<double>(fh - prev_noc_flit_hops_) *
+                 pw.noc_dyn_per_flit_hop;
+    prev_noc_flit_hops_ = fh;
+    ledger_.add(power::Component::kNocDynamic, bus_energy);
+  }
   watts[floorplan_->bus_block()] += bus_energy / dtd * w_per_eu;
 
   if (cfg_.thermal_feedback) {
@@ -245,7 +291,15 @@ RunMetrics CmpSystem::collect(Cycle end) const {
   m.energy = ledger_.total();
   m.ledger = ledger_;
   m.avg_l2_temp_kelvin = temp_sum / static_cast<double>(cfg_.num_cores);
-  m.bus_utilization = bus_->utilization(end);
+  m.bus_utilization = ic_->utilization(end);
+  m.topology = std::string(noc::to_string(cfg_.topology));
+  if (mesh_ != nullptr) {
+    m.noc_flit_hops = mesh_->noc().flit_hops();
+    m.noc_avg_packet_latency = mesh_->noc().avg_packet_latency();
+    m.dir_directed_snoops = mesh_->directory().stats().directed_snoops.value();
+    m.dir_recalls = mesh_->recalls();
+    m.dir_deferrals = mesh_->deferrals();
+  }
   return m;
 }
 
@@ -297,6 +351,25 @@ std::uint64_t CmpSystem::check_coherence_invariants() const {
       CDSIM_ASSERT_MSG(coherence::holds_data(s),
                        "inclusion invariant violated");
     });
+  }
+
+  // Directory tracking: every valid L2 copy must be a tracked sharer at its
+  // home, and every exclusive-flavored holder must be the recorded owner
+  // (kept exact by grant-time probes + clean-drop notifications).
+  if (mesh_ != nullptr) {
+    const coherence::Directory& dir = mesh_->directory();
+    for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+      l2s_[c]->for_each_valid_line([&](Addr line, MesiState s) {
+        ++checked;
+        const coherence::DirectoryEntry* e = dir.find(line);
+        CDSIM_ASSERT_MSG(e != nullptr && e->tracked(c),
+                         "directory lost a live sharer");
+        if (s == MesiState::kExclusive || s == MesiState::kModified ||
+            s == MesiState::kOwned || s == MesiState::kTransientDirty) {
+          CDSIM_ASSERT_MSG(e->owner == c, "directory owner out of sync");
+        }
+      });
+    }
   }
   return checked;
 }

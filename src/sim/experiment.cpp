@@ -22,7 +22,9 @@ namespace {
 // Seeds derive from the version-free configuration description (see
 // derive_config_seed), so bumping this never changes simulation results.
 // v2: per-configuration seeds (was: fixed 42); sizes keyed in bytes.
-constexpr const char* kCacheVersion = "v2";
+// v3: interconnect/directory metrics appended to the line format, and the
+//     ledger grew the noc_dyn component.
+constexpr const char* kCacheVersion = "v3";
 
 std::string serialize(const RunMetrics& m) {
   std::ostringstream os;
@@ -37,6 +39,9 @@ std::string serialize(const RunMetrics& m) {
   for (std::size_t i = 0; i < power::kNumComponents; ++i) {
     os << ' ' << m.ledger.get(static_cast<power::Component>(i));
   }
+  os << ' ' << m.topology << ' ' << m.noc_flit_hops << ' '
+     << m.noc_avg_packet_latency << ' ' << m.dir_directed_snoops << ' '
+     << m.dir_recalls << ' ' << m.dir_deferrals;
   return os.str();
 }
 
@@ -54,6 +59,10 @@ bool deserialize(const std::string& line, RunMetrics& m) {
   for (std::size_t i = 0; i < power::kNumComponents; ++i) {
     if (!(is >> ledger_v[i])) return false;
     m.ledger.add(static_cast<power::Component>(i), ledger_v[i]);
+  }
+  if (!(is >> m.topology >> m.noc_flit_hops >> m.noc_avg_packet_latency >>
+        m.dir_directed_snoops >> m.dir_recalls >> m.dir_deferrals)) {
+    return false;
   }
   return true;
 }

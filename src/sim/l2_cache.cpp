@@ -12,12 +12,12 @@ using coherence::MesiState;
 
 L2Cache::L2Cache(EventQueue& eq, const L2Config& cfg,
                  const decay::DecayConfig& dcfg, CoreId core,
-                 bus::SnoopBus& bus, L1Cache* upper)
+                 noc::Interconnect& ic, L1Cache* upper)
     : eq_(eq),
       cfg_(cfg),
       dcfg_(dcfg),
       core_(core),
-      bus_(bus),
+      ic_(ic),
       upper_(upper),
       tags_(cache::Geometry(cfg.size_bytes, cfg.line_bytes, cfg.ways)),
       mshr_(cfg.mshr_entries),
@@ -274,7 +274,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
 
         // Exactly one of on_done / on_cancel fires; share the response.
         auto cb = std::make_shared<Response>(std::move(on_done));
-        bus::RequestHooks hooks;
+        noc::RequestHooks hooks;
         // Only meaningful while the line is still our upgradable (Shared or
         // Owned) copy; a snoop invalidation while queued turns the upgrade
         // into a write miss.
@@ -292,7 +292,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
           if (LineT* l2 = tags_.find(line_addr)) l2->payload.upgrading = false;
           do_write(line_addr, std::move(*cb), counted);
         };
-        hooks.on_grant = [this, line_addr, counted](const bus::BusResult&) {
+        hooks.on_grant = [this, line_addr, counted](const noc::BusResult&) {
           LineT* l2 = tags_.find(line_addr);
           CDSIM_ASSERT_MSG(l2 != nullptr &&
                                (l2->payload.state == MesiState::kShared ||
@@ -304,10 +304,10 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
           apply_arming(dcfg_, l2->payload.decay, MesiState::kModified);
           if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
         };
-        hooks.on_done = [cb](const bus::BusResult& res) {
+        hooks.on_done = [cb](const noc::BusResult& res) {
           (*cb)(res.done_at, true);
         };
-        bus_.request(BusTxKind::kBusUpgr, line_addr, core_, /*bytes=*/0,
+        ic_.request(BusTxKind::kBusUpgr, line_addr, core_, /*bytes=*/0,
                      std::move(hooks));
         return;
       }
@@ -354,21 +354,21 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
 // ---------------------------------------------------------------------------
 
 void L2Cache::issue_fetch(Addr line_addr, bool is_write) {
-  bus::RequestHooks hooks;
-  hooks.on_grant = [this, line_addr, is_write](const bus::BusResult& res) {
+  noc::RequestHooks hooks;
+  hooks.on_grant = [this, line_addr, is_write](const noc::BusResult& res) {
     install_at_grant(line_addr, is_write, res);
   };
-  hooks.on_done = [this, line_addr](const bus::BusResult& res) {
+  hooks.on_done = [this, line_addr](const noc::BusResult& res) {
     if (LineT* ln = tags_.find(line_addr)) ln->payload.fetching = false;
     fills_.inc();
     mshr_.complete(line_addr, res.done_at);
   };
-  bus_.request(is_write ? BusTxKind::kBusRdX : BusTxKind::kBusRd, line_addr,
+  ic_.request(is_write ? BusTxKind::kBusRdX : BusTxKind::kBusRd, line_addr,
                core_, cfg_.line_bytes, std::move(hooks));
 }
 
 void L2Cache::install_at_grant(Addr line_addr, bool is_write,
-                               const bus::BusResult& res) {
+                               const noc::BusResult& res) {
   CDSIM_ASSERT_MSG(tags_.find(line_addr) == nullptr,
                    "fill granted for an already-present line");
   // Never evict a way whose own fill is still in flight.
@@ -413,17 +413,22 @@ void L2Cache::evict(LineT& victim) {
     cancel_td_wb(victim.payload);
     stats_.writebacks.inc();
     if (obs_) obs_->on_writeback_initiated(core_, vline, eq_.now());
-    bus_.request(BusTxKind::kWriteBack, vline, core_, cfg_.line_bytes,
-                 bus::SnoopBus::Completion{});
+    ic_.request(BusTxKind::kWriteBack, vline, core_, cfg_.line_bytes,
+                 noc::Interconnect::Completion{});
+    line_off(victim);
+  } else {
+    // Clean eviction: no data traffic. The directory still learns about it
+    // (PutS/PutE) so its sharer bitmap stays exact; the bus ignores it.
+    line_off(victim);
+    ic_.note_clean_drop(core_, vline);
   }
-  line_off(victim);
 }
 
 // ---------------------------------------------------------------------------
 // Snooping
 // ---------------------------------------------------------------------------
 
-bus::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
+noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
                                CoreId /*requester*/) {
   LineT* ln = tags_.find(line_addr);
   if (ln == nullptr) return {};
@@ -431,7 +436,7 @@ bus::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
   Payload& p = ln->payload;
   const coherence::SnoopOutcome out =
       coherence::apply_snoop(cfg_.protocol, p.state, kind);
-  bus::SnoopReply reply{out.had_line, out.supply_data, out.memory_update};
+  noc::SnoopReply reply{out.had_line, out.supply_data, out.memory_update};
 
   if (out.cancel_turnoff_wb) cancel_td_wb(p);
   if (out.supply_data && obs_) {
@@ -542,6 +547,10 @@ void L2Cache::turn_off_clean(Addr line_addr) {
   stats_.decay_turnoffs.inc();
   decayed_lines_[line_addr] = eq_.now();
   line_off(*ln);
+  // §III turn-off legality, directory form: a decayed line may be dropped
+  // without data traffic exactly because it is clean — tell the home so
+  // the sharer bitmap (and the PutE/PutS legality check) stays exact.
+  ic_.note_clean_drop(core_, line_addr);
 }
 
 void L2Cache::turn_off_dirty(Addr line_addr) {
@@ -563,12 +572,12 @@ void L2Cache::turn_off_owned(Addr line_addr) {
   // flush-and-cancel also cleared the token).
   std::shared_ptr<bool> token = ln->payload.td_wb_token;
   CDSIM_ASSERT(token != nullptr);
-  bus::RequestHooks hooks;
+  noc::RequestHooks hooks;
   hooks.validator = [token] { return *token; };
-  hooks.on_done = [this, line_addr](const bus::BusResult&) {
+  hooks.on_done = [this, line_addr](const noc::BusResult&) {
     issue_turnoff_writeback(line_addr);
   };
-  bus_.request(BusTxKind::kBusUpgr, line_addr, core_, /*bytes=*/0,
+  ic_.request(BusTxKind::kBusUpgr, line_addr, core_, /*bytes=*/0,
                std::move(hooks));
 }
 
@@ -582,10 +591,15 @@ void L2Cache::issue_turnoff_writeback(Addr line_addr) {
     // Injected fault (see L2Config): drop the dirty data on the floor.
     // Timing-wise this looks like a clean turn-off; memory keeps its stale
     // copy, which is exactly the wrong-data bug the differential oracle
-    // must catch (and the internal invariants cannot).
+    // must catch (and the internal invariants cannot). The buggy
+    // controller also reports the drop as clean — under the directory
+    // that releases ownership, so the stale refetch (the divergence)
+    // happens instead of a home deferral waiting forever for the
+    // write-back this fault just swallowed.
     stats_.decay_turnoffs.inc();
     decayed_lines_[line_addr] = eq_.now();
     line_off(*ln);
+    ic_.note_clean_drop(core_, line_addr);
     return;
   }
 
@@ -594,9 +608,9 @@ void L2Cache::issue_turnoff_writeback(Addr line_addr) {
   std::shared_ptr<bool> token = ln->payload.td_wb_token;
   CDSIM_ASSERT(token != nullptr);
   if (obs_) obs_->on_writeback_initiated(core_, line_addr, eq_.now());
-  bus::RequestHooks hooks;
+  noc::RequestHooks hooks;
   hooks.validator = [token] { return *token; };
-  hooks.on_done = [this, line_addr](const bus::BusResult&) {
+  hooks.on_done = [this, line_addr](const noc::BusResult&) {
     LineT* l2 = tags_.find(line_addr);
     if (l2 == nullptr || l2->payload.state != MesiState::kTransientDirty) {
       return;  // finished via snoop/eviction while the flush was queued
@@ -605,8 +619,12 @@ void L2Cache::issue_turnoff_writeback(Addr line_addr) {
     stats_.writebacks.inc();
     decayed_lines_[line_addr] = eq_.now();
     line_off(*l2);
+    // Dirty turn-off complete: the flushed copy is off. The directory kept
+    // the TD line tracked across the write-back grant (it stays snoopable
+    // until this instant) and releases it here; the bus ignores the note.
+    ic_.note_clean_drop(core_, line_addr);
   };
-  bus_.request(BusTxKind::kWriteBack, line_addr, core_, cfg_.line_bytes,
+  ic_.request(BusTxKind::kWriteBack, line_addr, core_, cfg_.line_bytes,
                std::move(hooks));
 }
 

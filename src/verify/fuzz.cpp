@@ -14,30 +14,49 @@ namespace cdsim::verify {
 
 namespace {
 
-/// The 16 (protocol x technique-config) cells the matrix cycles through.
-/// Decay times are deliberately tiny (the fuzzer's runs are tens of
-/// thousands of cycles): small windows mean *more* turn-off edges per
-/// instruction, which is the point.
+/// The 32 (protocol x technique-config x topology) cells the matrix cycles
+/// through. Decay times are deliberately tiny (the fuzzer's runs are tens
+/// of thousands of cycles): small windows mean *more* turn-off edges per
+/// instruction, which is the point. The first 16 cells are the historical
+/// 4-core snoop-bus matrix; the second 16 run the directory mesh at 16
+/// (MESI) and 8 (MOESI, asymmetric 4x2 mesh) cores with the hot-home-node
+/// NoC stressor enabled.
 struct MatrixCell {
   coherence::Protocol protocol;
   decay::Technique technique;
   Cycle decay_time;
+  noc::Topology topology = noc::Topology::kSnoopBus;
+  std::uint32_t num_cores = 4;
 };
 
 constexpr Cycle kDecayTimes[3] = {1024, 2048, 4096};
 
-std::vector<MatrixCell> matrix_cells() {
+std::vector<MatrixCell> matrix_cells(bool dmesh_only) {
   std::vector<MatrixCell> cells;
-  for (const auto protocol :
-       {coherence::Protocol::kMesi, coherence::Protocol::kMoesi}) {
-    cells.push_back({protocol, decay::Technique::kBaseline, 2048});
-    cells.push_back({protocol, decay::Technique::kProtocol, 2048});
+  const auto add_block = [&cells](coherence::Protocol protocol,
+                                  noc::Topology topo, std::uint32_t cores) {
+    cells.push_back({protocol, decay::Technique::kBaseline, 2048, topo,
+                     cores});
+    cells.push_back({protocol, decay::Technique::kProtocol, 2048, topo,
+                     cores});
     for (const Cycle t : kDecayTimes) {
-      cells.push_back({protocol, decay::Technique::kDecay, t});
+      cells.push_back({protocol, decay::Technique::kDecay, t, topo, cores});
     }
     for (const Cycle t : kDecayTimes) {
-      cells.push_back({protocol, decay::Technique::kSelectiveDecay, t});
+      cells.push_back(
+          {protocol, decay::Technique::kSelectiveDecay, t, topo, cores});
     }
+  };
+  if (!dmesh_only) {
+    add_block(coherence::Protocol::kMesi, noc::Topology::kSnoopBus, 4);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kSnoopBus, 4);
+    add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8);
+  } else {
+    // The CI many-core smoke gate: 16-core mesh only, both protocols.
+    add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh,
+              16);
   }
   return cells;
 }
@@ -47,7 +66,8 @@ std::vector<MatrixCell> matrix_cells() {
 std::string FuzzScenario::label() const {
   std::ostringstream os;
   os << "fuzz#" << index << "/" << coherence::to_string(protocol) << "/"
-     << decay.label() << "/l2=" << total_l2_bytes / KiB << "K/seed=" << seed;
+     << noc::to_string(topology) << num_cores << "/" << decay.label()
+     << "/l2=" << total_l2_bytes / KiB << "K/seed=" << seed;
   if (inject_writeback_loss) os << "/INJECTED-WB-LOSS";
   return os.str();
 }
@@ -55,6 +75,7 @@ std::string FuzzScenario::label() const {
 sim::SystemConfig FuzzScenario::system_config() const {
   sim::SystemConfig cfg;
   cfg.num_cores = num_cores;
+  cfg.topology = topology;
   cfg.total_l2_bytes = total_l2_bytes;
   cfg.protocol = protocol;
   cfg.decay = decay;
@@ -69,7 +90,7 @@ sim::SystemConfig FuzzScenario::system_config() const {
 }
 
 std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
-  const std::vector<MatrixCell> cells = matrix_cells();
+  const std::vector<MatrixCell> cells = matrix_cells(opts.dmesh_only);
   std::vector<FuzzScenario> out;
   out.reserve(opts.scenarios);
   for (std::size_t i = 0; i < opts.scenarios; ++i) {
@@ -77,14 +98,24 @@ std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
     FuzzScenario sc;
     sc.index = i;
     sc.protocol = cell.protocol;
+    sc.topology = cell.topology;
     sc.decay = decay::DecayConfig{cell.technique, cell.decay_time, 4};
-    sc.num_cores = 4;
-    // Alternate slice pressure between rounds of the matrix.
-    sc.total_l2_bytes = ((i / cells.size()) % 2 == 0) ? 128 * KiB : 256 * KiB;
+    sc.num_cores = cell.num_cores;
+    // Alternate slice pressure between rounds of the matrix (32 KiB or
+    // 64 KiB per core, matching the historical 4-core 128K/256K totals).
+    const std::uint64_t per_core =
+        ((i / cells.size()) % 2 == 0) ? 32 * KiB : 64 * KiB;
+    sc.total_l2_bytes = per_core * sc.num_cores;
     sc.instructions_per_core = opts.instructions_per_core;
     sc.seed = opts.base_seed + i;
     sc.fuzz.num_cores = sc.num_cores;
     sc.fuzz.decay_window = cell.decay_time;
+    if (cell.topology == noc::Topology::kDirectoryMesh) {
+      // NoC stressors: hot-home-node contention (all cores hammering one
+      // directory bank) rebalanced against the private-churn remainder.
+      sc.fuzz.w_hot_home = 0.18;
+      sc.fuzz.home_tiles = sc.num_cores;
+    }
     sc.inject_writeback_loss = opts.inject_writeback_loss;
     out.push_back(std::move(sc));
   }

@@ -18,6 +18,7 @@ constexpr Addr kFalseShareOffset = 0x000000;
 constexpr Addr kPingpongOffset = 0x100000;
 constexpr Addr kStraddleOffset = 0x200000;
 constexpr Addr kChainOffset = 0x400000;
+constexpr Addr kHotHomeOffset = 0x800000;
 
 }  // namespace
 
@@ -68,8 +69,37 @@ void FuzzerWorkload::refill() {
   } else if (pick < cfg_.w_false_share + cfg_.w_pingpong + cfg_.w_straddle +
                         cfg_.w_chain) {
     burst_chain();
+  } else if (pick < cfg_.w_false_share + cfg_.w_pingpong + cfg_.w_straddle +
+                        cfg_.w_chain + cfg_.w_hot_home) {
+    burst_hot_home();  // unreachable at the default w_hot_home = 0
   } else {
     burst_churn();
+  }
+}
+
+void FuzzerWorkload::burst_hot_home() {
+  // Directory stressor: a pool of lines spaced `home_tiles` lines apart —
+  // under line-interleaved homes every one of them serializes through the
+  // SAME directory bank, while all cores read/write them concurrently
+  // (all-to-all sharing through one mesh hotspot). The offset keeps the
+  // pool disjoint from every other shared pool.
+  CDSIM_ASSERT_MSG(cfg_.home_tiles >= 1,
+                   "w_hot_home > 0 requires home_tiles");
+  const Addr stride =
+      static_cast<Addr>(cfg_.home_tiles) * cfg_.line_bytes;
+  const Addr line = kSharedBase + kHotHomeOffset +
+                    rng_.below(cfg_.hot_home_lines) * stride;
+  const std::uint64_t n = 2 + rng_.below(4);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const bool store = rng_.chance(cfg_.store_fraction);
+    // Alternate a same-line and a neighbouring-pool-line touch so the one
+    // bank also sees back-to-back transactions for *different* lines.
+    const Addr a = (i & 1) == 0
+                       ? line
+                       : kSharedBase + kHotHomeOffset +
+                             rng_.below(cfg_.hot_home_lines) * stride;
+    push(store ? AccessType::kStore : AccessType::kLoad, a, small_gap(),
+         false, 0);
   }
 }
 

@@ -1,0 +1,89 @@
+// SystemConfig construction-time validation: misconfigurations must throw
+// std::invalid_argument with a descriptive message, not silently simulate
+// a platform nobody asked for (and not abort deep inside the kernel).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace cdsim::sim {
+namespace {
+
+SystemConfig base() {
+  SystemConfig cfg;
+  cfg.num_cores = 4;
+  cfg.total_l2_bytes = 4 * MiB;
+  return cfg;
+}
+
+void expect_invalid(const SystemConfig& cfg, const char* needle) {
+  try {
+    validate_system_config(cfg);
+    FAIL() << "expected invalid_argument mentioning \"" << needle << "\"";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(ConfigValidation, DefaultAndScaledConfigsPass) {
+  EXPECT_NO_THROW(validate_system_config(base()));
+  SystemConfig big = base();
+  big.topology = noc::Topology::kDirectoryMesh;
+  big.num_cores = 64;
+  big.total_l2_bytes = 64 * MiB;
+  EXPECT_NO_THROW(validate_system_config(big));
+}
+
+TEST(ConfigValidation, ZeroCoresThrows) {
+  SystemConfig cfg = base();
+  cfg.num_cores = 0;
+  expect_invalid(cfg, "num_cores");
+}
+
+TEST(ConfigValidation, MoreThan64CoresThrows) {
+  SystemConfig cfg = base();
+  cfg.num_cores = 65;
+  cfg.total_l2_bytes = 65 * MiB;
+  expect_invalid(cfg, "64");
+}
+
+TEST(ConfigValidation, IndivisibleL2Throws) {
+  SystemConfig cfg = base();
+  cfg.num_cores = 3;
+  cfg.total_l2_bytes = 4 * MiB;  // 4 MiB does not split 3 ways
+  expect_invalid(cfg, "divisible");
+  cfg.total_l2_bytes = 0;
+  expect_invalid(cfg, "divisible");
+}
+
+TEST(ConfigValidation, NonPowerOfTwoCoresOnMeshThrows) {
+  SystemConfig cfg = base();
+  cfg.topology = noc::Topology::kDirectoryMesh;
+  cfg.num_cores = 12;
+  cfg.total_l2_bytes = 12 * MiB;
+  expect_invalid(cfg, "power of two");
+  // The same core count is fine on the bus (no tile grid to factorize).
+  cfg.topology = noc::Topology::kSnoopBus;
+  EXPECT_NO_THROW(validate_system_config(cfg));
+}
+
+TEST(ConfigValidation, WrongPerCoreInstructionLengthThrows) {
+  SystemConfig cfg = base();
+  cfg.per_core_instructions = {1000, 1000};  // 2 entries for 4 cores
+  expect_invalid(cfg, "per_core_instructions");
+}
+
+TEST(ConfigValidation, CmpSystemConstructorEnforcesIt) {
+  SystemConfig cfg = base();
+  cfg.num_cores = 0;
+  EXPECT_THROW(
+      CmpSystem(cfg, workload::benchmark_by_name("mpeg2enc")),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdsim::sim

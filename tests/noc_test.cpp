@@ -1,0 +1,176 @@
+// Unit tests for the 2D-mesh NoC: grid factorization, XY routing, credit
+// accounting/backpressure, same-path FIFO ordering, and deadlock freedom
+// under all-to-all storms on asymmetric meshes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cdsim/common/event_queue.hpp"
+#include "cdsim/noc/mesh.hpp"
+
+namespace cdsim::noc {
+namespace {
+
+TEST(MeshDims, MostSquarePowerOfTwoFactorization) {
+  const auto check = [](std::uint32_t n, std::uint32_t w, std::uint32_t h) {
+    const MeshDims d = mesh_dims(n);
+    EXPECT_EQ(d.width, w) << n << " tiles";
+    EXPECT_EQ(d.height, h) << n << " tiles";
+    EXPECT_EQ(d.width * d.height, n);
+  };
+  check(1, 1, 1);
+  check(2, 2, 1);
+  check(4, 2, 2);
+  check(8, 4, 2);   // asymmetric
+  check(16, 4, 4);
+  check(32, 8, 4);  // asymmetric
+  check(64, 8, 8);
+}
+
+TEST(MeshNoc, XyHopsAreManhattanDistance) {
+  EventQueue eq;
+  MeshNoc noc(eq, NocConfig{}, 4, 2);  // tiles 0..7, tile = y*4+x
+  EXPECT_EQ(noc.hops(0, 0), 0u);
+  EXPECT_EQ(noc.hops(0, 3), 3u);
+  EXPECT_EQ(noc.hops(0, 7), 4u);  // 3 east + 1 south
+  EXPECT_EQ(noc.hops(7, 0), 4u);
+  EXPECT_EQ(noc.hops(1, 5), 1u);
+}
+
+TEST(MeshNoc, FlitsIncludeHeaderAndRoundUp) {
+  EventQueue eq;
+  NocConfig cfg;  // 16 B flits, 8 B header
+  MeshNoc noc(eq, cfg, 2, 2);
+  EXPECT_EQ(noc.flits_for(0), 1u);    // header only
+  EXPECT_EQ(noc.flits_for(8), 1u);    // 16 B total
+  EXPECT_EQ(noc.flits_for(9), 2u);
+  EXPECT_EQ(noc.flits_for(64), 5u);   // 72 B -> 5 flits
+}
+
+TEST(MeshNoc, DeliversAcrossTheMeshAndCountsFlitHops) {
+  EventQueue eq;
+  MeshNoc noc(eq, NocConfig{}, 4, 2);
+  Cycle delivered = 0;
+  noc.send(0, 7, /*payload=*/64, [&](Cycle c) { delivered = c; });
+  eq.run();
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(noc.packets_delivered(), 1u);
+  EXPECT_EQ(noc.packets_in_flight(), 0u);
+  // 4 hops x 5 flits.
+  EXPECT_EQ(noc.flit_hops(), 20u);
+  EXPECT_EQ(noc.bytes_injected(), 64u);
+  EXPECT_DOUBLE_EQ(noc.avg_packet_latency(), static_cast<double>(delivered));
+}
+
+TEST(MeshNoc, SameTileDeliveryNeverTouchesALink) {
+  EventQueue eq;
+  MeshNoc noc(eq, NocConfig{}, 2, 2);
+  bool delivered = false;
+  noc.send(3, 3, 64, [&](Cycle) { delivered = true; });
+  eq.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(noc.flit_hops(), 0u);
+}
+
+TEST(MeshNoc, CreditBackpressureStallsAndRecovers) {
+  EventQueue eq;
+  NocConfig cfg;
+  cfg.link_credits = 1;  // single buffer: heavy same-link traffic must stall
+  MeshNoc noc(eq, cfg, 4, 1);
+  int delivered = 0;
+  for (int i = 0; i < 16; ++i) {
+    noc.send(0, 3, 64, [&](Cycle) { ++delivered; });
+  }
+  eq.run();
+  EXPECT_EQ(delivered, 16);
+  EXPECT_GT(noc.total_stalls(), 0u);
+  // Credits fully restored: a fresh packet still goes through.
+  noc.send(0, 3, 64, [&](Cycle) { ++delivered; });
+  eq.run();
+  EXPECT_EQ(delivered, 17);
+  EXPECT_EQ(noc.packets_in_flight(), 0u);
+}
+
+TEST(MeshNoc, SamePathDeliveryIsFifo) {
+  // Two packets from the same source to the same destination must arrive
+  // in injection order (the directory relies on this for WB-before-refetch
+  // ordering from one core).
+  EventQueue eq;
+  NocConfig cfg;
+  cfg.link_credits = 2;
+  MeshNoc noc(eq, cfg, 4, 2);
+  std::vector<int> order;
+  noc.send(0, 7, 64, [&](Cycle) { order.push_back(0); });  // 5 flits
+  noc.send(0, 7, 8, [&](Cycle) { order.push_back(1); });   // 1 flit
+  noc.send(0, 7, 64, [&](Cycle) { order.push_back(2); });
+  eq.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+/// All-to-all storm: every tile sends `k` packets to every other tile with
+/// minimal buffering. XY routing's acyclic channel dependencies must drain
+/// every packet (deadlock freedom), including on asymmetric grids.
+void storm(std::uint32_t w, std::uint32_t h, int k) {
+  EventQueue eq;
+  NocConfig cfg;
+  cfg.link_credits = 1;  // the hardest case
+  MeshNoc noc(eq, cfg, w, h);
+  const std::uint32_t n = w * h;
+  std::uint64_t delivered = 0;
+  for (int round = 0; round < k; ++round) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      for (std::uint32_t d = 0; d < n; ++d) {
+        if (s == d) continue;
+        noc.send(s, d, 64, [&](Cycle) { ++delivered; });
+      }
+    }
+  }
+  eq.run();
+  EXPECT_EQ(delivered, static_cast<std::uint64_t>(k) * n * (n - 1))
+      << w << "x" << h;
+  EXPECT_EQ(noc.packets_in_flight(), 0u);
+  EXPECT_GT(noc.max_link_utilization(eq.now()), 0.0);
+}
+
+TEST(MeshNoc, AllToAllStormDrainsOnAsymmetricMeshes) {
+  storm(4, 2, 3);  // 8 tiles, asymmetric
+  storm(8, 4, 1);  // 32 tiles, asymmetric
+  storm(4, 1, 4);  // degenerate 1D chain
+  storm(4, 4, 2);  // square for contrast
+}
+
+TEST(MeshNoc, HotspotConvergecastDrains) {
+  // Everyone hammers tile 0 (the hot-home pattern's transport shape).
+  EventQueue eq;
+  NocConfig cfg;
+  cfg.link_credits = 1;
+  MeshNoc noc(eq, cfg, 4, 4);
+  std::uint64_t delivered = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t s = 1; s < 16; ++s) {
+      noc.send(s, 0, 64, [&](Cycle) { ++delivered; });
+    }
+  }
+  eq.run();
+  EXPECT_EQ(delivered, 8u * 15u);
+  EXPECT_GT(noc.total_stalls(), 0u);  // the hotspot must backpressure
+}
+
+TEST(MeshNoc, LinkStatsAccumulateOnTheRoute) {
+  EventQueue eq;
+  MeshNoc noc(eq, NocConfig{}, 2, 2);
+  noc.send(0, 1, 64, {});
+  eq.run();
+  // Route 0 -> 1 is one eastward hop: tile 0's east link carries 5 flits.
+  const MeshNoc::LinkStats& east = noc.link_stats(0, /*dir=*/0);
+  EXPECT_EQ(east.packets, 1u);
+  EXPECT_EQ(east.flits, 5u);
+  EXPECT_EQ(east.busy_cycles, 5u);
+}
+
+}  // namespace
+}  // namespace cdsim::noc
