@@ -7,10 +7,11 @@
 //     passes; a lost write-back's stale refetch diverges; MOESI's
 //     deferred-memory flush chain stays consistent).
 //  2. The acceptance sweep runs >= 200 seeded hostile scenarios spanning
-//     {MESI, MOESI} x all four leakage techniques x three decay times and
-//     requires ZERO divergences — every load's returned version matches
-//     the flat last-writer model, including loads that hit lines that were
-//     turned off and refetched.
+//     {MESI, MOESI} x all four leakage techniques x three decay times x
+//     {4-core snoop bus, 8/16-core directory mesh} and requires ZERO
+//     divergences — every load's returned version matches the flat
+//     last-writer model, including loads that hit lines that were turned
+//     off and refetched, on both interconnect topologies.
 //  3. The injected-bug test flips the L2's test-only lost-write-back fault
 //     and requires the oracle to CATCH it and the shrinker to minimize the
 //     captured trace to a tiny (<= 50 op) replayable repro.
@@ -150,7 +151,7 @@ TEST(DifferentialChecker, HitOnUntrackedCopyDiverges) {
 // The fuzz matrix
 // ---------------------------------------------------------------------------
 
-TEST(FuzzMatrix, SpansProtocolsTechniquesAndDecayTimes) {
+TEST(FuzzMatrix, SpansProtocolsTechniquesDecayTimesAndTopologies) {
   verify::FuzzOptions opts;
   opts.scenarios = 208;
   const auto matrix = verify::fuzz_matrix(opts);
@@ -158,18 +159,32 @@ TEST(FuzzMatrix, SpansProtocolsTechniquesAndDecayTimes) {
 
   int protocols[2] = {};
   int techniques[4] = {};
+  int topologies[2] = {};
+  std::set<std::uint32_t> mesh_core_counts;
   std::set<Cycle> decay_times;
   std::set<std::uint64_t> seeds;
   for (const auto& sc : matrix) {
     protocols[static_cast<int>(sc.protocol)]++;
     techniques[static_cast<int>(sc.decay.technique)]++;
+    topologies[static_cast<int>(sc.topology)]++;
     if (decay::uses_decay(sc.decay.technique)) {
       decay_times.insert(sc.decay.decay_time);
+    }
+    if (sc.topology == noc::Topology::kDirectoryMesh) {
+      mesh_core_counts.insert(sc.num_cores);
+      // NoC stressor armed: hot-home contention targets one bank.
+      EXPECT_GT(sc.fuzz.w_hot_home, 0.0);
+      EXPECT_EQ(sc.fuzz.home_tiles, sc.num_cores);
     }
     seeds.insert(sc.seed);
   }
   EXPECT_GT(protocols[0], 50);  // MESI
   EXPECT_GT(protocols[1], 50);  // MOESI
+  EXPECT_GT(topologies[0], 50);  // snoop bus
+  EXPECT_GT(topologies[1], 50);  // directory mesh
+  // Mesh cells cover a square 4x4 and an asymmetric 4x2 grid.
+  EXPECT_TRUE(mesh_core_counts.count(16));
+  EXPECT_TRUE(mesh_core_counts.count(8));
   for (int t = 0; t < 4; ++t) EXPECT_GT(techniques[t], 0) << "technique " << t;
   EXPECT_GE(decay_times.size(), 3u);
   EXPECT_EQ(seeds.size(), matrix.size());  // every scenario a fresh seed
