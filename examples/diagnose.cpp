@@ -1,8 +1,13 @@
 // diagnose — internal-counters dump for one configuration.
 //
 // Usage: diagnose <benchmark> <technique> <decay_time_k> [instr]
-// Prints the per-L2 counters, bus/memory pressure, and energy ledger that
-// the figure-level metrics summarize. Useful for calibrating workloads.
+//                 [--topology=bus|dmesh] [--hierarchy=2|3] [--cores=N]
+// Prints the per-level cache counters, interconnect/memory pressure, and
+// energy ledger that the figure-level metrics summarize. Useful for
+// calibrating workloads. The topology/hierarchy flags drive the full
+// machine family: the paper's 4-core snoop bus, the scaled directory
+// mesh, and the three-level machine (private L2s behind the shared
+// home-banked L3) with the chosen technique active at every level.
 
 #include <cstdio>
 #include <cstdlib>
@@ -11,15 +16,36 @@
 
 #include "cdsim/sim/cmp_system.hpp"
 #include "cdsim/sim/experiment.hpp"
+#include "hierarchy_flags.hpp"
 
 using namespace cdsim;
 
 int main(int argc, char** argv) {
-  const std::string bench_name = argc > 1 ? argv[1] : "mpeg2dec";
-  const std::string tech_name = argc > 2 ? argv[2] : "decay";
-  const Cycle decay_k = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 512;
-  const std::uint64_t instr =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 4000000;
+  std::string bench_name = "mpeg2dec";
+  std::string tech_name = "decay";
+  Cycle decay_k = 512;
+  std::uint64_t instr = 4000000;
+
+  examples::MachineFlags mf;
+  if (!examples::parse_machine_flags(
+          argc, argv, mf, [&](int pos, const std::string& arg) {
+            switch (pos) {
+              case 0: bench_name = arg; break;
+              case 1: tech_name = arg; break;
+              case 2:
+                decay_k = std::strtoull(arg.c_str(), nullptr, 10);
+                break;
+              case 3:
+                instr = std::strtoull(arg.c_str(), nullptr, 10);
+                break;
+              default: break;
+            }
+          })) {
+    return 2;
+  }
+  const noc::Topology topology = mf.topology;
+  const sim::Hierarchy hierarchy = mf.hierarchy;
+  const std::uint32_t cores = mf.effective_cores();
 
   decay::DecayConfig d;
   if (tech_name == "baseline") d.technique = decay::Technique::kBaseline;
@@ -29,15 +55,27 @@ int main(int argc, char** argv) {
   d.decay_time = decay_k * 1024;
 
   sim::SystemConfig cfg = sim::make_system_config(4 * MiB, d);
+  cfg.topology = topology;
+  cfg.hierarchy = hierarchy;
+  cfg.num_cores = cores;
+  cfg.total_l2_bytes = static_cast<std::uint64_t>(cores) * MiB;
+  if (hierarchy == sim::Hierarchy::kThreeLevel) {
+    cfg.total_l3_bytes = 4 * cfg.total_l2_bytes;
+    // Decay at every level: the chosen technique runs in the L1 front
+    // ends and the shared L3 banks too.
+    cfg.l1_decay = cfg.decay;
+    cfg.l3_decay = cfg.decay;
+  }
   cfg.instructions_per_core = instr;
 
   const auto& bench = workload::benchmark_by_name(bench_name);
   sim::CmpSystem sys(cfg, bench);
   const sim::RunMetrics m = sys.run();
 
-  std::printf("=== %s / %s / %lluMB / %llu instr/core ===\n",
+  std::printf("=== %s / %s / %lluMB L2 / %s%u / %s / %llu instr/core ===\n",
               m.benchmark.c_str(), m.technique.c_str(),
               (unsigned long long)(m.total_l2_bytes / MiB),
+              m.topology.c_str(), cfg.num_cores, m.hierarchy.c_str(),
               (unsigned long long)instr);
   std::printf("cycles            %llu\n", (unsigned long long)m.cycles);
   std::printf("IPC               %.3f\n", m.ipc);
@@ -56,8 +94,31 @@ int main(int argc, char** argv) {
   std::printf("AMAT              %.1f cycles\n", m.amat);
   std::printf("mem bytes         %llu (%.3f B/cyc)\n",
               (unsigned long long)m.mem_bytes, m.mem_bandwidth);
-  std::printf("bus utilization   %.1f%%\n", 100.0 * m.bus_utilization);
+  std::printf("fabric util       %.1f%%\n", 100.0 * m.bus_utilization);
   std::printf("avg L2 temp       %.1f K\n", m.avg_l2_temp_kelvin);
+  if (cfg.topology == noc::Topology::kDirectoryMesh) {
+    std::printf("NoC flit-hops     %llu (avg pkt lat %.1f)\n",
+                (unsigned long long)m.noc_flit_hops,
+                m.noc_avg_packet_latency);
+    std::printf("dir snoops        %llu (recalls %llu, deferrals %llu)\n",
+                (unsigned long long)m.dir_directed_snoops,
+                (unsigned long long)m.dir_recalls,
+                (unsigned long long)m.dir_deferrals);
+  }
+
+  const auto print_level = [](const char* name, const sim::LevelMetrics& l) {
+    std::printf(
+        "  %-3s acc=%llu hit=%llu miss=%llu toff=%llu dmiss=%llu wb=%llu "
+        "occ=%.3f\n",
+        name, (unsigned long long)l.accesses, (unsigned long long)l.hits,
+        (unsigned long long)l.misses, (unsigned long long)l.decay_turnoffs,
+        (unsigned long long)l.decay_induced_misses,
+        (unsigned long long)l.writebacks, l.occupation);
+  };
+  std::printf("\nper-level counters (summed over the level):\n");
+  print_level("L1", m.l1);
+  print_level("L2", m.l2);
+  if (sys.has_l3()) print_level("L3", m.l3);
 
   std::printf("\nper-L2 counters:\n");
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
@@ -77,6 +138,25 @@ int main(int argc, char** argv) {
         (unsigned long long)sys.l2(c).transient_retries(),
         (unsigned long long)sys.l2(c).upgrades());
   }
+  if (sys.has_l3()) {
+    std::printf("\nper-L3-bank counters:\n");
+    for (std::uint32_t b = 0; b < sys.l3().num_banks(); ++b) {
+      const auto& st = sys.l3().bank_stats(b);
+      std::printf(
+          "  L3[%u] rh=%llu rm=%llu wh=%llu wm=%llu ev=%llu wb=%llu "
+          "inv=%llu boff=%llu dmiss=%llu\n",
+          b, (unsigned long long)st.read_hits.value(),
+          (unsigned long long)st.read_misses.value(),
+          (unsigned long long)st.write_hits.value(),
+          (unsigned long long)st.write_misses.value(),
+          (unsigned long long)st.evictions.value(),
+          (unsigned long long)st.writebacks.value(),
+          (unsigned long long)st.coherence_invals.value(),
+          (unsigned long long)st.decay_turnoffs.value(),
+          (unsigned long long)st.decay_induced_misses.value());
+    }
+  }
+
   std::printf("\ndecay-induced misses by region (agg): priv=%llu rw=%llu ro=%llu stream=%llu\n",
       [&]{unsigned long long v=0; for (CoreId c=0;c<cfg.num_cores;++c) v+=sys.l2(c).stats().decay_induced_by_region[1].value(); return v;}(),
       [&]{unsigned long long v=0; for (CoreId c=0;c<cfg.num_cores;++c) v+=sys.l2(c).stats().decay_induced_by_region[2].value(); return v;}(),
@@ -99,12 +179,13 @@ int main(int argc, char** argv) {
   std::printf("\nper-L1 counters:\n");
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
     const auto& st = sys.l1(c).stats();
-    std::printf("  L1[%u] rh=%llu rm=%llu wh=%llu wm=%llu binv=%llu\n", c,
-                (unsigned long long)st.read_hits.value(),
+    std::printf("  L1[%u] rh=%llu rm=%llu wh=%llu wm=%llu binv=%llu boff=%llu\n",
+                c, (unsigned long long)st.read_hits.value(),
                 (unsigned long long)st.read_misses.value(),
                 (unsigned long long)st.write_hits.value(),
                 (unsigned long long)st.write_misses.value(),
-                (unsigned long long)st.backinvals.value());
+                (unsigned long long)st.backinvals.value(),
+                (unsigned long long)st.decay_turnoffs.value());
   }
 
   std::printf("\nenergy ledger (eu):\n");

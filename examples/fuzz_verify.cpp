@@ -38,17 +38,21 @@ using namespace cdsim;
 namespace {
 
 int run_matrix(std::size_t scenarios, const char* report_dir,
-               bool dmesh_only) {
+               bool dmesh_only, bool three_level_only) {
   verify::FuzzOptions opts;
   opts.scenarios = scenarios;
   opts.dmesh_only = dmesh_only;
+  opts.three_level_only = three_level_only;
   if (report_dir != nullptr) opts.report_dir = report_dir;
 
   std::printf("fuzz_verify: %zu scenarios across {MESI, MOESI} x "
               "{baseline, protocol, decay, sel_decay} x {1K, 2K, 4K} x %s\n",
               opts.scenarios,
-              dmesh_only ? "{16-core directory mesh}"
-                         : "{bus4, dmesh16/dmesh8}");
+              three_level_only
+                  ? "{three-level dmesh16/dmesh8, decay at L1+L2+L3}"
+                  : (dmesh_only
+                         ? "{16-core directory mesh}"
+                         : "{bus4-2L, dmesh16/8-2L, dmesh16/8-3L}"));
   const verify::FuzzReport rep = verify::run_fuzz(opts);
 
   std::printf("\n  scenarios run       %zu\n", rep.scenarios_run);
@@ -134,10 +138,16 @@ int main(int argc, char** argv) {
     return demo_bug();
   }
   bool dmesh_only = false;
+  bool three_level_only = false;
   int arg = 1;
   std::size_t scenarios = 208;
   if (argc > arg && std::strcmp(argv[arg], "--dmesh-smoke") == 0) {
     dmesh_only = true;
+    scenarios = 64;
+    ++arg;
+  } else if (argc > arg &&
+             std::strcmp(argv[arg], "--three-level-smoke") == 0) {
+    three_level_only = true;
     scenarios = 64;
     ++arg;
   }
@@ -145,13 +155,14 @@ int main(int argc, char** argv) {
     const unsigned long long v = std::strtoull(argv[arg], nullptr, 10);
     if (v == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--dmesh-smoke] [scenarios] [report_dir] | "
-                   "--demo-bug\n",
+                   "usage: %s [--dmesh-smoke|--three-level-smoke] "
+                   "[scenarios] [report_dir] | --demo-bug\n",
                    argv[0]);
       return 2;
     }
     scenarios = static_cast<std::size_t>(v);
     ++arg;
   }
-  return run_matrix(scenarios, argc > arg ? argv[arg] : nullptr, dmesh_only);
+  return run_matrix(scenarios, argc > arg ? argv[arg] : nullptr, dmesh_only,
+                    three_level_only);
 }

@@ -1,0 +1,78 @@
+#pragma once
+// Shared --topology=/--hierarchy=/--cores= parsing for the example
+// binaries (diagnose, leakage_explorer), so the machine-family vocabulary
+// cannot drift between them. Strict: an unknown value prints an error and
+// the caller exits; positional arguments are passed through to `on_pos`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "cdsim/noc/interconnect.hpp"
+#include "cdsim/sim/cmp_system.hpp"
+
+namespace cdsim::examples {
+
+struct MachineFlags {
+  noc::Topology topology = noc::Topology::kSnoopBus;
+  sim::Hierarchy hierarchy = sim::Hierarchy::kTwoLevel;
+  std::uint32_t cores = 0;  ///< 0 = default for the topology.
+  bool any_set = false;     ///< At least one flag was given explicitly.
+
+  /// Cores after defaulting: 4 on the bus, 16 on the mesh.
+  [[nodiscard]] std::uint32_t effective_cores() const {
+    if (cores != 0) return cores;
+    return topology == noc::Topology::kDirectoryMesh ? 16 : 4;
+  }
+};
+
+/// Parses argv, routing non-flag arguments (in order) to `on_pos`.
+/// Returns false (after printing to stderr) on an invalid flag value.
+/// The three-level machine is mesh-only; asking for it implies dmesh.
+inline bool parse_machine_flags(
+    int argc, char** argv, MachineFlags& out,
+    const std::function<void(int pos, const std::string&)>& on_pos) {
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--topology=", 0) == 0) {
+      const std::string v = arg.substr(11);
+      if (v == "dmesh") {
+        out.topology = noc::Topology::kDirectoryMesh;
+      } else if (v != "bus") {
+        std::fprintf(stderr, "unknown topology \"%s\" (bus|dmesh)\n",
+                     v.c_str());
+        return false;
+      }
+      out.any_set = true;
+    } else if (arg.rfind("--hierarchy=", 0) == 0) {
+      const std::string v = arg.substr(12);
+      if (v == "3") {
+        out.hierarchy = sim::Hierarchy::kThreeLevel;
+      } else if (v != "2") {
+        std::fprintf(stderr, "unknown hierarchy \"%s\" (2|3)\n", v.c_str());
+        return false;
+      }
+      out.any_set = true;
+    } else if (arg.rfind("--cores=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg.c_str() + 8, &end, 10);
+      if (v == 0 || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr, "invalid --cores value \"%s\"\n",
+                     arg.c_str() + 8);
+        return false;
+      }
+      out.cores = static_cast<std::uint32_t>(v);
+      out.any_set = true;
+    } else {
+      on_pos(pos++, arg);
+    }
+  }
+  if (out.hierarchy == sim::Hierarchy::kThreeLevel) {
+    out.topology = noc::Topology::kDirectoryMesh;
+  }
+  return true;
+}
+
+}  // namespace cdsim::examples

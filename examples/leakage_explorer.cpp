@@ -7,32 +7,90 @@
 // Energy-Delay point of view" (§VI).
 //
 //   $ ./leakage_explorer [benchmark] [total_l2_mb] [instructions_per_core]
+//                        [--topology=bus|dmesh] [--hierarchy=2|3] [--cores=N]
+//
+// On the default bus machine results go through the shared ExperimentRunner
+// disk cache. The topology/hierarchy flags explore the machine family
+// instead — the directory mesh and the three-level hierarchy (private L2s
+// behind the shared home-banked L3, the technique active at every level);
+// those shapes are keyed outside the figure cache and simulate directly.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "cdsim/common/table.hpp"
 #include "cdsim/sim/experiment.hpp"
+#include "hierarchy_flags.hpp"
+
+using namespace cdsim;
 
 int main(int argc, char** argv) {
-  using namespace cdsim;
+  std::string bench_name = "VOLREND";
+  std::uint64_t size_mb = 4;
+  std::uint64_t instr = 1500000;
 
-  const std::string bench_name = argc > 1 ? argv[1] : "VOLREND";
-  const std::uint64_t size_mb = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                         : 4;
-  const std::uint64_t instr =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1500000;
+  examples::MachineFlags mf;
+  if (!examples::parse_machine_flags(
+          argc, argv, mf, [&](int pos, const std::string& arg) {
+            switch (pos) {
+              case 0: bench_name = arg; break;
+              case 1:
+                size_mb = std::strtoull(arg.c_str(), nullptr, 10);
+                break;
+              case 2:
+                instr = std::strtoull(arg.c_str(), nullptr, 10);
+                break;
+              default: break;
+            }
+          })) {
+    return 2;
+  }
+  const noc::Topology topology = mf.topology;
+  const sim::Hierarchy hierarchy = mf.hierarchy;
+  const bool default_machine = !mf.any_set;
+  const std::uint32_t cores = mf.effective_cores();
 
   const auto& bench = workload::benchmark_by_name(bench_name);
-  sim::ExperimentRunner runner(instr);
   const std::uint64_t size = size_mb * MiB;
 
-  std::printf("leakage_explorer: %s, %lluMB total L2, %llu instr/core\n\n",
-              bench.config.name.c_str(),
-              static_cast<unsigned long long>(size_mb),
-              static_cast<unsigned long long>(instr));
+  std::printf(
+      "leakage_explorer: %s, %lluMB total L2, %s%u cores, %s hierarchy, "
+      "%llu instr/core\n\n",
+      bench.config.name.c_str(), static_cast<unsigned long long>(size_mb),
+      std::string(noc::to_string(topology)).c_str(), cores,
+      std::string(sim::to_string(hierarchy)).c_str(),
+      static_cast<unsigned long long>(instr));
+
+  // Runs one technique on the selected machine. The default bus machine
+  // goes through the ExperimentRunner disk cache; the family shapes are
+  // simulated directly (their configs are not part of the figure cache's
+  // key space).
+  sim::ExperimentRunner runner(instr);
+  std::map<std::string, sim::RunMetrics> direct;
+  const auto run_one =
+      [&](const decay::DecayConfig& d) -> const sim::RunMetrics& {
+    if (default_machine) return runner.run(bench, size, d);
+    const std::string key = d.label();
+    const auto it = direct.find(key);
+    if (it != direct.end()) return it->second;
+    sim::SystemConfig cfg = sim::make_system_config(size, d);
+    cfg.topology = topology;
+    cfg.hierarchy = hierarchy;
+    cfg.num_cores = cores;
+    cfg.instructions_per_core = instr;
+    if (hierarchy == sim::Hierarchy::kThreeLevel) {
+      cfg.total_l3_bytes = 4 * size;
+      cfg.l1_decay = cfg.decay;   // the technique runs at every level
+      cfg.l3_decay = cfg.decay;
+    }
+    return direct.emplace(key, sim::run_config(cfg, bench)).first->second;
+  };
+
+  const sim::RunMetrics& baseline = run_one(sim::baseline_config());
 
   TextTable t;
   t.row()
@@ -49,7 +107,7 @@ int main(int argc, char** argv) {
     for (const Cycle dt :
          {512u * 1024u, 256u * 1024u, 128u * 1024u, 64u * 1024u}) {
       decay::DecayConfig d{tech, dt, 4};
-      const sim::RelativeMetrics r = runner.relative(bench, size, d);
+      const sim::RelativeMetrics r = relative_to(baseline, run_one(d));
       // ED relative to baseline: (1 - saving) * (1 / (1 - ipc_loss)).
       const double ed = (1.0 - r.energy_reduction) / (1.0 - r.ipc_loss);
       t.row().cell(d.label()).pct(r.energy_reduction).pct(r.ipc_loss).cell(

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,37 @@ struct DirectoryMeshConfig {
   std::uint32_t home_interleave_bytes = 64;
 };
 
+/// Memory-side cache colocated with the directory home banks — the shared
+/// L3 of the three-level hierarchy. One bank per mesh tile; the home bank
+/// that serializes a line's coherence transactions also caches it, so
+/// every call below happens under the home's serialization and needs no
+/// transient states of its own. The fabric consults it on the memory legs:
+/// fills that miss every upper cache look the bank up before going
+/// off-chip, accepted write-backs are absorbed by the bank instead of
+/// crossing the channel, and a memory-updating owner flush invalidates the
+/// bank's (now stale) copy. Dirty bank lines reach memory through the
+/// MemWritePort the fabric wires at attach time.
+class MemorySideCache {
+ public:
+  /// (bank/tile, line, payload bytes) -> posted memory write over the NoC.
+  using MemWritePort =
+      std::function<void(std::uint32_t bank, Addr line, std::uint32_t bytes)>;
+
+  virtual ~MemorySideCache() = default;
+  virtual void connect_memory_port(MemWritePort port) = 0;
+  /// Bank hit latency (fill-serve path).
+  [[nodiscard]] virtual Cycle access_latency() const = 0;
+  /// Fill lookup at the home: true = hit (the bank serves the line).
+  virtual bool lookup_for_fill(std::uint32_t bank, Addr line) = 0;
+  /// The channel delivered `line` for a fill that missed this bank:
+  /// install a clean copy (possibly evicting).
+  virtual void install_from_memory(std::uint32_t bank, Addr line) = 0;
+  /// An accepted write-back's data is captured by the bank (dirty).
+  virtual void absorb_writeback(std::uint32_t bank, Addr line) = 0;
+  /// Drop the bank's copy (memory-updating flush made it stale).
+  virtual void invalidate(std::uint32_t bank, Addr line) = 0;
+};
+
 /// The directory-mesh fabric. CoreId c lives on tile c.
 class DirectoryMesh final : public Interconnect {
  public:
@@ -88,6 +120,12 @@ class DirectoryMesh final : public Interconnect {
   void request(coherence::BusTxKind kind, Addr line_addr, CoreId requester,
                std::uint32_t bytes, RequestHooks hooks) override;
   void note_clean_drop(CoreId core, Addr line_addr) override;
+
+  /// Wires the shared L3 home banks into the memory legs (three-level
+  /// hierarchy). Must be called before any request; also hands the cache
+  /// its memory write port (bank -> memory tile over the NoC). nullptr
+  /// detaches (two-level behavior, bit-identical to pre-L3 builds).
+  void attach_l3(MemorySideCache* l3);
 
   [[nodiscard]] std::uint64_t transactions(
       coherence::BusTxKind k) const override {
@@ -157,6 +195,7 @@ class DirectoryMesh final : public Interconnect {
   MeshNoc noc_;
   coherence::Directory dir_;
   verify::AccessObserver* obs_ = nullptr;
+  MemorySideCache* l3_ = nullptr;  ///< Shared L3 banks (three-level only).
   std::vector<Snooper*> snoopers_;
 
   /// Earliest next grant per home bank.

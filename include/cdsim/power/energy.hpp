@@ -35,6 +35,13 @@ enum class Component : std::uint8_t {
   kBusDynamic,
   kDecayOverhead,   ///< Decay counters: dynamic resets + counter leakage.
   kNocDynamic,      ///< Mesh-NoC link/router switching (flit-hops).
+  kL3Dynamic,       ///< Shared L3 home banks (three-level hierarchy only).
+  kL3Leakage,       ///< Powered L3 lines (incl. Gated-Vdd area overhead).
+  kL3OffResidual,   ///< Residual leakage of gated (off) L3 lines.
+  /// Residual leakage of gated (off) L1 lines (l1_decay active). Appended
+  /// after the L3 block to keep component indices append-only (the
+  /// experiment-cache shim depends on old indices staying valid).
+  kL1OffResidual,
   kCount,
 };
 
@@ -53,6 +60,10 @@ constexpr std::string_view to_string(Component c) noexcept {
     case Component::kBusDynamic: return "bus_dyn";
     case Component::kDecayOverhead: return "decay_overhead";
     case Component::kNocDynamic: return "noc_dyn";
+    case Component::kL3Dynamic: return "l3_dyn";
+    case Component::kL3Leakage: return "l3_leak";
+    case Component::kL3OffResidual: return "l3_off_residual";
+    case Component::kL1OffResidual: return "l1_off_residual";
     case Component::kCount: break;
   }
   return "?";
@@ -127,6 +138,15 @@ struct PowerConfig {
   /// about what the same line costs on the bus, with longer routes paying
   /// proportionally more.
   double noc_dyn_per_flit_hop = 0.05;
+
+  // --- shared L3 home banks (three-level hierarchy) -----------------------
+  /// Leakage per powered L3 line per cycle at T0. Denser last-level arrays
+  /// leak less per line than the L2 slices.
+  double l3_leak_per_line_cycle = 2.0e-5;
+  /// Dynamic energy per L3 bank access (lookup/serve/absorb).
+  double l3_dyn_per_access = 0.20;
+  /// Extra dynamic energy per L3 line install.
+  double l3_dyn_per_fill = 0.35;
 };
 
 }  // namespace cdsim::power

@@ -23,6 +23,7 @@
 #include "cdsim/power/leakage.hpp"
 #include "cdsim/sim/l1_cache.hpp"
 #include "cdsim/sim/l2_cache.hpp"
+#include "cdsim/sim/l3_cache.hpp"
 #include "cdsim/sim/metrics.hpp"
 #include "cdsim/thermal/rc_model.hpp"
 #include "cdsim/verify/observer.hpp"
@@ -30,14 +31,34 @@
 
 namespace cdsim::sim {
 
+/// Cache-hierarchy depth of the machine (SystemConfig::hierarchy).
+enum class Hierarchy : std::uint8_t {
+  /// The paper's machine: per-core write-through L1s in front of private
+  /// coherent L2 slices on the fabric (bus or mesh).
+  kTwoLevel,
+  /// Scale-out machine: the same private L1+L2 front end, but the L2
+  /// slices are smaller and a shared, home-banked L3 sits at the directory
+  /// home tiles between the fabric and memory. Directory-mesh only.
+  kThreeLevel,
+};
+
+constexpr std::string_view to_string(Hierarchy h) noexcept {
+  return h == Hierarchy::kTwoLevel ? "2L" : "3L";
+}
+
 struct SystemConfig {
   std::uint32_t num_cores = 4;
   /// Coherence fabric: the paper's snoopy bus, or a sharer-bitmap
   /// directory over a 2D mesh for scaled-up CMPs (8-64 cores). The mesh
   /// requires a power-of-two num_cores (tile-grid factorization).
   noc::Topology topology = noc::Topology::kSnoopBus;
+  /// Cache depth: the paper's two-level machine, or private L2s behind a
+  /// shared home-banked L3 on the mesh.
+  Hierarchy hierarchy = Hierarchy::kTwoLevel;
   /// Total L2 capacity across all private slices (paper sweeps 1..8 MB).
   std::uint64_t total_l2_bytes = 4 * MiB;
+  /// Total shared-L3 capacity across all home banks (three-level only).
+  std::uint64_t total_l3_bytes = 16 * MiB;
   /// Snooping protocol of the L2 slices (paper §III: MESI; the MOESI
   /// extension realizes the §III sketch for the Owned state).
   coherence::Protocol protocol = coherence::Protocol::kMesi;
@@ -45,10 +66,20 @@ struct SystemConfig {
   core::CoreConfig core;
   L1Config l1;
   L2Config l2;  ///< size_bytes/protocol are overridden from the above.
+  L3Config l3;  ///< bank_bytes is overridden from total_l3_bytes (3L only).
   bus::BusConfig bus;      ///< Used when topology == kSnoopBus.
   noc::DirectoryMeshConfig dmesh;  ///< Used when topology == kDirectoryMesh.
   mem::MemoryConfig mem;
+  /// Leakage technique at the private L2 level (the paper's knob).
   decay::DecayConfig decay;
+  /// Leakage technique at the L1 front ends (default: always-on baseline).
+  /// Every L1 line is clean (write-through), so decay here is always a
+  /// silent drop gated only by the Table-I pending-write condition.
+  decay::DecayConfig l1_decay;
+  /// Leakage technique at the shared L3 home banks (three-level only;
+  /// default: always-on baseline). Dirty bank lines write back to memory
+  /// before dying — the §III legality rule at the last level.
+  decay::DecayConfig l3_decay;
   power::PowerConfig power;
   power::LeakageParams leakage;
   thermal::ThermalConfig thermal;
@@ -106,6 +137,12 @@ class CmpSystem {
     CDSIM_ASSERT(mesh_ != nullptr);
     return *mesh_;
   }
+  /// The shared L3 (hierarchy kThreeLevel only; asserts otherwise).
+  [[nodiscard]] L3Cache& l3() noexcept {
+    CDSIM_ASSERT(l3_ != nullptr);
+    return *l3_;
+  }
+  [[nodiscard]] bool has_l3() const noexcept { return l3_ != nullptr; }
   /// Topology-agnostic view of the coherence fabric.
   [[nodiscard]] noc::Interconnect& interconnect() noexcept { return *ic_; }
   [[nodiscard]] mem::MemoryController& memory() noexcept { return *mem_; }
@@ -135,6 +172,7 @@ class CmpSystem {
   std::vector<std::unique_ptr<workload::WorkloadStream>> streams_;
   std::vector<std::unique_ptr<L1Cache>> l1s_;
   std::vector<std::unique_ptr<L2Cache>> l2s_;
+  std::unique_ptr<L3Cache> l3_;  ///< kThreeLevel only (else null).
   std::vector<std::unique_ptr<core::CoreModel>> cores_;
   std::unique_ptr<thermal::Floorplan> floorplan_;
   power::LeakageModel leak_model_;
@@ -147,11 +185,15 @@ class CmpSystem {
   Cycle last_sample_ = 0;
   std::vector<std::uint64_t> prev_committed_;
   std::vector<std::uint64_t> prev_l1_acc_;
+  std::vector<double> prev_l1_powered_;
   std::vector<std::uint64_t> prev_l2_acc_;
   std::vector<std::uint64_t> prev_l2_fills_;
   std::vector<double> prev_l2_powered_;
   std::uint64_t prev_bus_bytes_ = 0;
   std::uint64_t prev_noc_flit_hops_ = 0;
+  std::uint64_t prev_l3_acc_ = 0;
+  std::uint64_t prev_l3_fills_ = 0;
+  double prev_l3_powered_ = 0.0;
 };
 
 }  // namespace cdsim::sim

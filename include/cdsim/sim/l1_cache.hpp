@@ -3,6 +3,11 @@
 // the private L2 (the paper's §III design point, chosen there "for ease of
 // design" of the turn-off mechanism).
 //
+// Built on the generic cache::CacheLevel engine (cache/level.hpp): the tag
+// array, MSHR file, write buffer, statistics, and — when enabled — the
+// decay sweeper all come from the engine; this controller keeps the
+// write-through drain choreography and the core-facing port.
+//
 // Responsibilities:
 //  * serve core loads (hit latency or miss via L2 read + fill);
 //  * retire core stores through the coalescing write buffer, which drains
@@ -11,19 +16,25 @@
 //  * accept back-invalidations from the L2 (inclusion on eviction,
 //    coherence invalidation, and line turn-off);
 //  * expose the write buffer to the L2's turn-off logic (the Table I
-//    "pending write" gate).
+//    "pending write" gate);
+//  * optionally run decay at level 1: every L1 line is clean by
+//    construction (write-through), so §III legality reduces to "drop
+//    silently unless a buffered store to the line has not reached the L2
+//    yet" — the level-1 form of the Table I pending-write gate.
 
 #include <cstdint>
 #include <functional>
 
 #include "cdsim/cache/cache_stats.hpp"
 #include "cdsim/cache/geometry.hpp"
+#include "cdsim/cache/level.hpp"
 #include "cdsim/cache/mshr.hpp"
 #include "cdsim/cache/tag_array.hpp"
 #include "cdsim/cache/write_buffer.hpp"
 #include "cdsim/common/event_queue.hpp"
 #include "cdsim/common/types.hpp"
 #include "cdsim/core/core_model.hpp"
+#include "cdsim/decay/technique.hpp"
 #include "cdsim/verify/observer.hpp"
 
 namespace cdsim::sim {
@@ -48,7 +59,15 @@ struct L1Config {
 /// LoadStorePort and the L2-facing inclusion hooks.
 class L1Cache final : public core::LoadStorePort {
  public:
-  L1Cache(EventQueue& eq, const L1Config& cfg, CoreId core);
+  /// `dcfg` enables decay at this level (default: always-on baseline, the
+  /// historical behavior).
+  L1Cache(EventQueue& eq, const L1Config& cfg, CoreId core,
+          const decay::DecayConfig& dcfg = {});
+
+  /// Arms the decay sweeper (no-op without an L1 decay technique).
+  void start();
+  /// Stops the sweeper (simulation teardown).
+  void stop();
 
   /// Wires the level below. Must be called before any access.
   void connect_l2(L2Cache* l2) { l2_ = l2; }
@@ -71,35 +90,56 @@ class L1Cache final : public core::LoadStorePort {
   /// True when a buffered store to `line_addr` has not drained yet —
   /// the paper's Table I "pending write" condition.
   [[nodiscard]] bool pending_write(Addr line_addr) const {
-    return wb_.pending_to(line_addr);
+    return level_.write_buffer().pending_to(line_addr);
   }
+
+  // --- decay ----------------------------------------------------------------
+  /// Periodic sweep: silently turns off expired (always-clean) lines.
+  void decay_sweep(Cycle now);
 
   // --- introspection ----------------------------------------------------------
   [[nodiscard]] const cache::CacheStats& stats() const noexcept {
-    return stats_;
+    return level_.stats();
   }
   [[nodiscard]] const cache::Geometry& geometry() const noexcept {
-    return tags_.geometry();
+    return level_.geometry();
   }
   [[nodiscard]] const cache::WriteBuffer& write_buffer() const noexcept {
-    return wb_;
+    return level_.write_buffer();
+  }
+  [[nodiscard]] const cache::LevelPolicy& policy() const noexcept {
+    return level_.policy();
   }
   [[nodiscard]] bool has_line(Addr line_addr) const {
-    return tags_.find(line_addr) != nullptr;
+    return level_.tags().find(line_addr) != nullptr;
   }
   /// Test/checker hook: visits every valid line's address.
   void for_each_valid_line(const std::function<void(Addr)>& fn) const {
-    const_cast<cache::TagArray<NoPayload>&>(tags_).for_each_valid(
-        [&](cache::Line<NoPayload>& ln) { fn(ln.tag); });
+    const_cast<cache::TagArray<Payload>&>(level_.tags())
+        .for_each_valid([&](cache::Line<Payload>& ln) { fn(ln.tag); });
   }
   [[nodiscard]] CoreId core() const noexcept { return core_; }
   /// Total accesses (for dynamic-energy accounting).
   [[nodiscard]] std::uint64_t accesses() const noexcept {
-    return stats_.accesses();
+    return level_.stats().accesses();
+  }
+  /// Powered-line integral / capacity (per-level leakage ledger).
+  [[nodiscard]] double powered_line_cycles(Cycle now) const {
+    return level_.powered_line_cycles(now);
+  }
+  [[nodiscard]] std::uint64_t capacity_lines() const noexcept {
+    return level_.capacity_lines();
+  }
+  [[nodiscard]] std::uint64_t lines_on() const noexcept {
+    return level_.lines_on();
   }
 
  private:
-  struct NoPayload {};
+  struct Payload {
+    decay::LineDecayState decay;
+  };
+  using Level = cache::CacheLevel<Payload>;
+  using LineT = cache::Line<Payload>;
 
   void drain_write_buffer();
   void notify_resources_freed();
@@ -110,14 +150,11 @@ class L1Cache final : public core::LoadStorePort {
   L2Cache* l2_ = nullptr;
   verify::AccessObserver* obs_ = nullptr;
 
-  cache::TagArray<NoPayload> tags_;
-  cache::MshrFile mshr_;
-  cache::WriteBuffer wb_;
+  /// The level-agnostic engine: tags, MSHRs, write buffer, decay, stats.
+  Level level_;
   std::uint32_t drains_in_flight_ = 0;
-  std::uint32_t next_drain_slot_ = 0;
 
   std::function<void()> resources_freed_;
-  cache::CacheStats stats_;
 };
 
 }  // namespace cdsim::sim

@@ -2,6 +2,14 @@
 // Private, inclusive, MESI-snoopy L2 cache controller with the paper's
 // turn-off mechanism (§III) and the three leakage techniques (§IV).
 //
+// The level mechanics — tag array, MSHR file, decay sweeper + expiry wheel,
+// powered-line integral, decay attribution, statistics — live in the
+// generic cache::CacheLevel engine (cache/level.hpp); this controller keeps
+// only the coherence choreography. In the two-level hierarchy it is the
+// outermost private level on the fabric; in the three-level hierarchy the
+// same controller runs as the (smaller) private mid-level cache in front of
+// the shared L3 banks.
+//
 // Coherence state changes are atomic in bus order: a fill installs its
 // tag+state at the grant cycle (data arrives later, tracked by the
 // `fetching` flag), so overlapping split transactions always observe a
@@ -16,18 +24,18 @@
 // flush-and-cancel edges of Figure 2), using the bus-level write-back
 // cancellation validator.
 //
-// Power accounting: the controller maintains an exact time integral of the
+// Power accounting: the engine maintains an exact time integral of the
 // number of powered lines. Techniques other than the baseline gate Vdd with
 // the valid bit, so "powered" == "valid (incl. TC/TD)".
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cdsim/noc/interconnect.hpp"
 #include "cdsim/cache/cache_stats.hpp"
+#include "cdsim/cache/level.hpp"
 #include "cdsim/cache/mshr.hpp"
 #include "cdsim/cache/tag_array.hpp"
 #include "cdsim/coherence/mesi.hpp"
@@ -106,33 +114,44 @@ class L2Cache final : public noc::Snooper {
 
   // --- introspection ------------------------------------------------------------
   [[nodiscard]] const cache::CacheStats& stats() const noexcept {
-    return stats_;
+    return level_.stats();
   }
   [[nodiscard]] const cache::Geometry& geometry() const noexcept {
-    return tags_.geometry();
+    return level_.geometry();
   }
   [[nodiscard]] const decay::DecayConfig& decay_config() const noexcept {
-    return dcfg_;
+    return level_.decay_config();
+  }
+  [[nodiscard]] const cache::LevelPolicy& policy() const noexcept {
+    return level_.policy();
   }
   [[nodiscard]] CoreId core() const noexcept { return core_; }
 
   /// Exact time integral of powered lines over [0, now]. For gated
   /// techniques this integrates valid lines; for the baseline every line is
   /// always powered.
-  [[nodiscard]] double powered_line_cycles(Cycle now) const;
+  [[nodiscard]] double powered_line_cycles(Cycle now) const {
+    return level_.powered_line_cycles(now);
+  }
   /// Powered fraction of the array, time-averaged over [0, now] — the
   /// paper's occupation rate for this slice.
-  [[nodiscard]] double occupation(Cycle now) const;
+  [[nodiscard]] double occupation(Cycle now) const {
+    return level_.occupation(now);
+  }
   /// Currently powered lines.
-  [[nodiscard]] std::uint64_t lines_on() const noexcept;
+  [[nodiscard]] std::uint64_t lines_on() const noexcept {
+    return level_.lines_on();
+  }
   [[nodiscard]] std::uint64_t capacity_lines() const noexcept {
-    return tags_.capacity_lines();
+    return level_.capacity_lines();
   }
 
   /// Lifetime counters for dynamic-energy accounting.
-  [[nodiscard]] std::uint64_t fills() const noexcept { return fills_.value(); }
+  [[nodiscard]] std::uint64_t fills() const noexcept {
+    return level_.fills().value();
+  }
   [[nodiscard]] std::uint64_t transient_retries() const noexcept {
-    return transient_retries_.value();
+    return level_.transient_retries().value();
   }
   [[nodiscard]] std::uint64_t upgrades() const noexcept {
     return upgrades_.value();
@@ -141,16 +160,15 @@ class L2Cache final : public noc::Snooper {
   /// Effective hit latency: +1 cycle when decay hardware is present
   /// (Gated-Vdd access penalty, paper §V).
   [[nodiscard]] Cycle access_latency() const noexcept {
-    return cfg_.hit_latency +
-           (decay::uses_decay(dcfg_.technique) ? 1 : 0);
+    return level_.access_latency();
   }
 
   /// Test hook: state of a line (Invalid when absent).
   [[nodiscard]] coherence::MesiState line_state(Addr addr) const;
 
-  /// Test hook: live decay-attribution entries (see decayed_lines_).
+  /// Test hook: live decay-attribution entries (see cache::CacheLevel).
   [[nodiscard]] std::size_t decay_attribution_entries() const noexcept {
-    return decayed_lines_.size();
+    return level_.decay_attribution_entries();
   }
 
   /// Test/checker hook: visits every valid line as (line_addr, state).
@@ -166,23 +184,17 @@ class L2Cache final : public noc::Snooper {
     /// Cancellation token for a TD turn-off write-back queued on the bus.
     std::shared_ptr<bool> td_wb_token;
   };
+  using Level = cache::CacheLevel<Payload>;
   using LineT = cache::Line<Payload>;
 
   void do_read(Addr line_addr, Response on_done, bool counted);
   void do_write(Addr line_addr, Response on_done, bool counted);
-  /// Registers an armed, unregistered line with the expiry wheel under its
-  /// predicted expiry tick. No-op for unarmed/already-registered lines and
-  /// non-decay techniques, so it is safe (and cheap) on the hit path.
-  void wheel_register(LineT& ln);
   void issue_fetch(Addr line_addr, bool is_write);
   void install_at_grant(Addr line_addr, bool is_write,
                         const noc::BusResult& res);
   void evict(LineT& victim);
-  void set_state(LineT& ln, coherence::MesiState next);
   void line_off(LineT& ln);
-  void touch(LineT& ln);
-  void note_miss(Addr line_addr, bool is_write);
-  void retry(EventQueue::Callback fn);
+  void retry(EventQueue::Callback fn) { level_.retry(std::move(fn)); }
   void turn_off_clean(Addr line_addr);
   void turn_off_dirty(Addr line_addr);
   /// MOESI O-state turn-off: revoke the remaining S copies (BusUpgr
@@ -192,49 +204,17 @@ class L2Cache final : public noc::Snooper {
   /// turn-off paths).
   void issue_turnoff_writeback(Addr line_addr);
   void cancel_td_wb(Payload& p);
-  void age_decay_attribution(Cycle now);
 
   EventQueue& eq_;
   L2Config cfg_;
-  decay::DecayConfig dcfg_;
   CoreId core_;
   noc::Interconnect& ic_;
   L1Cache* upper_;
   verify::AccessObserver* obs_ = nullptr;
 
-  cache::TagArray<Payload> tags_;
-  cache::MshrFile mshr_;
-  decay::DecaySweeper sweeper_;
-  /// Expiry wheel feeding decay_sweep: O(due lines) per tick instead of a
-  /// full tag-array walk, with a bit-identical turn-off schedule (see
-  /// decay/sweeper.hpp).
-  decay::ExpiryWheel wheel_;
-  /// Scratch bucket reused by every sweep tick (no per-tick allocation).
-  std::vector<decay::ExpiryWheel::Entry> due_scratch_;
-
-  /// Powered-line count integral (valid lines for gated techniques).
-  TimeWeightedValue on_lines_{0.0};
-
-  /// Lines killed by decay (keyed by line address, value = turn-off cycle),
-  /// to attribute later misses to the technique. Entries are consumed by the
-  /// first subsequent miss (note_miss) or install of the same line; entries
-  /// never referenced again would otherwise accumulate forever, so
-  /// age_decay_attribution() purges entries older than
-  /// kAttributionWindowIntervals full decay intervals. Within the window the
-  /// attribution is exact. A line slot can decay at most once per
-  /// decay_time (it must be refilled and sit idle a full interval first),
-  /// so live entries are bounded by ~(window + 1) x capacity_lines; the
-  /// doubling purge threshold keeps the map within a small constant of
-  /// that. Purging is driven by simulated time only — deterministic, so
-  /// parallel and serial sweeps stay bit-identical.
-  std::unordered_map<Addr, Cycle> decayed_lines_;
-  /// Purge when the map reaches this size (amortizes the O(size) scan).
-  std::size_t attribution_purge_at_ = kAttributionMinEntries;
-  static constexpr std::size_t kAttributionMinEntries = 4096;
-  static constexpr Cycle kAttributionWindowIntervals = 16;
-
-  cache::CacheStats stats_;
-  Counter fills_, transient_retries_, upgrades_;
+  /// The level-agnostic engine: tags, MSHRs, decay machinery, stats.
+  Level level_;
+  Counter upgrades_;
 };
 
 }  // namespace cdsim::sim

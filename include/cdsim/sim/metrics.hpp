@@ -10,6 +10,21 @@
 
 namespace cdsim::sim {
 
+/// Aggregate counters for one cache level (summed over all structures at
+/// that level: per-core L1s, per-core L2 slices, L3 home banks). The
+/// cache-v4 schema persists one of these per level, which is what lets the
+/// figure tooling attribute hits/misses/turn-offs to the level that
+/// produced them instead of folding everything into "the L2".
+struct LevelMetrics {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t decay_turnoffs = 0;
+  std::uint64_t decay_induced_misses = 0;
+  std::uint64_t writebacks = 0;
+  double occupation = 1.0;  ///< Powered-line fraction (1.0 when ungated).
+};
+
 /// Absolute measurements from one simulation run.
 struct RunMetrics {
   std::string benchmark;
@@ -48,6 +63,13 @@ struct RunMetrics {
   std::uint64_t dir_directed_snoops = 0;  ///< Snoops actually sent.
   std::uint64_t dir_recalls = 0;     ///< Directed O-turn-off recalls.
   std::uint64_t dir_deferrals = 0;   ///< Fills parked behind in-flight WBs.
+
+  // --- per-level attribution (cache-v4) -----------------------------------
+  std::string hierarchy = "2L";      ///< sim::to_string(Hierarchy).
+  LevelMetrics l1;                   ///< Per-core L1 front ends, summed.
+  LevelMetrics l2;                   ///< Private L2 slices, summed.
+  LevelMetrics l3;                   ///< Shared L3 home banks (3L only).
+  std::uint64_t total_l3_bytes = 0;  ///< 0 for two-level runs.
 };
 
 /// A technique run normalized against its baseline (same benchmark, same

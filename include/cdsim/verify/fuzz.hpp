@@ -41,6 +41,10 @@ struct FuzzOptions {
   /// Restrict the matrix to 16-core directory-mesh cells (the CI
   /// many-core smoke gate): hot-home + all-to-all NoC stress only.
   bool dmesh_only = false;
+  /// Restrict the matrix to three-level-hierarchy cells (the CI
+  /// three-level smoke gate): private L2s behind the shared L3 banks,
+  /// decay active at every level.
+  bool three_level_only = false;
 };
 
 /// One cell of the fuzz matrix, self-contained and replayable.
@@ -48,9 +52,13 @@ struct FuzzScenario {
   std::size_t index = 0;
   coherence::Protocol protocol = coherence::Protocol::kMesi;
   noc::Topology topology = noc::Topology::kSnoopBus;
+  sim::Hierarchy hierarchy = sim::Hierarchy::kTwoLevel;
   decay::DecayConfig decay;
   std::uint32_t num_cores = 4;
   std::uint64_t total_l2_bytes = 128 * KiB;
+  /// Shared-L3 capacity for three-level cells (decay runs at every level
+  /// there: the scenario's technique is applied at L1, L2, and L3).
+  std::uint64_t total_l3_bytes = 0;
   std::uint64_t instructions_per_core = 30000;
   std::uint64_t seed = 1;
   workload::FuzzerConfig fuzz;

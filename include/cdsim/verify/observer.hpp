@@ -72,10 +72,29 @@ class AccessObserver {
 
   /// A previously-initiated write-back reached its bus grant. `cancelled`:
   /// its validator dropped it (the data already reached memory via a snoop
-  /// flush), so memory is NOT written.
+  /// flush), so memory is NOT written. `to_l3`: the data is captured by the
+  /// shared L3 home bank instead of memory (three-level hierarchy — the
+  /// fabric routes every accepted write-back into its home bank there).
   virtual void on_writeback_resolved(CoreId core, Addr line, Cycle now,
-                                     bool cancelled) {
-    (void)core, (void)line, (void)now, (void)cancelled;
+                                     bool cancelled, bool to_l3 = false) {
+    (void)core, (void)line, (void)now, (void)cancelled, (void)to_l3;
+  }
+
+  // --- shared L3 home banks (three-level hierarchy only) --------------------
+  /// The L3 bank installed a clean copy of `line` fetched from memory
+  /// (the memory-side tail of a fill that missed the L3).
+  virtual void on_l3_install(Addr line, Cycle now) { (void)line, (void)now; }
+
+  /// The L3 bank's dirty copy of `line` was pushed to memory (decay
+  /// turn-off of a dirty line, or a dirty victim evicted by an install).
+  virtual void on_l3_writeback(Addr line, Cycle now) {
+    (void)line, (void)now;
+  }
+
+  /// The L3 bank's copy of `line` stopped holding data (eviction, decay
+  /// turn-off completion, or a memory-updating owner flush overwriting it).
+  virtual void on_l3_invalidate(Addr line, Cycle now) {
+    (void)line, (void)now;
   }
 
   /// `core`'s copy of `line` stopped holding data (snoop invalidation,

@@ -70,9 +70,14 @@ class DifferentialChecker final : public AccessObserver {
   void on_flush_supply(CoreId core, Addr line, Cycle now,
                        bool memory_update) override;
   void on_writeback_initiated(CoreId core, Addr line, Cycle now) override;
+  // NOTE: no default for to_l3 here — defaults on virtuals bind statically
+  // and a duplicated default could silently diverge from the base's.
   void on_writeback_resolved(CoreId core, Addr line, Cycle now,
-                             bool cancelled) override;
+                             bool cancelled, bool to_l3) override;
   void on_invalidate(CoreId core, Addr line, Cycle now) override;
+  void on_l3_install(Addr line, Cycle now) override;
+  void on_l3_writeback(Addr line, Cycle now) override;
+  void on_l3_invalidate(Addr line, Cycle now) override;
 
   // --- results --------------------------------------------------------------
   [[nodiscard]] const std::vector<Divergence>& divergences() const noexcept {
@@ -105,6 +110,12 @@ class DifferentialChecker final : public AccessObserver {
   std::unordered_map<Addr, Version> oracle_;
   /// Shadow of memory content (write-backs and memory-updating flushes).
   std::unordered_map<Addr, Version> mem_;
+  /// Shadow of the shared L3 home banks (three-level hierarchy): lines the
+  /// L3 currently holds, whether absorbed dirty from a write-back or
+  /// installed clean from memory. A memory-side fill reads this shadow
+  /// first — exactly the lookup order of the real fabric — which is how
+  /// write-versions thread through all three levels.
+  std::unordered_map<Addr, Version> l3_;
   /// Shadow of each L2 slice's valid copies.
   std::vector<std::unordered_map<Addr, Version>> copy_;
   /// Write-backs initiated but not yet resolved, FIFO per (core, line).

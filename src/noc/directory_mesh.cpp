@@ -44,6 +44,18 @@ void DirectoryMesh::request(BusTxKind kind, Addr line_addr, CoreId requester,
             });
 }
 
+void DirectoryMesh::attach_l3(MemorySideCache* l3) {
+  l3_ = l3;
+  if (l3_ == nullptr) return;
+  // The bank's own dirty traffic (decay turn-offs, dirty victims) crosses
+  // the mesh to the memory tile like any other data packet.
+  l3_->connect_memory_port(
+      [this](std::uint32_t bank, Addr /*line*/, std::uint32_t bytes) {
+        noc_.send(bank, cfg_.mem_tile, bytes,
+                  [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+      });
+}
+
 void DirectoryMesh::note_clean_drop(CoreId core, Addr line_addr) {
   // Bookkeeping is applied at the drop instant (shrinking the bitmap early
   // only narrows future snoop sets — a directed snoop to a dropped copy
@@ -132,7 +144,8 @@ void DirectoryMesh::process(TxPtr tx) {
     }
     if (obs_) {
       obs_->on_writeback_resolved(tx->requester, line, granted,
-                                  /*cancelled=*/false);
+                                  /*cancelled=*/false,
+                                  /*to_l3=*/l3_ != nullptr);
     }
   } else {
     coherence::DirectoryEntry& e = dir_.lookup(line);
@@ -199,6 +212,8 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
         if (flush_mem) {
           // The flush ends ownership (MESI always; MOESI for RdX): the
           // dirty line also travels to the memory tile, posted on arrival.
+          // Any L3 copy predates this flush and must not serve again.
+          if (l3_ != nullptr) l3_->invalidate(home, tx->line);
           const std::uint32_t bytes = tx->bytes;
           noc_.send(supplier, cfg_.mem_tile, bytes,
                     [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
@@ -216,15 +231,35 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
                                 }
                               });
                   });
+      } else if (l3_ != nullptr && l3_->lookup_for_fill(home, tx->line)) {
+        // Three-level: the home's L3 bank holds the line. The bank is at
+        // the serialization point, so the data leaves after the bank's
+        // access latency — no off-chip traffic at all.
+        auto sp = std::shared_ptr<Tx>(std::move(tx));
+        const Cycle ready = eq_.now() + l3_->access_latency();
+        eq_.schedule_at(ready, [this, sp, res, req_tile, home]() mutable {
+          noc_.send(home, req_tile, sp->bytes, [sp, res](Cycle arr) mutable {
+            if (sp->hooks.on_done) {
+              BusResult r = res;
+              r.done_at = arr;
+              sp->hooks.on_done(r);
+            }
+          });
+        });
       } else {
         // home -> memory tile (read request), memory access, then the
-        // line memory tile -> requester.
+        // line memory tile -> requester. With L3 banks attached, the
+        // delivered line is also written into the home bank (off the
+        // critical path — the bank fill does not delay the requester).
         auto sp = std::shared_ptr<Tx>(std::move(tx));
         noc_.send(home, cfg_.mem_tile, cfg_.ctrl_bytes,
-                  [this, sp, res, req_tile](Cycle arr) mutable {
+                  [this, sp, res, req_tile, home](Cycle arr) mutable {
                     const Cycle ready = mem_.schedule_read(arr, sp->bytes);
-                    eq_.schedule_at(ready, [this, sp, res,
-                                            req_tile]() mutable {
+                    eq_.schedule_at(ready, [this, sp, res, req_tile,
+                                            home]() mutable {
+                      if (l3_ != nullptr) {
+                        l3_->install_from_memory(home, sp->line);
+                      }
                       noc_.send(cfg_.mem_tile, req_tile, sp->bytes,
                                 [sp, res](Cycle a2) mutable {
                                   if (sp->hooks.on_done) {
@@ -274,10 +309,16 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
     }
 
     case BusTxKind::kWriteBack: {
-      // The data reached the home with the request; forward it to memory.
+      // The data reached the home with the request. Three-level: the home
+      // bank absorbs it (dirty) and the channel sees nothing; two-level:
+      // forward it to memory.
       const std::uint32_t bytes = tx->bytes;
-      noc_.send(home, cfg_.mem_tile, bytes,
-                [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+      if (l3_ != nullptr) {
+        l3_->absorb_writeback(home, tx->line);
+      } else {
+        noc_.send(home, cfg_.mem_tile, bytes,
+                  [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+      }
       if (tx->hooks.on_done) {
         BusResult r = res;
         r.done_at = res.granted_at + cfg_.directory_latency;

@@ -35,6 +35,40 @@ void validate_system_config(const SystemConfig& cfg) {
          " entries; expected 0 or num_cores (" +
          std::to_string(cfg.num_cores) + ")");
   }
+  if (cfg.hierarchy == Hierarchy::kThreeLevel) {
+    if (cfg.topology != noc::Topology::kDirectoryMesh) {
+      fail("three-level hierarchy requires the directory-mesh topology "
+           "(the shared L3 banks live at the mesh home tiles)");
+    }
+    if (cfg.total_l3_bytes == 0 ||
+        cfg.total_l3_bytes % cfg.num_cores != 0) {
+      fail("total_l3_bytes " + std::to_string(cfg.total_l3_bytes) +
+           " is not divisible into " + std::to_string(cfg.num_cores) +
+           " home banks");
+    }
+    const std::uint64_t bank = cfg.total_l3_bytes / cfg.num_cores;
+    if (!is_pow2(bank)) {
+      fail("per-bank L3 size " + std::to_string(bank) +
+           " must be a power of two");
+    }
+    // The bank line size is overridden to the L2's at construction (one
+    // coherence/interleave unit); validate with the value actually used.
+    if (bank < static_cast<std::uint64_t>(cfg.l2.line_bytes) * cfg.l3.ways) {
+      fail("per-bank L3 size " + std::to_string(bank) +
+           " is smaller than one set (" +
+           std::to_string(cfg.l2.line_bytes) + " B lines x " +
+           std::to_string(cfg.l3.ways) + " ways)");
+    }
+  }
+  const auto check_decay = [&fail](const decay::DecayConfig& d,
+                                   const char* level) {
+    if (decay::uses_decay(d.technique) && d.tick_period() == 0) {
+      fail(std::string(level) +
+           " decay technique needs a nonzero decay_time / tick period");
+    }
+  };
+  check_decay(cfg.l1_decay, "L1");
+  check_decay(cfg.l3_decay, "L3");
 }
 
 CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
@@ -54,6 +88,15 @@ CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
     ic_ = mesh_.get();
   }
 
+  if (cfg_.hierarchy == Hierarchy::kThreeLevel) {
+    L3Config l3cfg = cfg_.l3;
+    l3cfg.bank_bytes = cfg_.total_l3_bytes / cfg_.num_cores;
+    l3cfg.line_bytes = cfg_.l2.line_bytes;  // one coherence/interleave unit
+    l3_ = std::make_unique<L3Cache>(eq_, l3cfg, cfg_.l3_decay,
+                                    cfg_.num_cores);
+    mesh_->attach_l3(l3_.get());
+  }
+
   L2Config l2cfg = cfg_.l2;
   l2cfg.size_bytes = cfg_.total_l2_bytes / cfg_.num_cores;
   l2cfg.protocol = cfg_.protocol;
@@ -64,7 +107,8 @@ CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
       thermal::make_cmp_floorplan(cfg_.thermal, cfg_.num_cores, slice_mb));
 
   for (CoreId c = 0; c < cfg_.num_cores; ++c) {
-    l1s_.push_back(std::make_unique<L1Cache>(eq_, cfg_.l1, c));
+    l1s_.push_back(std::make_unique<L1Cache>(eq_, cfg_.l1, c,
+                                             cfg_.l1_decay));
     l2s_.push_back(std::make_unique<L2Cache>(eq_, l2cfg, cfg_.decay, c,
                                              *ic_, l1s_.back().get()));
     l1s_.back()->connect_l2(l2s_.back().get());
@@ -94,6 +138,7 @@ CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
 
   prev_committed_.assign(cfg_.num_cores, 0);
   prev_l1_acc_.assign(cfg_.num_cores, 0);
+  prev_l1_powered_.assign(cfg_.num_cores, 0.0);
   prev_l2_acc_.assign(cfg_.num_cores, 0);
   prev_l2_fills_.assign(cfg_.num_cores, 0);
   prev_l2_powered_.assign(cfg_.num_cores, 0.0);
@@ -106,6 +151,7 @@ void CmpSystem::set_observer(verify::AccessObserver* obs) {
   ic_->set_observer(obs);
   for (auto& l1 : l1s_) l1->set_observer(obs);
   for (auto& l2 : l2s_) l2->set_observer(obs);
+  if (l3_ != nullptr) l3_->set_observer(obs);
 }
 
 void CmpSystem::arm_sampler() {
@@ -155,8 +201,38 @@ void CmpSystem::sample_power(Cycle upto) {
     const double d_l1 = static_cast<double>(l1a - prev_l1_acc_[c]);
     prev_l1_acc_[c] = l1a;
     const double l1_dyn = d_l1 * pw.l1_dyn_per_access;
-    const double l1_leak =
-        dtd * pw.l1_leak_per_cycle * leak_model_.factor(t_core);
+    double l1_leak;
+    double l1_off_leak = 0.0;
+    double l1_decay_ovh = 0.0;
+    if (!decay::gates_invalid_lines(cfg_.l1_decay.technique)) {
+      // Always-on L1 (the historical model): flat per-cycle leakage.
+      l1_leak = dtd * pw.l1_leak_per_cycle * leak_model_.factor(t_core);
+    } else {
+      // Gated L1 (l1_decay active): only powered lines leak, scaled from
+      // the same per-cache constant, plus the gated-off residual and the
+      // decay counter overhead — the L2's leakage model applied at level 1,
+      // with the same per-component ledger split (on-leak vs off-residual).
+      const double per_line =
+          pw.l1_leak_per_cycle /
+          static_cast<double>(l1s_[c]->capacity_lines());
+      const double cap_cycles_l1 =
+          static_cast<double>(l1s_[c]->capacity_lines()) * dtd;
+      const double powered_l1 = l1s_[c]->powered_line_cycles(upto);
+      const double d_powered_l1 = powered_l1 - prev_l1_powered_[c];
+      prev_l1_powered_[c] = powered_l1;
+      const double lf1 = leak_model_.factor(t_core);
+      l1_leak =
+          d_powered_l1 * per_line * (1.0 + pw.gated_vdd_overhead) * lf1;
+      l1_off_leak = std::max(0.0, cap_cycles_l1 - d_powered_l1) * per_line *
+                    pw.off_residual_frac * lf1;
+      ledger_.add(power::Component::kL1OffResidual, l1_off_leak);
+      if (decay::uses_decay(cfg_.l1_decay.technique)) {
+        l1_decay_ovh = cap_cycles_l1 * per_line *
+                           pw.decay_counter_leak_frac * lf1 +
+                       d_l1 * pw.decay_counter_dyn;
+        ledger_.add(power::Component::kDecayOverhead, l1_decay_ovh);
+      }
+    }
     ledger_.add(power::Component::kL1Dynamic, l1_dyn);
     ledger_.add(power::Component::kL1Leakage, l1_leak);
 
@@ -203,7 +279,9 @@ void CmpSystem::sample_power(Cycle upto) {
 
     // --- per-block power for the thermal step -----------------------------------------
     watts[floorplan_->core_block(c)] +=
-        (core_dyn + core_leak + l1_dyn + l1_leak) / dtd * w_per_eu;
+        (core_dyn + core_leak + l1_dyn + l1_leak + l1_off_leak +
+         l1_decay_ovh) /
+        dtd * w_per_eu;
     watts[floorplan_->l2_block(c)] +=
         (l2_dyn + on_leak + off_leak + decay_ovh) / dtd * w_per_eu;
   }
@@ -223,6 +301,56 @@ void CmpSystem::sample_power(Cycle upto) {
     prev_noc_flit_hops_ = fh;
     ledger_.add(power::Component::kNocDynamic, bus_energy);
   }
+  // --- shared L3 home banks (three-level hierarchy) -------------------------
+  if (l3_ != nullptr) {
+    const bool l3_gated = decay::gates_invalid_lines(cfg_.l3_decay.technique);
+    const bool l3_decaying = decay::uses_decay(cfg_.l3_decay.technique);
+    // The floorplan has no dedicated L3 blocks; the banks sit on the tiles
+    // next to the routers, so their heat is attributed to the interconnect
+    // block (documented simplification).
+    const double t_l3 = cfg_.thermal_feedback
+                            ? floorplan_->model.temperature(
+                                  floorplan_->bus_block())
+                            : leak_model_.params().t0_kelvin;
+    const double lf3 = leak_model_.factor(t_l3);
+
+    const std::uint64_t l3a = l3_->accesses();
+    const std::uint64_t l3f = l3_->fills();
+    const double d_l3a = static_cast<double>(l3a - prev_l3_acc_);
+    const double d_l3f = static_cast<double>(l3f - prev_l3_fills_);
+    prev_l3_acc_ = l3a;
+    prev_l3_fills_ = l3f;
+    const double l3_dyn =
+        d_l3a * pw.l3_dyn_per_access + d_l3f * pw.l3_dyn_per_fill;
+    ledger_.add(power::Component::kL3Dynamic, l3_dyn);
+
+    const double cap_cycles_l3 =
+        static_cast<double>(l3_->capacity_lines()) * dtd;
+    const double powered_l3 = l3_->powered_line_cycles(upto);
+    const double d_powered_l3 = powered_l3 - prev_l3_powered_;
+    prev_l3_powered_ = powered_l3;
+    const double gating3 = l3_gated ? (1.0 + pw.gated_vdd_overhead) : 1.0;
+    const double l3_on_leak =
+        d_powered_l3 * pw.l3_leak_per_line_cycle * gating3 * lf3;
+    ledger_.add(power::Component::kL3Leakage, l3_on_leak);
+    double l3_off_leak = 0.0;
+    if (l3_gated) {
+      const double off_cycles = std::max(0.0, cap_cycles_l3 - d_powered_l3);
+      l3_off_leak = off_cycles * pw.l3_leak_per_line_cycle *
+                    pw.off_residual_frac * lf3;
+      ledger_.add(power::Component::kL3OffResidual, l3_off_leak);
+    }
+    double l3_decay_ovh = 0.0;
+    if (l3_decaying) {
+      l3_decay_ovh = cap_cycles_l3 * pw.l3_leak_per_line_cycle *
+                         pw.decay_counter_leak_frac * lf3 +
+                     d_l3a * pw.decay_counter_dyn;
+      ledger_.add(power::Component::kDecayOverhead, l3_decay_ovh);
+    }
+    watts[floorplan_->bus_block()] +=
+        (l3_dyn + l3_on_leak + l3_off_leak + l3_decay_ovh) / dtd * w_per_eu;
+  }
+
   watts[floorplan_->bus_block()] += bus_energy / dtd * w_per_eu;
 
   if (cfg_.thermal_feedback) {
@@ -237,7 +365,9 @@ RunMetrics CmpSystem::run() {
   CDSIM_ASSERT_MSG(!ran_, "CmpSystem::run() may be called once");
   ran_ = true;
 
+  for (auto& l1 : l1s_) l1->start();
   for (auto& l2 : l2s_) l2->start();
+  if (l3_ != nullptr) l3_->start();
   for (auto& core : cores_) {
     core->start([this] { ++cores_done_; });
   }
@@ -250,7 +380,9 @@ RunMetrics CmpSystem::run() {
 
   const Cycle end = eq_.now();
   sample_power(end);  // close the final partial window
+  for (auto& l1 : l1s_) l1->stop();
   for (auto& l2 : l2s_) l2->stop();
+  if (l3_ != nullptr) l3_->stop();
   return collect(end);
 }
 
@@ -300,6 +432,41 @@ RunMetrics CmpSystem::collect(Cycle end) const {
     m.dir_recalls = mesh_->recalls();
     m.dir_deferrals = mesh_->deferrals();
   }
+
+  // --- per-level attribution (cache-v4) -------------------------------------
+  m.hierarchy = std::string(to_string(cfg_.hierarchy));
+  double l1_powered = 0.0;
+  double l1_cap = 0.0;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    const auto& st = l1s_[c]->stats();
+    m.l1.accesses += st.accesses();
+    m.l1.hits += st.read_hits.value() + st.write_hits.value();
+    m.l1.misses += st.misses();
+    m.l1.decay_turnoffs += st.decay_turnoffs.value();
+    m.l1.decay_induced_misses += st.decay_induced_misses.value();
+    m.l1.writebacks += st.writebacks.value();  // 0: write-through
+    l1_powered += l1s_[c]->powered_line_cycles(end);
+    l1_cap += static_cast<double>(l1s_[c]->capacity_lines());
+  }
+  m.l1.occupation =
+      end == 0 ? 1.0 : l1_powered / (l1_cap * static_cast<double>(end));
+  m.l2.accesses = m.l2_accesses;
+  m.l2.hits = m.l2_accesses - m.l2_misses;
+  m.l2.misses = m.l2_misses;
+  m.l2.decay_turnoffs = m.l2_decay_turnoffs;
+  m.l2.decay_induced_misses = m.l2_decay_induced_misses;
+  m.l2.writebacks = m.l2_writebacks;
+  m.l2.occupation = m.l2_occupation;
+  if (l3_ != nullptr) {
+    m.total_l3_bytes = cfg_.total_l3_bytes;
+    m.l3.accesses = l3_->accesses();
+    m.l3.hits = l3_->hits();
+    m.l3.misses = l3_->misses();
+    m.l3.decay_turnoffs = l3_->decay_turnoffs();
+    m.l3.decay_induced_misses = l3_->decay_induced_misses();
+    m.l3.writebacks = l3_->writebacks();
+    m.l3.occupation = l3_->occupation(end);
+  }
   return m;
 }
 
@@ -332,10 +499,13 @@ std::uint64_t CmpSystem::check_coherence_invariants() const {
           CDSIM_ASSERT_MSG(sb == MesiState::kInvalid,
                            "single-writer invariant violated");
         } else {
-          // Owned (or MOESI TD mid-revocation): S replicas are legal,
-          // a second owner of any flavor is not.
+          // Owned (or MOESI TD mid-revocation): S replicas are legal —
+          // including one frozen mid clean-turn-off (TC; the run can end
+          // inside the 2-cycle InvUpp window) — a second owner of any
+          // flavor is not.
           CDSIM_ASSERT_MSG(sb == MesiState::kInvalid ||
-                               sb == MesiState::kShared,
+                               sb == MesiState::kShared ||
+                               sb == MesiState::kTransientClean,
                            "single-owner invariant violated");
         }
       }

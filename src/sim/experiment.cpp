@@ -24,7 +24,30 @@ namespace {
 // v2: per-configuration seeds (was: fixed 42); sizes keyed in bytes.
 // v3: interconnect/directory metrics appended to the line format, and the
 //     ledger grew the noc_dyn component.
-constexpr const char* kCacheVersion = "v3";
+// v4: per-level attribution (hierarchy tag, total_l3_bytes, and one
+//     LevelMetrics block per level) appended; the ledger grew the three
+//     L3 components. v3 lines still load through a shim (see
+//     deserialize_v3): the L2 block is recovered from the aggregate
+//     fields, L1/L3 blocks default to zero, and the entry is re-keyed to
+//     v4 — so a re-persisted cache bakes those defaults in (delete the
+//     cache file to re-measure per-level numbers).
+constexpr const char* kCacheVersion = "v4";
+constexpr const char* kShimCacheVersion = "v3";
+/// Ledger width when v3 was current (components have only ever been
+/// appended, so v3 indices map 1:1 onto today's enum).
+constexpr std::size_t kV3LedgerComponents = 10;
+
+void serialize_level(std::ostringstream& os, const LevelMetrics& l) {
+  os << ' ' << l.accesses << ' ' << l.hits << ' ' << l.misses << ' '
+     << l.decay_turnoffs << ' ' << l.decay_induced_misses << ' '
+     << l.writebacks << ' ' << l.occupation;
+}
+
+bool deserialize_level(std::istringstream& is, LevelMetrics& l) {
+  return static_cast<bool>(is >> l.accesses >> l.hits >> l.misses >>
+                           l.decay_turnoffs >> l.decay_induced_misses >>
+                           l.writebacks >> l.occupation);
+}
 
 std::string serialize(const RunMetrics& m) {
   std::ostringstream os;
@@ -42,12 +65,18 @@ std::string serialize(const RunMetrics& m) {
   os << ' ' << m.topology << ' ' << m.noc_flit_hops << ' '
      << m.noc_avg_packet_latency << ' ' << m.dir_directed_snoops << ' '
      << m.dir_recalls << ' ' << m.dir_deferrals;
+  // v4 tail: hierarchy + per-level attribution.
+  os << ' ' << m.hierarchy << ' ' << m.total_l3_bytes;
+  serialize_level(os, m.l1);
+  serialize_level(os, m.l2);
+  serialize_level(os, m.l3);
   return os.str();
 }
 
-bool deserialize(const std::string& line, RunMetrics& m) {
-  std::istringstream is(line);
-  double ledger_v[power::kNumComponents];
+/// Shared prefix of the v3 and v4 line formats, with a version-dependent
+/// ledger width (components are append-only, so old indices stay valid).
+bool deserialize_prefix(std::istringstream& is, RunMetrics& m,
+                        std::size_t ledger_components) {
   if (!(is >> m.cycles >> m.instructions >> m.ipc >> m.l2_occupation >>
         m.l2_miss_rate >> m.l2_accesses >> m.l2_misses >>
         m.l2_decay_turnoffs >> m.l2_decay_induced_misses >>
@@ -56,33 +85,72 @@ bool deserialize(const std::string& line, RunMetrics& m) {
         m.avg_l2_temp_kelvin >> m.bus_utilization)) {
     return false;
   }
-  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
-    if (!(is >> ledger_v[i])) return false;
-    m.ledger.add(static_cast<power::Component>(i), ledger_v[i]);
+  for (std::size_t i = 0; i < ledger_components; ++i) {
+    double v = 0.0;
+    if (!(is >> v)) return false;
+    m.ledger.add(static_cast<power::Component>(i), v);
   }
-  if (!(is >> m.topology >> m.noc_flit_hops >> m.noc_avg_packet_latency >>
-        m.dir_directed_snoops >> m.dir_recalls >> m.dir_deferrals)) {
-    return false;
-  }
+  return static_cast<bool>(is >> m.topology >> m.noc_flit_hops >>
+                           m.noc_avg_packet_latency >> m.dir_directed_snoops >>
+                           m.dir_recalls >> m.dir_deferrals);
+}
+
+bool deserialize(const std::string& line, RunMetrics& m) {
+  std::istringstream is(line);
+  if (!deserialize_prefix(is, m, power::kNumComponents)) return false;
+  if (!(is >> m.hierarchy >> m.total_l3_bytes)) return false;
+  return deserialize_level(is, m.l1) && deserialize_level(is, m.l2) &&
+         deserialize_level(is, m.l3);
+}
+
+/// The v3 loader shim: parses the old line format and synthesizes the v4
+/// fields. The L2 block is recovered exactly from the aggregate fields the
+/// old format carried; L1/L3 have no historical record and default to
+/// zero (occupation 1.0, the ungated value).
+bool deserialize_v3(const std::string& line, RunMetrics& m) {
+  std::istringstream is(line);
+  if (!deserialize_prefix(is, m, kV3LedgerComponents)) return false;
+  m.hierarchy = "2L";
+  m.total_l3_bytes = 0;
+  m.l2.accesses = m.l2_accesses;
+  m.l2.hits = m.l2_accesses - m.l2_misses;
+  m.l2.misses = m.l2_misses;
+  m.l2.decay_turnoffs = m.l2_decay_turnoffs;
+  m.l2.decay_induced_misses = m.l2_decay_induced_misses;
+  m.l2.writebacks = m.l2_writebacks;
+  m.l2.occupation = m.l2_occupation;
   return true;
 }
 
-/// Splits a cache line into (key, payload), accepting it only when the
-/// key carries the current version tag. Malformed and cross-version lines
-/// yield nullopt. The single gatekeeper for both loading and persisting,
-/// so the two can never disagree on which entries are valid.
-std::optional<std::pair<std::string, std::string>> parse_cache_line(
-    const std::string& line) {
+struct ParsedCacheLine {
+  std::string key;      ///< Always carries the CURRENT version suffix.
+  std::string payload;
+  bool shimmed = false;  ///< Loaded through the v3 shim.
+};
+
+/// Splits a cache line into (key, payload), accepting the current version
+/// and — through the shim — the previous one (the key is upgraded to the
+/// current suffix so lookups hit). Malformed and older-version lines yield
+/// nullopt. The single gatekeeper for both loading and persisting, so the
+/// two can never disagree on which entries are valid.
+std::optional<ParsedCacheLine> parse_cache_line(const std::string& line) {
   const auto bar = line.find('|');
   if (bar == std::string::npos) return std::nullopt;
   std::string key = line.substr(0, bar);
-  const std::string version_suffix = std::string("/") + kCacheVersion;
-  if (key.size() < version_suffix.size() ||
-      key.compare(key.size() - version_suffix.size(), version_suffix.size(),
-                  version_suffix) != 0) {
-    return std::nullopt;
+  const auto has_suffix = [&key](const std::string& sfx) {
+    return key.size() >= sfx.size() &&
+           key.compare(key.size() - sfx.size(), sfx.size(), sfx) == 0;
+  };
+  const std::string current = std::string("/") + kCacheVersion;
+  if (has_suffix(current)) {
+    return ParsedCacheLine{std::move(key), line.substr(bar + 1), false};
   }
-  return std::make_pair(std::move(key), line.substr(bar + 1));
+  const std::string shim = std::string("/") + kShimCacheVersion;
+  if (has_suffix(shim)) {
+    key.replace(key.size() - shim.size(), shim.size(), current);
+    return ParsedCacheLine{std::move(key), line.substr(bar + 1), true};
+  }
+  return std::nullopt;
 }
 }  // namespace
 
@@ -240,14 +308,8 @@ void ExperimentRunner::load_disk_cache() {
   std::ifstream in(cache_path_);
   if (!in) return;
   std::string line;
-  while (std::getline(in, line)) {
-    // Other-version entries may deserialize cleanly but describe a
-    // different simulator; never let them into the memo.
-    auto parsed = parse_cache_line(line);
-    if (!parsed) continue;
-    const std::string& key = parsed->first;
-    RunMetrics m;
-    if (!deserialize(parsed->second, m)) continue;
+  std::vector<std::pair<std::string, RunMetrics>> shimmed;
+  const auto recover_labels = [](const std::string& key, RunMetrics& m) {
     // Recover the labels encoded in the key: bench/size/technique/...
     std::istringstream ks(key);
     std::getline(ks, m.benchmark, '/');
@@ -256,7 +318,31 @@ void ExperimentRunner::load_disk_cache() {
     std::getline(ks, tech, '/');
     m.technique = tech;
     m.total_l2_bytes = std::strtoull(size_s.c_str(), nullptr, 10);
+  };
+  while (std::getline(in, line)) {
+    // Other-version entries may deserialize cleanly but describe a
+    // different simulator; never let them into the memo. v3 entries load
+    // through the shim (key upgraded, new fields defaulted) — but only
+    // into gaps: a genuine v4 entry for the same key always wins,
+    // regardless of file order (shimmed lines are applied after the loop).
+    auto parsed = parse_cache_line(line);
+    if (!parsed) continue;
+    const std::string& key = parsed->key;
+    RunMetrics m;
+    if (parsed->shimmed ? !deserialize_v3(parsed->payload, m)
+                        : !deserialize(parsed->payload, m)) {
+      continue;
+    }
+    if (parsed->shimmed) {
+      shimmed.emplace_back(key, std::move(m));
+      continue;
+    }
+    recover_labels(key, m);
     cache_.emplace(key, std::move(m));
+  }
+  for (auto& [key, m] : shimmed) {
+    recover_labels(key, m);
+    cache_.emplace(key, std::move(m));  // fills gaps only: v4 entries win
   }
 }
 
@@ -271,8 +357,25 @@ void ExperimentRunner::persist_disk_cache_locked() {
   {
     std::ifstream in(cache_path_);
     std::string line;
+    std::vector<std::pair<std::string, std::string>> shimmed;
     while (in && std::getline(in, line)) {
-      if (auto parsed = parse_cache_line(line)) lines.insert(std::move(*parsed));
+      auto parsed = parse_cache_line(line);
+      if (!parsed) continue;
+      if (parsed->shimmed) {
+        // A v3 line merged from disk: upgrade its payload to the v4
+        // format (the key was already upgraded by the parser). Applied
+        // after the loop so a genuine v4 line for the same key wins
+        // regardless of file order — the same precedence load_disk_cache
+        // uses.
+        RunMetrics m;
+        if (!deserialize_v3(parsed->payload, m)) continue;
+        shimmed.emplace_back(std::move(parsed->key), serialize(m));
+      } else {
+        lines.emplace(std::move(parsed->key), std::move(parsed->payload));
+      }
+    }
+    for (auto& [key, payload] : shimmed) {
+      lines.emplace(std::move(key), std::move(payload));
     }
   }
   for (const auto& [key, m] : cache_) lines[key] = serialize(m);

@@ -5,17 +5,39 @@
 
 namespace cdsim::sim {
 
-L1Cache::L1Cache(EventQueue& eq, const L1Config& cfg, CoreId core)
+namespace {
+cache::LevelPolicy l1_policy(const L1Config& cfg) {
+  cache::LevelPolicy p;
+  p.name = "L1";
+  p.allocate_on_write = false;  // no-write-allocate
+  p.write_through = true;       // every store drains to the L2
+  p.inclusive_above = false;    // nothing above to back-invalidate
+  p.coherent = false;           // the L2 snoops on its behalf (inclusion)
+  p.write_buffer_entries = cfg.write_buffer_entries;
+  return p;
+}
+
+cache::LevelTiming l1_timing(const L1Config& cfg) {
+  return cache::LevelTiming{cfg.hit_latency, cfg.mshr_entries,
+                            /*retry_interval=*/cfg.drain_interval};
+}
+}  // namespace
+
+L1Cache::L1Cache(EventQueue& eq, const L1Config& cfg, CoreId core,
+                 const decay::DecayConfig& dcfg)
     : eq_(eq),
       cfg_(cfg),
       core_(core),
-      tags_(cache::Geometry(cfg.size_bytes, cfg.line_bytes, cfg.ways)),
-      mshr_(cfg.mshr_entries),
-      wb_(cfg.write_buffer_entries) {
+      level_(eq, cache::Geometry(cfg.size_bytes, cfg.line_bytes, cfg.ways),
+             l1_timing(cfg), dcfg, l1_policy(cfg),
+             [this](Cycle now) { decay_sweep(now); }) {
   // The core's load bookkeeping relies on completion callbacks never firing
-  // inside try_load itself.
+  // inside try_load itself (the engine asserts hit_latency >= 1 too).
   CDSIM_ASSERT_MSG(cfg_.hit_latency >= 1, "L1 hit latency must be >= 1");
 }
+
+void L1Cache::start() { level_.start(); }
+void L1Cache::stop() { level_.stop(); }
 
 void L1Cache::notify_resources_freed() {
   if (resources_freed_) resources_freed_();
@@ -23,28 +45,31 @@ void L1Cache::notify_resources_freed() {
 
 core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
   CDSIM_ASSERT_MSG(l2_ != nullptr, "L1 not connected to an L2");
-  const Addr line = tags_.geometry().line_addr(addr);
+  const Addr line = level_.geometry().line_addr(addr);
 
-  if (cache::Line<NoPayload>* ln = tags_.find(line)) {
+  if (LineT* ln = level_.tags().find(line)) {
     // Synchronous hit fast path: no event scheduled, the core accounts the
     // (pipeline-hidden) latency itself.
-    stats_.read_hits.inc();
+    level_.stats().read_hits.inc();
     if (obs_) obs_->on_load_hit(core_, line, eq_.now(), /*l1=*/true);
-    tags_.touch(*ln);
-    return {.accepted = true, .completed = true, .latency = cfg_.hit_latency};
+    level_.touch(*ln);
+    return {.accepted = true,
+            .completed = true,
+            .latency = level_.access_latency()};
   }
 
   // Miss. Merge into an outstanding fill when possible.
-  if (cache::MshrEntry* e = mshr_.find(line)) {
-    stats_.read_misses.inc();
-    mshr_.merge(*e, /*is_write=*/false, std::move(on_done));
+  if (cache::MshrEntry* e = level_.mshr().find(line)) {
+    level_.note_miss(line, /*is_write=*/false);
+    level_.mshr().merge(*e, /*is_write=*/false, std::move(on_done));
     return {.accepted = true};
   }
-  if (mshr_.full()) return {};  // core parks; woken on any completion
+  if (level_.mshr().full()) return {};  // core parks; woken on completion
 
-  stats_.read_misses.inc();
-  cache::MshrEntry& e = mshr_.allocate(line, /*is_write=*/false, eq_.now());
-  mshr_.merge(e, /*is_write=*/false, std::move(on_done));
+  level_.note_miss(line, /*is_write=*/false);
+  cache::MshrEntry& e =
+      level_.mshr().allocate(line, /*is_write=*/false, eq_.now());
+  level_.mshr().merge(e, /*is_write=*/false, std::move(on_done));
 
   l2_->read(line, [this, line](Cycle done, bool may_cache) {
     // Inclusion guard: install only if the backing L2 line is (still)
@@ -53,11 +78,21 @@ core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
     if (may_cache && coherence::holds_data(l2_->line_state(line))) {
       // Fill the L1 (allocate on read miss). The victim is clean by
       // construction (write-through), so eviction is a silent drop.
-      cache::Line<NoPayload>& slot = tags_.pick_victim(line);
-      if (slot.valid) stats_.evictions.inc();
-      tags_.install(slot, line, NoPayload{});
+      LineT& slot = level_.tags().pick_victim(line);
+      if (slot.valid) {
+        level_.stats().evictions.inc();
+        level_.power_off();
+      }
+      Payload p;
+      p.decay.last_touch = eq_.now();
+      // Every L1 line is a clean copy: arm as the equivalent of Shared.
+      level_.arm_on_entry(p.decay, coherence::MesiState::kShared);
+      LineT& installed = level_.tags().install(slot, line, std::move(p));
+      level_.wheel_register(installed);
+      level_.power_on();
+      level_.clear_attribution(line);
     }
-    mshr_.complete(line, done);
+    level_.mshr().complete(line, done);
     notify_resources_freed();
   });
   return {.accepted = true};
@@ -65,35 +100,37 @@ core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
 
 bool L1Cache::try_store(Addr addr) {
   CDSIM_ASSERT_MSG(l2_ != nullptr, "L1 not connected to an L2");
-  const Addr line = tags_.geometry().line_addr(addr);
+  const Addr line = level_.geometry().line_addr(addr);
 
   // No-write-allocate: update the L1 copy only when present.
-  if (cache::Line<NoPayload>* ln = tags_.find(line)) {
-    stats_.write_hits.inc();
-    tags_.touch(*ln);
+  if (LineT* ln = level_.tags().find(line)) {
+    level_.stats().write_hits.inc();
+    level_.touch(*ln);
   } else {
-    stats_.write_misses.inc();
+    level_.note_miss(line, /*is_write=*/true);
   }
 
   // Write-through: every store retires through the write buffer.
-  if (!wb_.push(line, eq_.now())) return false;  // buffer full: core parks
+  if (!level_.write_buffer().push(line, eq_.now())) {
+    return false;  // buffer full: core parks
+  }
   drain_write_buffer();
   return true;
 }
 
 void L1Cache::drain_write_buffer() {
   while (drains_in_flight_ < cfg_.max_drains_in_flight) {
-    const std::optional<Addr> line = wb_.drain_next();
+    const std::optional<Addr> line = level_.write_buffer().drain_next();
     if (!line.has_value()) return;
     ++drains_in_flight_;
     l2_->write(*line, [this, line = *line](Cycle /*done*/,
                                            bool /*may_cache*/) {
       // The slot is released only once the write reached the L2 — until
       // then pending_write() reports it, which is exactly the Table I gate.
-      wb_.drain_done(line);
+      level_.write_buffer().drain_done(line);
       --drains_in_flight_;
       notify_resources_freed();
-      if (!wb_.empty()) {
+      if (!level_.write_buffer().empty()) {
         eq_.schedule_in(cfg_.drain_interval,
                         [this] { drain_write_buffer(); });
       }
@@ -102,10 +139,36 @@ void L1Cache::drain_write_buffer() {
 }
 
 void L1Cache::back_invalidate(Addr line_addr) {
-  if (cache::Line<NoPayload>* ln = tags_.find(line_addr)) {
-    tags_.invalidate(*ln);
-    stats_.backinvals.inc();
+  if (LineT* ln = level_.tags().find(line_addr)) {
+    level_.tags().invalidate(*ln);
+    level_.power_off();
+    level_.stats().backinvals.inc();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Decay at level 1
+// ---------------------------------------------------------------------------
+
+void L1Cache::decay_sweep(Cycle now) {
+  level_.for_each_expired(now, [&](LineT& ln, std::size_t line_index) {
+    // Table I at level 1: a line with a buffered store that has not
+    // reached the L2 yet must not be switched off (the store would lose
+    // its local copy mid-flight). Re-examine next tick.
+    if (level_.write_buffer().pending_to(ln.tag)) {
+      level_.defer_to_next_tick(ln, line_index, now);
+      return;
+    }
+    // §III legality at a write-through level: every line is clean, so the
+    // turn-off is always a silent drop — no transient states, no traffic.
+    // Inclusion is top-down only (the L2 keeps its backing copy), and the
+    // differential oracle's copy shadow tracks the L2 slice, so an L1
+    // turn-off is not a data-movement event.
+    level_.stats().decay_turnoffs.inc();
+    level_.mark_decayed(ln.tag);
+    level_.tags().invalidate(ln);
+    level_.power_off();
+  });
 }
 
 }  // namespace cdsim::sim

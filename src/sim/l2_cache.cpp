@@ -10,65 +10,44 @@ namespace cdsim::sim {
 using coherence::BusTxKind;
 using coherence::MesiState;
 
+namespace {
+cache::LevelPolicy l2_policy() {
+  cache::LevelPolicy p;
+  p.name = "L2";
+  p.allocate_on_write = true;   // write-allocate via BusRdX
+  p.write_through = false;      // dirty lines write back
+  p.inclusive_above = true;     // back-invalidates the L1 on line death
+  p.coherent = true;            // MESI/MOESI snooper on the fabric
+  p.write_buffer_entries = 0;
+  return p;
+}
+
+cache::LevelTiming l2_timing(const L2Config& cfg) {
+  return cache::LevelTiming{cfg.hit_latency, cfg.mshr_entries,
+                            cfg.retry_interval};
+}
+}  // namespace
+
 L2Cache::L2Cache(EventQueue& eq, const L2Config& cfg,
                  const decay::DecayConfig& dcfg, CoreId core,
                  noc::Interconnect& ic, L1Cache* upper)
     : eq_(eq),
       cfg_(cfg),
-      dcfg_(dcfg),
       core_(core),
       ic_(ic),
       upper_(upper),
-      tags_(cache::Geometry(cfg.size_bytes, cfg.line_bytes, cfg.ways)),
-      mshr_(cfg.mshr_entries),
-      sweeper_(eq, dcfg, [this](Cycle now) { decay_sweep(now); }) {
+      level_(eq, cache::Geometry(cfg.size_bytes, cfg.line_bytes, cfg.ways),
+             l2_timing(cfg), dcfg, l2_policy(),
+             [this](Cycle now) { decay_sweep(now); }) {
   CDSIM_ASSERT(upper_ != nullptr);
-  CDSIM_ASSERT(cfg_.hit_latency >= 1);
-  wheel_.configure(dcfg_);
 }
 
-void L2Cache::start() { sweeper_.start(); }
-void L2Cache::stop() { sweeper_.stop(); }
+void L2Cache::start() { level_.start(); }
+void L2Cache::stop() { level_.stop(); }
 
 // ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
-
-void L2Cache::retry(EventQueue::Callback fn) {
-  eq_.schedule_in(cfg_.retry_interval, std::move(fn));
-}
-
-void L2Cache::touch(LineT& ln) {
-  tags_.touch(ln);
-  ln.payload.decay.last_touch = eq_.now();
-  wheel_register(ln);
-}
-
-void L2Cache::wheel_register(LineT& ln) {
-  decay::LineDecayState& d = ln.payload.decay;
-  if (!d.armed || d.wheel_ticket != 0 || !wheel_.enabled()) return;
-  d.wheel_ticket =
-      wheel_.add(tags_.line_index(ln), dcfg_.first_expiry_tick(d.last_touch));
-}
-
-namespace {
-/// Updates the decay-arming bit on a transition *into* `to` (paper §IV).
-void apply_arming(const decay::DecayConfig& dcfg, decay::LineDecayState& d,
-                  MesiState to) {
-  if (dcfg.technique == decay::Technique::kDecay) {
-    d.armed = coherence::holds_data(to);
-  } else if (dcfg.technique == decay::Technique::kSelectiveDecay) {
-    if (to == MesiState::kShared || to == MesiState::kExclusive) {
-      d.armed = true;
-    } else if (to == MesiState::kModified || to == MesiState::kOwned) {
-      // Dirty states disarm: Selective Decay avoids costly dirty turn-offs,
-      // and an Owned turn-off is costlier still (invalidation broadcast +
-      // write-back).
-      d.armed = false;
-    }
-  }
-}
-}  // namespace
 
 void L2Cache::cancel_td_wb(Payload& p) {
   if (p.td_wb_token) {
@@ -84,53 +63,20 @@ void L2Cache::line_off(LineT& ln) {
   ln.payload.state = MesiState::kInvalid;
   ln.payload.fetching = false;
   ln.payload.upgrading = false;
-  tags_.invalidate(ln);
-  on_lines_.add(eq_.now(), -1.0);
-}
-
-void L2Cache::note_miss(Addr line_addr, bool is_write) {
-  if (is_write) {
-    stats_.write_misses.inc();
-  } else {
-    stats_.read_misses.inc();
-  }
-  auto it = decayed_lines_.find(line_addr);
-  if (it != decayed_lines_.end()) {
-    stats_.decay_induced_misses.inc();
-    stats_.decay_induced_by_region[(line_addr >> 40) & 7].inc();
-    decayed_lines_.erase(it);
-  }
+  level_.tags().invalidate(ln);
+  level_.power_off();
 }
 
 coherence::MesiState L2Cache::line_state(Addr addr) const {
-  const Addr line = tags_.geometry().line_addr(addr);
-  const auto* ln = tags_.find(line);
+  const Addr line = level_.geometry().line_addr(addr);
+  const auto* ln = level_.tags().find(line);
   return ln ? ln->payload.state : MesiState::kInvalid;
 }
 
 void L2Cache::for_each_valid_line(
     const std::function<void(Addr, coherence::MesiState)>& fn) const {
-  const_cast<cache::TagArray<Payload>&>(tags_).for_each_valid(
-      [&](LineT& ln) { fn(ln.tag, ln.payload.state); });
-}
-
-std::uint64_t L2Cache::lines_on() const noexcept {
-  return static_cast<std::uint64_t>(on_lines_.value());
-}
-
-double L2Cache::powered_line_cycles(Cycle now) const {
-  if (!decay::gates_invalid_lines(dcfg_.technique)) {
-    return static_cast<double>(tags_.capacity_lines()) *
-           static_cast<double>(now);
-  }
-  return on_lines_.integral(now);
-}
-
-double L2Cache::occupation(Cycle now) const {
-  if (now == 0) return 1.0;
-  return powered_line_cycles(now) /
-         (static_cast<double>(tags_.capacity_lines()) *
-          static_cast<double>(now));
+  const_cast<cache::TagArray<Payload>&>(level_.tags())
+      .for_each_valid([&](LineT& ln) { fn(ln.tag, ln.payload.state); });
 }
 
 // ---------------------------------------------------------------------------
@@ -138,16 +84,16 @@ double L2Cache::occupation(Cycle now) const {
 // ---------------------------------------------------------------------------
 
 void L2Cache::read(Addr addr, Response on_done) {
-  const Addr line = tags_.geometry().line_addr(addr);
+  const Addr line = level_.geometry().line_addr(addr);
   do_read(line, std::move(on_done), /*counted=*/false);
 }
 
 void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
-  LineT* ln = tags_.find(line_addr);
+  LineT* ln = level_.tags().find(line_addr);
 
   if (ln && !coherence::is_stationary(ln->payload.state)) {
     // TC/TD: the paper requires requests to wait for a stationary state.
-    transient_retries_.inc();
+    level_.transient_retries().inc();
     retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
       do_read(line_addr, std::move(cb), counted);
     });
@@ -156,10 +102,10 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
 
   if (ln && !ln->payload.fetching) {
     // Hit on a stationary line.
-    if (!counted) stats_.read_hits.inc();
+    if (!counted) level_.stats().read_hits.inc();
     if (obs_) obs_->on_load_hit(core_, line_addr, eq_.now(), /*l1=*/false);
-    touch(*ln);
-    const Cycle done = eq_.now() + access_latency();
+    level_.touch(*ln);
+    const Cycle done = eq_.now() + level_.access_latency();
     eq_.schedule_at(done, [cb = std::move(on_done), done] { cb(done, true); });
     return;
   }
@@ -169,22 +115,23 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
   // invalidated while its fill was in flight must not be cached above.
   auto fill_responder = [this, line_addr](Response cb) {
     return [this, line_addr, cb = std::move(cb)](Cycle fill_done) {
-      LineT* l2 = tags_.find(line_addr);
+      LineT* l2 = level_.tags().find(line_addr);
       const bool may_cache =
           l2 != nullptr && coherence::holds_data(l2->payload.state);
       cb(fill_done, may_cache);
     };
   };
 
-  if (cache::MshrEntry* e = mshr_.find(line_addr)) {
-    if (!counted) note_miss(line_addr, /*is_write=*/false);
-    mshr_.merge(*e, /*is_write=*/false, fill_responder(std::move(on_done)));
+  if (cache::MshrEntry* e = level_.mshr().find(line_addr)) {
+    if (!counted) level_.note_miss(line_addr, /*is_write=*/false);
+    level_.mshr().merge(*e, /*is_write=*/false,
+                        fill_responder(std::move(on_done)));
     return;
   }
   CDSIM_ASSERT_MSG(ln == nullptr || !ln->payload.fetching,
                    "fetching line without an MSHR entry");
 
-  if (mshr_.full()) {
+  if (level_.mshr().full()) {
     retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
       // Re-enter through do_read so a line filled meanwhile becomes a hit.
       do_read(line_addr, std::move(cb), counted);
@@ -192,23 +139,24 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
     return;
   }
 
-  if (!counted) note_miss(line_addr, /*is_write=*/false);
+  if (!counted) level_.note_miss(line_addr, /*is_write=*/false);
   cache::MshrEntry& e =
-      mshr_.allocate(line_addr, /*is_write=*/false, eq_.now());
-  mshr_.merge(e, /*is_write=*/false, fill_responder(std::move(on_done)));
+      level_.mshr().allocate(line_addr, /*is_write=*/false, eq_.now());
+  level_.mshr().merge(e, /*is_write=*/false,
+                      fill_responder(std::move(on_done)));
   issue_fetch(line_addr, /*is_write=*/false);
 }
 
 void L2Cache::write(Addr addr, Response on_done) {
-  const Addr line = tags_.geometry().line_addr(addr);
+  const Addr line = level_.geometry().line_addr(addr);
   do_write(line, std::move(on_done), /*counted=*/false);
 }
 
 void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
-  LineT* ln = tags_.find(line_addr);
+  LineT* ln = level_.tags().find(line_addr);
 
   if (ln && !coherence::is_stationary(ln->payload.state)) {
-    transient_retries_.inc();
+    level_.transient_retries().inc();
     retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
       do_write(line_addr, std::move(cb), counted);
     });
@@ -221,7 +169,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
     // Counting waits for that re-entry: if a snoop invalidates the line
     // before the fill lands, this is a genuine write miss (with its own
     // refetch and decay attribution), not the hit it looks like now.
-    cache::MshrEntry* e = mshr_.find(line_addr);
+    cache::MshrEntry* e = level_.mshr().find(line_addr);
     CDSIM_ASSERT_MSG(e != nullptr, "fetching line without an MSHR entry");
     auto waiter = [this, line_addr, cb = std::move(on_done),
                    counted](Cycle) mutable {
@@ -229,7 +177,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
     };
     // The largest waiter on the write path; must not fall back to the heap.
     static_assert(cache::FillCallback::fits_inline_v<decltype(waiter)>);
-    mshr_.merge(*e, /*is_write=*/true, std::move(waiter));
+    level_.mshr().merge(*e, /*is_write=*/true, std::move(waiter));
     return;
   }
 
@@ -237,22 +185,22 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
     Payload& p = ln->payload;
     switch (p.state) {
       case MesiState::kModified: {
-        if (!counted) stats_.write_hits.inc();
+        if (!counted) level_.stats().write_hits.inc();
         if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
-        touch(*ln);
-        const Cycle done = eq_.now() + access_latency();
+        level_.touch(*ln);
+        const Cycle done = eq_.now() + level_.access_latency();
         eq_.schedule_at(done,
                         [cb = std::move(on_done), done] { cb(done, true); });
         return;
       }
       case MesiState::kExclusive: {
         // Silent E->M upgrade (PrWr/- edge).
-        if (!counted) stats_.write_hits.inc();
+        if (!counted) level_.stats().write_hits.inc();
         p.state = MesiState::kModified;
-        apply_arming(dcfg_, p.decay, MesiState::kModified);
+        level_.arm_on_entry(p.decay, MesiState::kModified);
         if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
-        touch(*ln);
-        const Cycle done = eq_.now() + access_latency();
+        level_.touch(*ln);
+        const Cycle done = eq_.now() + level_.access_latency();
         eq_.schedule_at(done,
                         [cb = std::move(on_done), done] { cb(done, true); });
         return;
@@ -270,7 +218,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         }
         if (!counted) upgrades_.inc();
         p.upgrading = true;
-        touch(*ln);
+        level_.touch(*ln);
 
         // Exactly one of on_done / on_cancel fires; share the response.
         auto cb = std::make_shared<Response>(std::move(on_done));
@@ -279,7 +227,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         // Owned) copy; a snoop invalidation while queued turns the upgrade
         // into a write miss.
         hooks.validator = [this, line_addr] {
-          LineT* l2 = tags_.find(line_addr);
+          LineT* l2 = level_.tags().find(line_addr);
           return l2 != nullptr &&
                  (l2->payload.state == MesiState::kShared ||
                   l2->payload.state == MesiState::kOwned);
@@ -289,19 +237,21 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         // recorded in write_misses and runs through note_miss — counting it
         // as a hit up front would silently drop decay-induced attribution.
         hooks.on_cancel = [this, line_addr, cb, counted] {
-          if (LineT* l2 = tags_.find(line_addr)) l2->payload.upgrading = false;
+          if (LineT* l2 = level_.tags().find(line_addr)) {
+            l2->payload.upgrading = false;
+          }
           do_write(line_addr, std::move(*cb), counted);
         };
         hooks.on_grant = [this, line_addr, counted](const noc::BusResult&) {
-          LineT* l2 = tags_.find(line_addr);
+          LineT* l2 = level_.tags().find(line_addr);
           CDSIM_ASSERT_MSG(l2 != nullptr &&
                                (l2->payload.state == MesiState::kShared ||
                                 l2->payload.state == MesiState::kOwned),
                            "upgrade granted for a non-upgradable line");
-          if (!counted) stats_.write_hits.inc();
+          if (!counted) level_.stats().write_hits.inc();
           l2->payload.upgrading = false;
           l2->payload.state = MesiState::kModified;
-          apply_arming(dcfg_, l2->payload.decay, MesiState::kModified);
+          level_.arm_on_entry(l2->payload.decay, MesiState::kModified);
           if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
         };
         hooks.on_done = [cb](const noc::BusResult& res) {
@@ -317,35 +267,36 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
   }
 
   // Write miss: write-allocate via BusRdX.
-  if (cache::MshrEntry* e = mshr_.find(line_addr)) {
-    if (!counted) note_miss(line_addr, /*is_write=*/true);
+  if (cache::MshrEntry* e = level_.mshr().find(line_addr)) {
+    if (!counted) level_.note_miss(line_addr, /*is_write=*/true);
     // Merged into an outstanding (possibly read) fetch: re-enter after the
     // fill so E/S copies upgrade properly.
-    mshr_.merge(*e, /*is_write=*/true,
-                [this, line_addr, cb = std::move(on_done)](Cycle) mutable {
-                  do_write(line_addr, std::move(cb), /*counted=*/true);
-                });
+    level_.mshr().merge(
+        *e, /*is_write=*/true,
+        [this, line_addr, cb = std::move(on_done)](Cycle) mutable {
+          do_write(line_addr, std::move(cb), /*counted=*/true);
+        });
     return;
   }
 
-  if (mshr_.full()) {
+  if (level_.mshr().full()) {
     retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
       do_write(line_addr, std::move(cb), counted);
     });
     return;
   }
 
-  if (!counted) note_miss(line_addr, /*is_write=*/true);
+  if (!counted) level_.note_miss(line_addr, /*is_write=*/true);
   cache::MshrEntry& e =
-      mshr_.allocate(line_addr, /*is_write=*/true, eq_.now());
-  mshr_.merge(e, /*is_write=*/true,
-              [this, line_addr, cb = std::move(on_done)](Cycle fill_done) {
-                LineT* l2 = tags_.find(line_addr);
-                const bool may_cache =
-                    l2 != nullptr &&
-                    coherence::holds_data(l2->payload.state);
-                cb(fill_done, may_cache);
-              });
+      level_.mshr().allocate(line_addr, /*is_write=*/true, eq_.now());
+  level_.mshr().merge(
+      e, /*is_write=*/true,
+      [this, line_addr, cb = std::move(on_done)](Cycle fill_done) {
+        LineT* l2 = level_.tags().find(line_addr);
+        const bool may_cache =
+            l2 != nullptr && coherence::holds_data(l2->payload.state);
+        cb(fill_done, may_cache);
+      });
   issue_fetch(line_addr, /*is_write=*/true);
 }
 
@@ -359,9 +310,11 @@ void L2Cache::issue_fetch(Addr line_addr, bool is_write) {
     install_at_grant(line_addr, is_write, res);
   };
   hooks.on_done = [this, line_addr](const noc::BusResult& res) {
-    if (LineT* ln = tags_.find(line_addr)) ln->payload.fetching = false;
-    fills_.inc();
-    mshr_.complete(line_addr, res.done_at);
+    if (LineT* ln = level_.tags().find(line_addr)) {
+      ln->payload.fetching = false;
+    }
+    level_.fills().inc();
+    level_.mshr().complete(line_addr, res.done_at);
   };
   ic_.request(is_write ? BusTxKind::kBusRdX : BusTxKind::kBusRd, line_addr,
                core_, cfg_.line_bytes, std::move(hooks));
@@ -369,10 +322,10 @@ void L2Cache::issue_fetch(Addr line_addr, bool is_write) {
 
 void L2Cache::install_at_grant(Addr line_addr, bool is_write,
                                const noc::BusResult& res) {
-  CDSIM_ASSERT_MSG(tags_.find(line_addr) == nullptr,
+  CDSIM_ASSERT_MSG(level_.tags().find(line_addr) == nullptr,
                    "fill granted for an already-present line");
   // Never evict a way whose own fill is still in flight.
-  LineT* slot = tags_.pick_victim_if(
+  LineT* slot = level_.tags().pick_victim_if(
       line_addr, [](const LineT& ln) { return !ln.payload.fetching; });
   if (slot == nullptr) {
     // Pathological: every way of the set is mid-fill. Serve the requester
@@ -385,11 +338,11 @@ void L2Cache::install_at_grant(Addr line_addr, bool is_write,
   p.state = coherence::fill_state(is_write, res.shared);
   p.fetching = true;
   p.decay.last_touch = eq_.now();
-  apply_arming(dcfg_, p.decay, p.state);
-  LineT& installed = tags_.install(*slot, line_addr, std::move(p));
-  wheel_register(installed);
-  on_lines_.add(eq_.now(), +1.0);
-  decayed_lines_.erase(line_addr);
+  level_.arm_on_entry(p.decay, p.state);
+  LineT& installed = level_.tags().install(*slot, line_addr, std::move(p));
+  level_.wheel_register(installed);
+  level_.power_on();
+  level_.clear_attribution(line_addr);
   if (obs_) {
     // The fill's data source (owner flush vs memory) was decided by the
     // snoop broadcast that just resolved; a write-allocate fill also
@@ -405,13 +358,13 @@ void L2Cache::evict(LineT& victim) {
   const Addr vline = victim.tag;
   // Inclusion: the L1 copy (if any) must go.
   upper_->back_invalidate(vline);
-  stats_.evictions.inc();
+  level_.stats().evictions.inc();
 
   if (coherence::is_dirty(victim.payload.state)) {
     // Dirty data must reach memory. Any pending TD turn-off write-back for
     // this line is superseded by the eviction write-back.
     cancel_td_wb(victim.payload);
-    stats_.writebacks.inc();
+    level_.stats().writebacks.inc();
     if (obs_) obs_->on_writeback_initiated(core_, vline, eq_.now());
     ic_.request(BusTxKind::kWriteBack, vline, core_, cfg_.line_bytes,
                  noc::Interconnect::Completion{});
@@ -430,7 +383,7 @@ void L2Cache::evict(LineT& victim) {
 
 noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
                                CoreId /*requester*/) {
-  LineT* ln = tags_.find(line_addr);
+  LineT* ln = level_.tags().find(line_addr);
   if (ln == nullptr) return {};
 
   Payload& p = ln->payload;
@@ -447,17 +400,17 @@ noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
 
   if (out.invalidated) {
     upper_->back_invalidate(line_addr);
-    stats_.coherence_invals.inc();
+    level_.stats().coherence_invals.inc();
     line_off(*ln);
   } else if (out.next != p.state) {
     // Downgrade (e.g. M->S on a remote BusRd, or MOESI's M->O): a
     // transition into S arms Selective Decay and restarts the countdown;
     // entering O disarms it (dirty turn-offs are what it avoids).
-    if (out.next == MesiState::kOwned) stats_.owned_downgrades.inc();
+    if (out.next == MesiState::kOwned) level_.stats().owned_downgrades.inc();
     p.state = out.next;
-    apply_arming(dcfg_, p.decay, out.next);
+    level_.arm_on_entry(p.decay, out.next);
     p.decay.last_touch = eq_.now();
-    wheel_register(*ln);
+    level_.wheel_register(*ln);
   }
   return reply;
 }
@@ -466,48 +419,20 @@ noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
 // Decay turn-off (the paper's Figure 2 choreography)
 // ---------------------------------------------------------------------------
 
-void L2Cache::age_decay_attribution(Cycle now) {
-  if (decayed_lines_.size() < attribution_purge_at_) return;
-  const Cycle window = kAttributionWindowIntervals * dcfg_.decay_time;
-  for (auto it = decayed_lines_.begin(); it != decayed_lines_.end();) {
-    if (now - it->second > window) {
-      it = decayed_lines_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  attribution_purge_at_ =
-      std::max(kAttributionMinEntries, decayed_lines_.size() * 2);
-}
-
 void L2Cache::decay_sweep(Cycle now) {
-  if (!decay::uses_decay(dcfg_.technique)) return;
-  age_decay_attribution(now);
-  // Visit only the lines whose registered expiry tick is due. The bucket
-  // comes back sorted by line index — the same order the old full-array
-  // sweep visited lines — so the turn-off events (and the bus traffic they
-  // cause) are scheduled in an identical order.
-  wheel_.collect_due(now, due_scratch_);
-  for (const decay::ExpiryWheel::Entry& e : due_scratch_) {
-    LineT& ln = tags_.line_at(e.line_index);
+  // The engine yields the genuinely expired lines in line-index order —
+  // the same order the old full-array sweep visited lines — so the
+  // turn-off events (and the bus traffic they cause) are scheduled in an
+  // identical order. What remains here is the L2's legality gates and the
+  // Figure-2 choreography.
+  level_.for_each_expired(now, [&](LineT& ln, std::size_t line_index) {
     Payload& p = ln.payload;
-    if (p.decay.wheel_ticket != e.ticket) continue;  // slot was reused
-    p.decay.wheel_ticket = 0;
-    if (!ln.valid || !p.decay.armed) continue;  // died or disarmed meanwhile
-    if (!dcfg_.expired(p.decay, now)) {
-      // Touched since registration: lazily reschedule at the new deadline
-      // (registrations are never updated on the hit path).
-      wheel_register(ln);
-      continue;
-    }
     if (!coherence::is_stationary(p.state) || p.fetching || p.upgrading ||
         // Table I gate: a line with a pending write in the L1 write buffer
         // must not be switched off.
         upper_->pending_write(ln.tag)) {
-      // The full sweep re-examined gated lines every tick; mirror that by
-      // re-registering for the next tick.
-      p.decay.wheel_ticket = wheel_.add(e.line_index, now + dcfg_.tick_period());
-      continue;
+      level_.defer_to_next_tick(ln, line_index, now);
+      return;
     }
 
     const Addr line_addr = ln.tag;
@@ -536,16 +461,16 @@ void L2Cache::decay_sweep(Cycle now) {
       case coherence::MoesiTurnOffClass::kIgnore:
         break;  // unreachable for stationary states; defensive
     }
-  }
+  });
 }
 
 void L2Cache::turn_off_clean(Addr line_addr) {
-  LineT* ln = tags_.find(line_addr);
+  LineT* ln = level_.tags().find(line_addr);
   // A snoop or eviction may have finished the line off already.
   if (ln == nullptr || ln->payload.state != MesiState::kTransientClean) return;
   upper_->back_invalidate(line_addr);
-  stats_.decay_turnoffs.inc();
-  decayed_lines_[line_addr] = eq_.now();
+  level_.stats().decay_turnoffs.inc();
+  level_.mark_decayed(line_addr);
   line_off(*ln);
   // §III turn-off legality, directory form: a decayed line may be dropped
   // without data traffic exactly because it is clean — tell the home so
@@ -554,14 +479,14 @@ void L2Cache::turn_off_clean(Addr line_addr) {
 }
 
 void L2Cache::turn_off_dirty(Addr line_addr) {
-  LineT* ln = tags_.find(line_addr);
+  LineT* ln = level_.tags().find(line_addr);
   if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) return;
   upper_->back_invalidate(line_addr);
   issue_turnoff_writeback(line_addr);
 }
 
 void L2Cache::turn_off_owned(Addr line_addr) {
-  LineT* ln = tags_.find(line_addr);
+  LineT* ln = level_.tags().find(line_addr);
   // A snoop or eviction may have finished the line off already.
   if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) return;
   upper_->back_invalidate(line_addr);
@@ -582,7 +507,7 @@ void L2Cache::turn_off_owned(Addr line_addr) {
 }
 
 void L2Cache::issue_turnoff_writeback(Addr line_addr) {
-  LineT* ln = tags_.find(line_addr);
+  LineT* ln = level_.tags().find(line_addr);
   if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) {
     return;  // finished via snoop/eviction while this step was in flight
   }
@@ -596,8 +521,8 @@ void L2Cache::issue_turnoff_writeback(Addr line_addr) {
     // that releases ownership, so the stale refetch (the divergence)
     // happens instead of a home deferral waiting forever for the
     // write-back this fault just swallowed.
-    stats_.decay_turnoffs.inc();
-    decayed_lines_[line_addr] = eq_.now();
+    level_.stats().decay_turnoffs.inc();
+    level_.mark_decayed(line_addr);
     line_off(*ln);
     ic_.note_clean_drop(core_, line_addr);
     return;
@@ -611,13 +536,13 @@ void L2Cache::issue_turnoff_writeback(Addr line_addr) {
   noc::RequestHooks hooks;
   hooks.validator = [token] { return *token; };
   hooks.on_done = [this, line_addr](const noc::BusResult&) {
-    LineT* l2 = tags_.find(line_addr);
+    LineT* l2 = level_.tags().find(line_addr);
     if (l2 == nullptr || l2->payload.state != MesiState::kTransientDirty) {
       return;  // finished via snoop/eviction while the flush was queued
     }
-    stats_.decay_turnoffs.inc();
-    stats_.writebacks.inc();
-    decayed_lines_[line_addr] = eq_.now();
+    level_.stats().decay_turnoffs.inc();
+    level_.stats().writebacks.inc();
+    level_.mark_decayed(line_addr);
     line_off(*l2);
     // Dirty turn-off complete: the flushed copy is off. The directory kept
     // the TD line tracked across the write-back grant (it stays snoopable

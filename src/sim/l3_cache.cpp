@@ -1,0 +1,275 @@
+#include "cdsim/sim/l3_cache.hpp"
+
+#include <utility>
+
+#include "cdsim/common/assert.hpp"
+
+namespace cdsim::sim {
+
+using coherence::MesiState;
+
+namespace {
+cache::LevelPolicy l3_policy() {
+  cache::LevelPolicy p;
+  p.name = "L3";
+  p.allocate_on_write = true;   // absorbed write-backs allocate
+  p.write_through = false;      // dirty bank lines write back to memory
+  p.inclusive_above = false;    // memory-side: the directory tracks uppers
+  p.coherent = false;           // the home bank serializes on its behalf
+  p.write_buffer_entries = 0;
+  return p;
+}
+}  // namespace
+
+L3Cache::L3Cache(EventQueue& eq, const L3Config& cfg,
+                 const decay::DecayConfig& dcfg, std::uint32_t num_banks)
+    : eq_(eq), cfg_(cfg) {
+  CDSIM_ASSERT(num_banks >= 1);
+  const cache::Geometry geo(cfg.bank_bytes, cfg.line_bytes, cfg.ways);
+  const cache::LevelTiming timing{cfg.hit_latency, cfg.mshr_entries,
+                                  /*retry_interval=*/1};
+  banks_.reserve(num_banks);
+  for (std::uint32_t b = 0; b < num_banks; ++b) {
+    banks_.push_back(std::make_unique<Bank>(
+        eq, geo, timing, dcfg, l3_policy(),
+        [this, b](Cycle now) { decay_sweep(b, now); }));
+  }
+}
+
+void L3Cache::start() {
+  for (auto& b : banks_) b->level.start();
+}
+
+void L3Cache::stop() {
+  for (auto& b : banks_) b->level.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Line death / memory push
+// ---------------------------------------------------------------------------
+
+void L3Cache::line_off(Bank& b, LineT& ln) {
+  CDSIM_ASSERT(ln.valid);
+  if (obs_) obs_->on_l3_invalidate(ln.tag, eq_.now());
+  ln.payload.dirty = false;
+  b.level.tags().invalidate(ln);
+  b.level.power_off();
+}
+
+void L3Cache::push_to_memory(std::uint32_t bank, Addr line) {
+  CDSIM_ASSERT_MSG(mem_port_ != nullptr, "L3 memory port not connected");
+  if (obs_) obs_->on_l3_writeback(line, eq_.now());
+  mem_port_(bank, line, cfg_.line_bytes);
+}
+
+void L3Cache::evict(std::uint32_t bank, LineT& victim) {
+  Bank& b = *banks_[bank];
+  b.level.stats().evictions.inc();
+  if (victim.payload.dirty) {
+    // §III legality at the last level: dirty data the channel never saw
+    // must reach memory before the line may die.
+    b.level.stats().writebacks.inc();
+    push_to_memory(bank, victim.tag);
+  }
+  line_off(b, victim);
+}
+
+// ---------------------------------------------------------------------------
+// noc::MemorySideCache
+// ---------------------------------------------------------------------------
+
+bool L3Cache::lookup_for_fill(std::uint32_t bank, Addr line) {
+  Bank& b = *banks_.at(bank);
+  LineT* ln = b.level.tags().find(line);
+  if (ln == nullptr) {
+    b.level.note_miss(line, /*is_write=*/false);
+    return false;
+  }
+  b.level.stats().read_hits.inc();
+  b.level.touch(*ln);
+  return true;
+}
+
+void L3Cache::install_from_memory(std::uint32_t bank, Addr line) {
+  Bank& b = *banks_.at(bank);
+  if (LineT* ln = b.level.tags().find(line)) {
+    // A same-line fill raced this one through the channel (the first
+    // install landed before the second read returned): just refresh.
+    b.level.touch(*ln);
+    return;
+  }
+  LineT& slot = b.level.tags().pick_victim(line);
+  if (slot.valid) evict(bank, slot);
+
+  Payload p;
+  p.dirty = false;
+  p.decay.last_touch = eq_.now();
+  // A clean bank line is the L3 analogue of Shared: cheap to drop, so
+  // both decay flavours arm it.
+  b.level.arm_on_entry(p.decay, MesiState::kShared);
+  LineT& installed = b.level.tags().install(slot, line, std::move(p));
+  b.level.wheel_register(installed);
+  b.level.power_on();
+  b.level.clear_attribution(line);
+  b.level.fills().inc();
+  if (obs_) obs_->on_l3_install(line, eq_.now());
+}
+
+void L3Cache::absorb_writeback(std::uint32_t bank, Addr line) {
+  Bank& b = *banks_.at(bank);
+  if (LineT* ln = b.level.tags().find(line)) {
+    // Overwrite in place: the write-back data supersedes whatever the bank
+    // held (a clean copy, or an earlier absorbed version).
+    b.level.stats().write_hits.inc();
+    ln->payload.dirty = true;
+    b.level.arm_on_entry(ln->payload.decay, MesiState::kModified);
+    b.level.touch(*ln);
+    return;
+  }
+  // An allocating absorb is a write "miss" for occupancy bookkeeping, but
+  // NOT a decay-attributable one: absorbing allocates at zero latency and
+  // zero traffic either way, so a preceding decay drop cost nothing here.
+  // Bypassing note_miss leaves any attribution entry for this line to the
+  // next genuine fill miss (the event that actually pays a refetch).
+  b.level.stats().write_misses.inc();
+  LineT& slot = b.level.tags().pick_victim(line);
+  if (slot.valid) evict(bank, slot);
+
+  Payload p;
+  p.dirty = true;
+  p.decay.last_touch = eq_.now();
+  // Dirty is the L3 analogue of Modified: Selective Decay disarms it (its
+  // turn-off costs a memory write), full Decay arms everything.
+  b.level.arm_on_entry(p.decay, MesiState::kModified);
+  LineT& installed = b.level.tags().install(slot, line, std::move(p));
+  b.level.wheel_register(installed);
+  b.level.power_on();
+  b.level.clear_attribution(line);
+  b.level.fills().inc();
+  // No on_l3_install here: the verifier recorded the absorbed version at
+  // on_writeback_resolved(to_l3=true); an install event would wrongly
+  // overwrite it with the (stale) memory version.
+}
+
+void L3Cache::invalidate(std::uint32_t bank, Addr line) {
+  Bank& b = *banks_.at(bank);
+  if (LineT* ln = b.level.tags().find(line)) {
+    // A memory-updating owner flush just overwrote the channel copy: the
+    // bank's copy — even a dirty one — is older and must not serve again.
+    b.level.stats().coherence_invals.inc();
+    line_off(b, *ln);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decay at the last level
+// ---------------------------------------------------------------------------
+
+void L3Cache::decay_sweep(std::uint32_t bank, Cycle now) {
+  Bank& b = *banks_[bank];
+  b.level.for_each_expired(now, [&](LineT& ln, std::size_t /*line_index*/) {
+    // The home bank is the serialization point, so the Figure-2 transient
+    // choreography degenerates: no snooper can race this turn-off.
+    b.level.stats().decay_turnoffs.inc();
+    b.level.mark_decayed(ln.tag);
+    if (ln.payload.dirty) {
+      // Dirty turn-off: the absorbed write-back must reach memory.
+      b.level.stats().writebacks.inc();
+      push_to_memory(bank, ln.tag);
+    }
+    // Clean turn-off: silent drop — memory already holds the data.
+    line_off(b, ln);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated introspection
+// ---------------------------------------------------------------------------
+
+std::uint64_t L3Cache::accesses() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.stats().accesses();
+  return n;
+}
+
+std::uint64_t L3Cache::hits() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) {
+    n += b->level.stats().read_hits.value() +
+         b->level.stats().write_hits.value();
+  }
+  return n;
+}
+
+std::uint64_t L3Cache::misses() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.stats().misses();
+  return n;
+}
+
+std::uint64_t L3Cache::decay_turnoffs() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.stats().decay_turnoffs.value();
+  return n;
+}
+
+std::uint64_t L3Cache::decay_induced_misses() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) {
+    n += b->level.stats().decay_induced_misses.value();
+  }
+  return n;
+}
+
+std::uint64_t L3Cache::writebacks() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.stats().writebacks.value();
+  return n;
+}
+
+std::uint64_t L3Cache::evictions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.stats().evictions.value();
+  return n;
+}
+
+std::uint64_t L3Cache::fills() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.fills().value();
+  return n;
+}
+
+std::uint64_t L3Cache::lines_on() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.lines_on();
+  return n;
+}
+
+std::uint64_t L3Cache::capacity_lines() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b->level.capacity_lines();
+  return n;
+}
+
+double L3Cache::powered_line_cycles(Cycle now) const {
+  double s = 0.0;
+  for (const auto& b : banks_) s += b->level.powered_line_cycles(now);
+  return s;
+}
+
+double L3Cache::occupation(Cycle now) const {
+  if (now == 0) return 1.0;
+  return powered_line_cycles(now) /
+         (static_cast<double>(capacity_lines()) * static_cast<double>(now));
+}
+
+bool L3Cache::has_line(std::uint32_t bank, Addr line) const {
+  return banks_.at(bank)->level.tags().find(line) != nullptr;
+}
+
+bool L3Cache::line_dirty(std::uint32_t bank, Addr line) const {
+  const LineT* ln = banks_.at(bank)->level.tags().find(line);
+  return ln != nullptr && ln->payload.dirty;
+}
+
+}  // namespace cdsim::sim

@@ -27,31 +27,51 @@ struct MatrixCell {
   Cycle decay_time;
   noc::Topology topology = noc::Topology::kSnoopBus;
   std::uint32_t num_cores = 4;
+  sim::Hierarchy hierarchy = sim::Hierarchy::kTwoLevel;
 };
 
 constexpr Cycle kDecayTimes[3] = {1024, 2048, 4096};
 
-std::vector<MatrixCell> matrix_cells(bool dmesh_only) {
+std::vector<MatrixCell> matrix_cells(bool dmesh_only,
+                                     bool three_level_only) {
   std::vector<MatrixCell> cells;
-  const auto add_block = [&cells](coherence::Protocol protocol,
-                                  noc::Topology topo, std::uint32_t cores) {
-    cells.push_back({protocol, decay::Technique::kBaseline, 2048, topo,
-                     cores});
-    cells.push_back({protocol, decay::Technique::kProtocol, 2048, topo,
-                     cores});
-    for (const Cycle t : kDecayTimes) {
-      cells.push_back({protocol, decay::Technique::kDecay, t, topo, cores});
-    }
-    for (const Cycle t : kDecayTimes) {
-      cells.push_back(
-          {protocol, decay::Technique::kSelectiveDecay, t, topo, cores});
-    }
-  };
+  const auto add_block =
+      [&cells](coherence::Protocol protocol, noc::Topology topo,
+               std::uint32_t cores,
+               sim::Hierarchy h = sim::Hierarchy::kTwoLevel) {
+        cells.push_back({protocol, decay::Technique::kBaseline, 2048, topo,
+                         cores, h});
+        cells.push_back({protocol, decay::Technique::kProtocol, 2048, topo,
+                         cores, h});
+        for (const Cycle t : kDecayTimes) {
+          cells.push_back(
+              {protocol, decay::Technique::kDecay, t, topo, cores, h});
+        }
+        for (const Cycle t : kDecayTimes) {
+          cells.push_back({protocol, decay::Technique::kSelectiveDecay, t,
+                           topo, cores, h});
+        }
+      };
+  if (three_level_only) {
+    // The CI three-level smoke gate: shared-L3 cells only, both protocols,
+    // decay at all three levels.
+    add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16,
+              sim::Hierarchy::kThreeLevel);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
+              sim::Hierarchy::kThreeLevel);
+    return cells;
+  }
   if (!dmesh_only) {
     add_block(coherence::Protocol::kMesi, noc::Topology::kSnoopBus, 4);
     add_block(coherence::Protocol::kMoesi, noc::Topology::kSnoopBus, 4);
     add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16);
     add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8);
+    // Three-level hierarchy: private L2s behind the shared home-banked L3,
+    // with the cell's technique active at L1, L2, AND L3.
+    add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16,
+              sim::Hierarchy::kThreeLevel);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
+              sim::Hierarchy::kThreeLevel);
   } else {
     // The CI many-core smoke gate: 16-core mesh only, both protocols.
     add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16);
@@ -66,8 +86,13 @@ std::vector<MatrixCell> matrix_cells(bool dmesh_only) {
 std::string FuzzScenario::label() const {
   std::ostringstream os;
   os << "fuzz#" << index << "/" << coherence::to_string(protocol) << "/"
-     << noc::to_string(topology) << num_cores << "/" << decay.label()
-     << "/l2=" << total_l2_bytes / KiB << "K/seed=" << seed;
+     << noc::to_string(topology) << num_cores << "/"
+     << sim::to_string(hierarchy) << "/" << decay.label()
+     << "/l2=" << total_l2_bytes / KiB << "K";
+  if (hierarchy == sim::Hierarchy::kThreeLevel) {
+    os << "/l3=" << total_l3_bytes / KiB << "K";
+  }
+  os << "/seed=" << seed;
   if (inject_writeback_loss) os << "/INJECTED-WB-LOSS";
   return os.str();
 }
@@ -76,6 +101,7 @@ sim::SystemConfig FuzzScenario::system_config() const {
   sim::SystemConfig cfg;
   cfg.num_cores = num_cores;
   cfg.topology = topology;
+  cfg.hierarchy = hierarchy;
   cfg.total_l2_bytes = total_l2_bytes;
   cfg.protocol = protocol;
   cfg.decay = decay;
@@ -84,13 +110,24 @@ sim::SystemConfig FuzzScenario::system_config() const {
   // the line of fire instead of swallowing the whole footprint.
   cfg.l1.size_bytes = 8 * KiB;
   cfg.l2.test_lose_decay_writeback = inject_writeback_loss;
+  if (hierarchy == sim::Hierarchy::kThreeLevel) {
+    // Decay at EVERY level: the scenario's technique runs in the L1 front
+    // ends and the shared L3 banks too, so the oracle sees turn-off edges
+    // at all three levels interleaved.
+    cfg.total_l3_bytes = total_l3_bytes;
+    cfg.l1_decay = cfg.decay;
+    cfg.l3_decay = cfg.decay;
+    // Small banks so L3 evictions and decay churn within the run.
+    cfg.l3.ways = 8;
+  }
   cfg.instructions_per_core = instructions_per_core;
   cfg.seed = seed;
   return cfg;
 }
 
 std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
-  const std::vector<MatrixCell> cells = matrix_cells(opts.dmesh_only);
+  const std::vector<MatrixCell> cells =
+      matrix_cells(opts.dmesh_only, opts.three_level_only);
   std::vector<FuzzScenario> out;
   out.reserve(opts.scenarios);
   for (std::size_t i = 0; i < opts.scenarios; ++i) {
@@ -99,6 +136,7 @@ std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
     sc.index = i;
     sc.protocol = cell.protocol;
     sc.topology = cell.topology;
+    sc.hierarchy = cell.hierarchy;
     sc.decay = decay::DecayConfig{cell.technique, cell.decay_time, 4};
     sc.num_cores = cell.num_cores;
     // Alternate slice pressure between rounds of the matrix (32 KiB or
@@ -106,6 +144,11 @@ std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
     const std::uint64_t per_core =
         ((i / cells.size()) % 2 == 0) ? 32 * KiB : 64 * KiB;
     sc.total_l2_bytes = per_core * sc.num_cores;
+    if (cell.hierarchy == sim::Hierarchy::kThreeLevel) {
+      // A 4x-L2 shared L3: big enough to filter refetches, small enough
+      // that bank evictions and L3 decay churn within the run.
+      sc.total_l3_bytes = 4 * sc.total_l2_bytes;
+    }
     sc.instructions_per_core = opts.instructions_per_core;
     sc.seed = opts.base_seed + i;
     sc.fuzz.num_cores = sc.num_cores;

@@ -63,6 +63,7 @@ void DifferentialChecker::on_fill(CoreId core, Addr line, Cycle now,
   CDSIM_ASSERT(core < num_cores_);
   ++fills_checked_;
   Version v;
+  bool from_l3 = false;
   if (from_cache) {
     // The supplying owner's flush ran during this grant's address phase,
     // strictly before this install.
@@ -75,12 +76,17 @@ void DifferentialChecker::on_fill(CoreId core, Addr line, Cycle now,
     }
     flush_valid_ = false;
   } else {
-    v = mem_version(line);
+    // Memory-side fill: the shared L3 home bank is looked up before the
+    // channel — the shadow mirrors the fabric's lookup order exactly.
+    const auto l3 = l3_.find(line);
+    from_l3 = l3 != l3_.end();
+    v = from_l3 ? l3->second : mem_version(line);
   }
   const Version expected = oracle_version(line);
   if (v != expected) {
     diverge(core, line, now, v, expected,
             from_cache ? (for_write ? "fill-c2c-write" : "fill-c2c")
+            : from_l3  ? (for_write ? "fill-l3-write" : "fill-l3")
                        : (for_write ? "fill-mem-write" : "fill-mem"));
   }
   copy_[core][line] = v;
@@ -127,7 +133,8 @@ void DifferentialChecker::on_writeback_initiated(CoreId core, Addr line,
 }
 
 void DifferentialChecker::on_writeback_resolved(CoreId core, Addr line,
-                                                Cycle now, bool cancelled) {
+                                                Cycle now, bool cancelled,
+                                                bool to_l3) {
   CDSIM_ASSERT(core < num_cores_);
   const auto it = pending_wb_.find({core, line});
   if (it == pending_wb_.end() || it->second.empty()) {
@@ -140,14 +147,40 @@ void DifferentialChecker::on_writeback_resolved(CoreId core, Addr line,
   if (it->second.empty()) pending_wb_.erase(it);
   // A cancelled write-back means the data already reached memory through a
   // snoop flush; applying it would be wrong only if versions moved on, and
-  // dropping it mirrors exactly what the bus did.
-  if (!cancelled) mem_[line] = v;
+  // dropping it mirrors exactly what the bus did. An accepted one lands in
+  // the shared L3 home bank (three-level) or memory (two-level).
+  if (cancelled) return;
+  if (to_l3) {
+    l3_[line] = v;
+  } else {
+    mem_[line] = v;
+  }
 }
 
 void DifferentialChecker::on_invalidate(CoreId core, Addr line,
                                         Cycle /*now*/) {
   CDSIM_ASSERT(core < num_cores_);
   copy_[core].erase(line);
+}
+
+void DifferentialChecker::on_l3_install(Addr line, Cycle /*now*/) {
+  // Clean copy of what the channel just delivered.
+  l3_[line] = mem_version(line);
+}
+
+void DifferentialChecker::on_l3_writeback(Addr line, Cycle now) {
+  const auto it = l3_.find(line);
+  if (it == l3_.end()) {
+    // The bank claims to push dirty data it never held.
+    diverge(kNoCore, line, now, /*observed=*/0, mem_version(line),
+            "l3-writeback-untracked");
+    return;
+  }
+  mem_[line] = it->second;
+}
+
+void DifferentialChecker::on_l3_invalidate(Addr line, Cycle /*now*/) {
+  l3_.erase(line);
 }
 
 }  // namespace cdsim::verify

@@ -77,6 +77,43 @@ TEST(ConfigValidation, WrongPerCoreInstructionLengthThrows) {
   expect_invalid(cfg, "per_core_instructions");
 }
 
+TEST(ConfigValidation, ThreeLevelRequiresDirectoryMesh) {
+  SystemConfig cfg = base();
+  cfg.hierarchy = Hierarchy::kThreeLevel;
+  cfg.topology = noc::Topology::kSnoopBus;
+  expect_invalid(cfg, "directory-mesh");
+  cfg.topology = noc::Topology::kDirectoryMesh;
+  EXPECT_NO_THROW(validate_system_config(cfg));
+}
+
+TEST(ConfigValidation, ThreeLevelL3MustSplitIntoBanks) {
+  SystemConfig cfg = base();
+  cfg.hierarchy = Hierarchy::kThreeLevel;
+  cfg.topology = noc::Topology::kDirectoryMesh;
+  cfg.total_l3_bytes = 0;
+  expect_invalid(cfg, "total_l3_bytes");
+  cfg.total_l3_bytes = MiB + 1;  // does not split 4 ways cleanly...
+  expect_invalid(cfg, "total_l3_bytes");
+  cfg.total_l3_bytes = 3 * MiB;  // ...per-bank 768 KiB not a power of 2
+  expect_invalid(cfg, "power of two");
+  cfg.total_l3_bytes = 2 * KiB;  // per-bank 512 B < one 16-way 64 B set
+  expect_invalid(cfg, "smaller than one set");
+}
+
+TEST(ConfigValidation, PerLevelDecayNeedsNonzeroWindow) {
+  SystemConfig cfg = base();
+  cfg.l1_decay = decay::DecayConfig{decay::Technique::kDecay, 0, 4};
+  expect_invalid(cfg, "L1");
+  cfg = base();
+  cfg.hierarchy = Hierarchy::kThreeLevel;
+  cfg.topology = noc::Topology::kDirectoryMesh;
+  cfg.l3_decay = decay::DecayConfig{decay::Technique::kSelectiveDecay, 0, 4};
+  expect_invalid(cfg, "L3");
+  // Baseline/protocol configs never sweep, so a zero window is benign.
+  cfg.l3_decay = decay::DecayConfig{decay::Technique::kProtocol, 0, 4};
+  EXPECT_NO_THROW(validate_system_config(cfg));
+}
+
 TEST(ConfigValidation, CmpSystemConstructorEnforcesIt) {
   SystemConfig cfg = base();
   cfg.num_cores = 0;

@@ -178,6 +178,81 @@ TEST_F(ExperimentCacheTest, StaleVersionEntriesAreNeitherLoadedNorKept) {
   EXPECT_EQ(v1_lines, 0u);
 }
 
+TEST_F(ExperimentCacheTest, V3EntriesLoadThroughTheShimAndAreRekeyed) {
+  // Build a genuine v4 cache entry, then rewrite it in the v3 line format
+  // (v3 key suffix, 10-component ledger, no per-level tail). The runner
+  // must serve it through the loader shim — no re-simulation — with the
+  // per-level L2 block recovered from the aggregate fields, and persist it
+  // back re-keyed to v4.
+  const std::string path = cache_path("v3shim");
+  sim::RunMetrics reference;
+  {
+    sim::ExperimentRunner writer(kInstr, path);
+    reference = writer.run(bench(), 1 * MiB, protocol());
+  }
+
+  std::string key, payload;
+  {
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const auto bar = line.find('|');
+    ASSERT_NE(bar, std::string::npos);
+    key = line.substr(0, bar);
+    payload = line.substr(bar + 1);
+  }
+  ASSERT_NE(key.find("/v4"), std::string::npos);
+
+  // v4 payload: 17 prefix + kNumComponents ledger + 6 interconnect +
+  // per-level tail tokens; v3 was 17 + 10 + 6 (components are
+  // append-only, so the first 10 ledger values are the v3 ledger).
+  std::vector<std::string> tok;
+  {
+    std::istringstream is(payload);
+    std::string t;
+    while (is >> t) tok.push_back(t);
+  }
+  const std::size_t ic = 17 + power::kNumComponents;  // interconnect start
+  ASSERT_GE(tok.size(), ic + 6u);
+  std::ostringstream v3;
+  for (std::size_t i = 0; i < 17; ++i) v3 << (i ? " " : "") << tok[i];
+  for (std::size_t i = 17; i < 27; ++i) v3 << ' ' << tok[i];
+  for (std::size_t i = ic; i < ic + 6; ++i) v3 << ' ' << tok[i];
+  {
+    std::ofstream out(path, std::ios::trunc);
+    std::string v3key = key;
+    v3key.replace(v3key.find("/v4"), 3, "/v3");
+    out << v3key << '|' << v3.str() << '\n';
+  }
+
+  sim::ExperimentRunner reader(kInstr, path);
+  const sim::SweepStats sweep =
+      reader.run_grid({bench()}, {1 * MiB}, {});  // the baseline cell
+  EXPECT_EQ(sweep.simulated, 1u);  // only the baseline; protocol() shimmed
+  const sim::RunMetrics& shimmed = reader.run(bench(), 1 * MiB, protocol());
+  EXPECT_EQ(shimmed.cycles, reference.cycles);
+  EXPECT_EQ(shimmed.energy, reference.energy);
+  // The per-level L2 block is recovered exactly from the aggregates...
+  EXPECT_EQ(shimmed.l2.accesses, reference.l2_accesses);
+  EXPECT_EQ(shimmed.l2.misses, reference.l2_misses);
+  EXPECT_EQ(shimmed.l2.writebacks, reference.l2_writebacks);
+  // ...while L1/L3 have no v3 record and default to zero.
+  EXPECT_EQ(shimmed.l1.accesses, 0u);
+  EXPECT_EQ(shimmed.l3.accesses, 0u);
+  EXPECT_EQ(shimmed.hierarchy, "2L");
+
+  // The rewritten file carries only current-version keys.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t v3_lines = 0, v4_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.find("/v3|") != std::string::npos) ++v3_lines;
+    if (line.find("/v4|") != std::string::npos) ++v4_lines;
+  }
+  EXPECT_EQ(v3_lines, 0u);
+  EXPECT_GE(v4_lines, 2u);  // the shimmed entry + the fresh baseline
+}
+
 TEST_F(ExperimentCacheTest, PersistLeavesNoTempFilesAndParsableLines) {
   const std::string path = cache_path("atomic");
   sim::ExperimentRunner runner(kInstr, path);

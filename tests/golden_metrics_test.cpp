@@ -203,6 +203,83 @@ TEST(GoldenMetricsTest, TraceReplayCdtPathIsPinned) {
   EXPECT_EQ(m.energy, 0x1.152adee424fddp+18);
 }
 
+// The three-level hierarchy, pinned the same way: an 8-core directory
+// mesh with private L2 slices behind the shared home-banked L3, MOESI,
+// and decay active at EVERY level (L1 64K / L2 64K / L3 128K windows).
+// Captured with the one-off "%a" harness when the hierarchy was
+// introduced; any drift means the three-level machine's simulated
+// behavior changed.
+TEST(GoldenMetricsTest, ThreeLevelConfigIsPinned) {
+  sim::SystemConfig cfg;
+  cfg.num_cores = 8;
+  cfg.topology = noc::Topology::kDirectoryMesh;
+  cfg.hierarchy = sim::Hierarchy::kThreeLevel;
+  cfg.total_l2_bytes = 2 * MiB;
+  cfg.total_l3_bytes = 8 * MiB;
+  cfg.protocol = coherence::Protocol::kMoesi;
+  cfg.decay = decay::DecayConfig{decay::Technique::kDecay, 64 * 1024, 4};
+  cfg.l1_decay = decay::DecayConfig{decay::Technique::kDecay, 64 * 1024, 4};
+  cfg.l3_decay = decay::DecayConfig{decay::Technique::kDecay, 128 * 1024, 4};
+  cfg.instructions_per_core = 100000;
+  const sim::RunMetrics m =
+      sim::run_config(cfg, workload::benchmark_by_name("FMM"));
+
+  EXPECT_EQ(m.cycles, 243368u);
+  EXPECT_EQ(m.instructions, 800000u);
+  EXPECT_EQ(m.ipc, 0x1.a4c310b449c05p+1);
+  EXPECT_EQ(m.l2_occupation, 0x1.40a200a3ba162p-3);
+  EXPECT_EQ(m.l2_miss_rate, 0x1.29f3cd1fc15f1p-2);
+  EXPECT_EQ(m.l2_accesses, 103334u);
+  EXPECT_EQ(m.l2_misses, 30067u);
+  EXPECT_EQ(m.l2_decay_turnoffs, 9004u);
+  EXPECT_EQ(m.l2_decay_induced_misses, 1310u);
+  EXPECT_EQ(m.l2_coherence_invals, 2903u);
+  EXPECT_EQ(m.l2_writebacks, 5792u);
+  EXPECT_EQ(m.amat, 0x1.a65fa165cfe6dp+4);
+  EXPECT_EQ(m.mem_bandwidth, 0x1.7ba0d7292cff1p+1);
+  EXPECT_EQ(m.mem_bytes, 721792u);
+  EXPECT_EQ(m.energy, 0x1.4365e02f79726p+20);
+  EXPECT_EQ(m.avg_l2_temp_kelvin, 0x1.49a1534742d7ap+8);
+  EXPECT_EQ(m.bus_utilization, 0x1.93add566ed426p-3);
+  EXPECT_EQ(m.noc_flit_hops, 301983u);
+  EXPECT_EQ(m.noc_avg_packet_latency, 0x1.b937deb1c228dp+5);
+  EXPECT_EQ(m.dir_directed_snoops, 19007u);
+  EXPECT_EQ(m.dir_recalls, 41u);   // MOESI O turn-offs as directed recalls
+  EXPECT_EQ(m.dir_deferrals, 0u);
+
+  // Per-level attribution: decay fired at all three levels, and the L3
+  // banks really served fills.
+  EXPECT_EQ(m.hierarchy, "3L");
+  EXPECT_EQ(m.l1.accesses, 280457u);
+  EXPECT_EQ(m.l1.hits, 224194u);
+  EXPECT_EQ(m.l1.misses, 56263u);
+  EXPECT_EQ(m.l1.decay_turnoffs, 193u);
+  EXPECT_EQ(m.l1.decay_induced_misses, 11u);
+  EXPECT_EQ(m.l1.writebacks, 0u);  // write-through front end
+  EXPECT_EQ(m.l1.occupation, 0x1.b154c3df8465ap-1);
+  EXPECT_EQ(m.l2.accesses, m.l2_accesses);
+  EXPECT_EQ(m.l2.hits, 73267u);
+  EXPECT_EQ(m.l2.decay_turnoffs, m.l2_decay_turnoffs);
+  EXPECT_EQ(m.l3.accesses, 19194u);
+  EXPECT_EQ(m.l3.hits, 8671u);
+  EXPECT_EQ(m.l3.misses, 10523u);
+  EXPECT_EQ(m.l3.decay_turnoffs, 1579u);
+  EXPECT_EQ(m.l3.decay_induced_misses, 55u);
+  EXPECT_EQ(m.l3.writebacks, 179u);
+  EXPECT_EQ(m.l3.occupation, 0x1.52bace6d02d1bp-5);
+
+  const double ledger[power::kNumComponents] = {
+      0x1.388p+18,           0x1.853667d9c7d99p+19, 0x1.06edae147ae15p+13,
+      0x1.2dd4ceae7fe96p+16, 0x1.018051eb851eep+14, 0x1.3a3c88fec9c49p+15,
+      0x1.830c9390987aep+12, 0x0p+0,                0x1.f38d69cffa017p+12,
+      0x1.d7d9333333334p+13, 0x1.d612666666666p+12, 0x1.06a53f665d516p+14,
+      0x1.5bcd0b935abacp+13, 0x1.9108cf2a4c66cp+8};
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    const auto c = static_cast<power::Component>(i);
+    EXPECT_EQ(m.ledger.get(c), ledger[i]) << to_string(c);
+  }
+}
+
 // The kernel must also be self-deterministic: two runs of the same config
 // in one process give identical results (guards accidental global state).
 TEST(GoldenMetricsTest, RepeatRunsAreIdentical) {

@@ -151,22 +151,25 @@ TEST(DifferentialChecker, HitOnUntrackedCopyDiverges) {
 // The fuzz matrix
 // ---------------------------------------------------------------------------
 
-TEST(FuzzMatrix, SpansProtocolsTechniquesDecayTimesAndTopologies) {
+TEST(FuzzMatrix, SpansProtocolsTechniquesTopologiesAndHierarchies) {
   verify::FuzzOptions opts;
-  opts.scenarios = 208;
+  opts.scenarios = 240;
   const auto matrix = verify::fuzz_matrix(opts);
-  ASSERT_EQ(matrix.size(), 208u);
+  ASSERT_EQ(matrix.size(), 240u);
 
   int protocols[2] = {};
   int techniques[4] = {};
   int topologies[2] = {};
+  int hierarchies[2] = {};
   std::set<std::uint32_t> mesh_core_counts;
+  std::set<std::uint32_t> three_level_core_counts;
   std::set<Cycle> decay_times;
   std::set<std::uint64_t> seeds;
   for (const auto& sc : matrix) {
     protocols[static_cast<int>(sc.protocol)]++;
     techniques[static_cast<int>(sc.decay.technique)]++;
     topologies[static_cast<int>(sc.topology)]++;
+    hierarchies[static_cast<int>(sc.hierarchy)]++;
     if (decay::uses_decay(sc.decay.technique)) {
       decay_times.insert(sc.decay.decay_time);
     }
@@ -176,29 +179,45 @@ TEST(FuzzMatrix, SpansProtocolsTechniquesDecayTimesAndTopologies) {
       EXPECT_GT(sc.fuzz.w_hot_home, 0.0);
       EXPECT_EQ(sc.fuzz.home_tiles, sc.num_cores);
     }
+    if (sc.hierarchy == sim::Hierarchy::kThreeLevel) {
+      // Three-level cells are mesh-only with a real L3 behind the L2s.
+      EXPECT_EQ(sc.topology, noc::Topology::kDirectoryMesh);
+      EXPECT_GT(sc.total_l3_bytes, sc.total_l2_bytes);
+      three_level_core_counts.insert(sc.num_cores);
+    } else {
+      EXPECT_EQ(sc.total_l3_bytes, 0u);
+    }
     seeds.insert(sc.seed);
   }
   EXPECT_GT(protocols[0], 50);  // MESI
   EXPECT_GT(protocols[1], 50);  // MOESI
   EXPECT_GT(topologies[0], 50);  // snoop bus
   EXPECT_GT(topologies[1], 50);  // directory mesh
-  // Mesh cells cover a square 4x4 and an asymmetric 4x2 grid.
+  // The hierarchy axis: {two-level bus, two-level dmesh, three-level
+  // dmesh} all present in force.
+  EXPECT_GT(hierarchies[0], 100);  // two-level (bus + dmesh)
+  EXPECT_GT(hierarchies[1], 50);   // three-level dmesh
+  // Mesh cells cover a square 4x4 and an asymmetric 4x2 grid, in both
+  // hierarchies.
   EXPECT_TRUE(mesh_core_counts.count(16));
   EXPECT_TRUE(mesh_core_counts.count(8));
+  EXPECT_TRUE(three_level_core_counts.count(16));
+  EXPECT_TRUE(three_level_core_counts.count(8));
   for (int t = 0; t < 4; ++t) EXPECT_GT(techniques[t], 0) << "technique " << t;
   EXPECT_GE(decay_times.size(), 3u);
   EXPECT_EQ(seeds.size(), matrix.size());  // every scenario a fresh seed
 }
 
 // The acceptance criterion: >= 200 seeded hostile scenarios, both
-// protocols, all techniques, zero value divergences.
+// protocols, all techniques, every hierarchy cell ({two-level bus,
+// two-level dmesh, three-level dmesh}), zero value divergences.
 TEST(FuzzAcceptance, TwoHundredScenariosZeroDivergences) {
   verify::FuzzOptions opts;
-  opts.scenarios = 208;
+  opts.scenarios = 240;  // 5 full passes over the 48-cell matrix
   opts.shrink_failures = false;  // a failure here fails the test anyway
   const verify::FuzzReport rep = verify::run_fuzz(opts);
 
-  EXPECT_EQ(rep.scenarios_run, 208u);
+  EXPECT_EQ(rep.scenarios_run, 240u);
   EXPECT_EQ(rep.divergences, 0u) << "first failure: "
                                  << (rep.failures.empty()
                                          ? std::string("<none recorded>")
@@ -222,6 +241,34 @@ TEST(FuzzScenarios, MoesiScenarioExercisesOwnedState) {
   EXPECT_GT(out.owned_downgrades, 0u);
   // Dirty decay turn-offs occurred (write-backs under full decay).
   EXPECT_GT(out.metrics.l2_decay_turnoffs, 0u);
+}
+
+TEST(FuzzScenarios, ThreeLevelScenarioDecaysAtEveryLevel) {
+  verify::FuzzScenario sc;
+  sc.protocol = coherence::Protocol::kMoesi;
+  sc.topology = noc::Topology::kDirectoryMesh;
+  sc.hierarchy = sim::Hierarchy::kThreeLevel;
+  sc.num_cores = 8;
+  sc.total_l2_bytes = 8 * 32 * KiB;
+  sc.total_l3_bytes = 4 * sc.total_l2_bytes;
+  sc.decay = decay::DecayConfig{decay::Technique::kDecay, 2048, 4};
+  sc.seed = 31337;
+  sc.fuzz.num_cores = 8;
+  sc.fuzz.decay_window = 2048;
+  sc.fuzz.w_hot_home = 0.18;
+  sc.fuzz.home_tiles = 8;
+  const verify::ScenarioOutcome out = verify::run_scenario(sc);
+  EXPECT_EQ(out.total_divergences, 0u)
+      << verify::to_string(out.divergences.front());
+  // Decay really ran at all three levels, and the shared L3 really served
+  // fills (write-versions threaded through every level).
+  EXPECT_EQ(out.metrics.hierarchy, "3L");
+  EXPECT_GT(out.metrics.l1.decay_turnoffs, 0u);
+  EXPECT_GT(out.metrics.l2.decay_turnoffs, 0u);
+  EXPECT_GT(out.metrics.l3.decay_turnoffs, 0u);
+  EXPECT_GT(out.metrics.l3.hits, 0u);
+  EXPECT_GT(out.metrics.l3.accesses, out.metrics.l3.hits);
+  EXPECT_GT(out.owned_downgrades, 0u);  // MOESI's O state in the mix too
 }
 
 TEST(FuzzScenarios, MesiScenarioIsMoesiFreeAndDeterministic) {
@@ -274,6 +321,37 @@ TEST(InjectedBug, LostDecayWritebackIsCaughtAndShrunk) {
   verify::FuzzScenario fixed = sc;
   fixed.inject_writeback_loss = false;
   const verify::ScenarioOutcome clean = verify::replay_scenario(fixed, shrunk);
+  EXPECT_EQ(clean.total_divergences, 0u);
+}
+
+TEST(InjectedBug, LostWritebackIsCaughtThroughThreeLevels) {
+  // The same wrong-data fault, but under the three-level hierarchy: the
+  // dropped dirty turn-off means the shared L3 (and memory behind it)
+  // keeps a stale version, and the refetch — served by the L3 bank — must
+  // diverge. This is the proof that the oracle threads write-versions
+  // through all three levels, not just past the L2.
+  verify::FuzzScenario sc;
+  sc.protocol = coherence::Protocol::kMesi;
+  sc.topology = noc::Topology::kDirectoryMesh;
+  sc.hierarchy = sim::Hierarchy::kThreeLevel;
+  sc.num_cores = 8;
+  sc.total_l2_bytes = 8 * 32 * KiB;
+  sc.total_l3_bytes = 4 * sc.total_l2_bytes;
+  sc.decay = decay::DecayConfig{decay::Technique::kDecay, 1024, 4};
+  sc.seed = 777;
+  sc.fuzz.num_cores = 8;
+  sc.fuzz.decay_window = 1024;
+  sc.inject_writeback_loss = true;
+
+  const verify::ScenarioOutcome out = verify::run_scenario(sc);
+  EXPECT_GT(out.total_divergences, 0u);
+
+  // With the fault off, the identical trace replays cleanly through all
+  // three levels.
+  verify::FuzzScenario fixed = sc;
+  fixed.inject_writeback_loss = false;
+  const verify::ScenarioOutcome clean =
+      verify::replay_scenario(fixed, out.trace);
   EXPECT_EQ(clean.total_divergences, 0u);
 }
 
