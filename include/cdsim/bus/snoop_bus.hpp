@@ -122,9 +122,9 @@ class SnoopBus final : public noc::Interconnect {
  private:
   struct Pending {
     coherence::BusTxKind kind;
-    Addr line_addr;
-    CoreId requester;
-    std::uint32_t bytes;
+    Addr line_addr = 0;
+    CoreId requester = 0;
+    std::uint32_t bytes = 0;
     RequestHooks hooks;
   };
 

@@ -55,9 +55,9 @@ class Geometry {
   [[nodiscard]] Addr tag(Addr a) const noexcept { return line_addr(a); }
 
  private:
-  std::uint64_t size_;
-  std::uint32_t line_;
-  std::uint32_t ways_;
+  std::uint64_t size_ = 0;
+  std::uint32_t line_ = 0;
+  std::uint32_t ways_ = 0;
   unsigned line_shift_ = 0;
   std::uint64_t sets_ = 0;
   std::uint64_t set_mask_ = 0;

@@ -31,9 +31,11 @@
 // included), so a two-level system rebuilt on this engine is bit-identical
 // to the hand-wired one — the golden-metrics pins prove it.
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -80,6 +82,28 @@ struct LevelTiming {
   Cycle retry_interval = 4;
 };
 
+// LevelPolicy is read by designated-initializer configs all over the tree
+// and snapshotted by value into every CacheLevel; keep it an aggregate of
+// trivially-copyable flags so a policy can never grow behavior of its own
+// (the engine must stay policy-descriptive, never policy-dispatched).
+static_assert(std::is_aggregate_v<LevelPolicy>,
+              "LevelPolicy must stay an aggregate: controllers build it "
+              "with designated initializers");
+static_assert(std::is_trivially_copyable_v<LevelPolicy>,
+              "LevelPolicy must stay trivially copyable: CacheLevel "
+              "snapshots it by value in its constructor");
+
+/// Compile-time contract for CacheLevel's Payload parameter. The engine
+/// owns decay bookkeeping (arming, wheel registration, expiry) uniformly
+/// for every level, which requires an embedded `decay::LineDecayState
+/// decay;` member it can reach by name; payloads are also value types the
+/// tag array default-constructs per line.
+template <typename P>
+concept LevelPayload = std::default_initializable<P> &&
+                       std::copy_constructible<P> && requires(P p) {
+                         { p.decay } -> std::same_as<decay::LineDecayState&>;
+                       };
+
 /// The level-agnostic engine. One instance per physical cache structure
 /// (per-core L1, per-core L2 slice, per-tile L3 bank).
 template <typename Payload>
@@ -97,6 +121,15 @@ class CacheLevel {
         tags_(geo),
         mshr_(timing.mshr_entries),
         sweeper_(eq, dcfg, std::move(sweep_fn)) {
+    // Checked here, not at class scope: controllers nest their Payload
+    // inside themselves, and a nested struct's default member initializers
+    // are only usable once the enclosing class is complete — at class
+    // scope the concept would spuriously fail for every controller.
+    static_assert(LevelPayload<Payload>,
+                  "CacheLevel<Payload>: Payload must be "
+                  "default-constructible, copyable, and embed a "
+                  "`decay::LineDecayState decay;` member — the decay engine "
+                  "reaches line state through that field");
     CDSIM_ASSERT(timing_.hit_latency >= 1);
     if (policy_.write_buffer_entries > 0) {
       wb_.emplace(policy_.write_buffer_entries);

@@ -93,7 +93,7 @@ class MshrFile {
   [[nodiscard]] std::uint64_t total_merges() const noexcept { return merges_; }
 
  private:
-  std::uint32_t capacity_;
+  std::uint32_t capacity_ = 0;
   std::unordered_map<Addr, MshrEntry> entries_;
   std::uint64_t allocations_ = 0;
   std::uint64_t merges_ = 0;

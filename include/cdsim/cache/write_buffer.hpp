@@ -97,13 +97,13 @@ class WriteBuffer {
 
  private:
   struct Slot {
-    Addr line_addr;
-    Cycle enqueued_at;
-    std::uint32_t coalesced;  ///< Extra stores folded into this slot.
-    bool draining;            ///< Write is on its way to the L2.
+    Addr line_addr = 0;
+    Cycle enqueued_at = 0;
+    std::uint32_t coalesced = 0;  ///< Extra stores folded into this slot.
+    bool draining = false;            ///< Write is on its way to the L2.
   };
 
-  std::uint32_t capacity_;
+  std::uint32_t capacity_ = 0;
   std::deque<Slot> fifo_;
   std::uint64_t pushes_ = 0;
   std::uint64_t coalesced_total_ = 0;

@@ -178,7 +178,7 @@ class Directory {
   [[nodiscard]] const DirectoryStats& stats() const noexcept { return stats_; }
 
  private:
-  std::uint32_t num_cores_;
+  std::uint32_t num_cores_ = 0;
   std::unordered_map<Addr, DirectoryEntry> map_;
   DirectoryStats stats_;
 };

@@ -26,7 +26,7 @@ class SplitMix64 {
   }
 
  private:
-  std::uint64_t state_;
+  std::uint64_t state_ = 0;
 };
 
 /// xoshiro256** 1.0 (Blackman & Vigna). All-purpose 64-bit generator.
@@ -81,7 +81,7 @@ class Xoshiro256 {
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
-  std::uint64_t s_[4];
+  std::uint64_t s_[4] = {};
 };
 
 }  // namespace cdsim

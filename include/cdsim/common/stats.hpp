@@ -69,7 +69,7 @@ class TimeWeightedValue {
   }
 
  private:
-  double value_;
+  double value_ = 0.0;
   double integral_ = 0.0;
   Cycle last_change_ = 0;
 };
@@ -141,7 +141,7 @@ class Histogram {
   }
 
  private:
-  std::uint64_t width_;
+  std::uint64_t width_ = 0;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t n_ = 0;
   std::uint64_t sum_ = 0;

@@ -116,8 +116,8 @@ class CoreModel {
 
  private:
   struct OutstandingLoad {
-    std::uint64_t instr_no;  ///< Position in program order.
-    Cycle issued_at;
+    std::uint64_t instr_no = 0;  ///< Position in program order.
+    Cycle issued_at = 0;
     bool completed = false;
   };
 
@@ -132,10 +132,10 @@ class CoreModel {
 
   EventQueue& eq_;
   CoreConfig cfg_;
-  CoreId id_;
+  CoreId id_ = 0;
   workload::WorkloadStream& stream_;
   LoadStorePort& port_;
-  std::uint64_t budget_;
+  std::uint64_t budget_ = 0;
 
   std::uint64_t committed_ = 0;
   bool have_op_ = false;

@@ -34,10 +34,12 @@
 // many paths would expose it, so the home closes it — the standard
 // late-write-back handling of directory protocols.
 
+#include <concepts>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -97,6 +99,17 @@ class MemorySideCache {
   /// Drop the bank's copy (memory-updating flush made it stale).
   virtual void invalidate(std::uint32_t bank, Addr line) = 0;
 };
+
+/// Compile-time shape check for MemorySideCache implementations. Derivation
+/// alone is not enough: adding a pure virtual to the interface would leave
+/// a bank abstract, and the error would only surface at the distant
+/// make_unique call in cmp_system. A `static_assert(MemorySideCacheImpl<
+/// MyBank>)` next to the implementation turns that into a one-line error at
+/// the class itself (sim/l3_cache.hpp does exactly this).
+template <typename T>
+concept MemorySideCacheImpl =
+    std::derived_from<T, MemorySideCache> && !std::is_abstract_v<T> &&
+    std::destructible<T>;
 
 /// The directory-mesh fabric. CoreId c lives on tile c.
 class DirectoryMesh final : public Interconnect {
@@ -172,9 +185,9 @@ class DirectoryMesh final : public Interconnect {
  private:
   struct Tx {
     coherence::BusTxKind kind;
-    Addr line;
-    CoreId requester;
-    std::uint32_t bytes;
+    Addr line = 0;
+    CoreId requester = 0;
+    std::uint32_t bytes = 0;
     RequestHooks hooks;
   };
   using TxPtr = std::unique_ptr<Tx>;

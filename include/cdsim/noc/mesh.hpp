@@ -176,7 +176,7 @@ class MeshNoc {
 
   EventQueue& eq_;
   NocConfig cfg_;
-  std::uint32_t width_, height_;
+  std::uint32_t width_ = 0, height_ = 0;
   std::vector<Link> links_;  ///< tile * kDirs + dir (unused edges inert).
   std::deque<Packet> slots_;
   std::vector<std::uint32_t> free_slots_;

@@ -163,7 +163,7 @@ class ExperimentRunner {
   /// once at the end regardless), bounding loss on an interrupted sweep.
   static constexpr std::size_t kPersistEvery = 16;
 
-  std::uint64_t instructions_;
+  std::uint64_t instructions_ = 0;
   std::string cache_path_;
   std::mutex mu_;  ///< Guards cache_, dirty_, unsaved_, and persistence.
   std::map<std::string, RunMetrics> cache_;

@@ -146,7 +146,7 @@ class L1Cache final : public core::LoadStorePort {
 
   EventQueue& eq_;
   L1Config cfg_;
-  CoreId core_;
+  CoreId core_ = 0;
   L2Cache* l2_ = nullptr;
   verify::AccessObserver* obs_ = nullptr;
 

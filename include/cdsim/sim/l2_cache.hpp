@@ -207,9 +207,9 @@ class L2Cache final : public noc::Snooper {
 
   EventQueue& eq_;
   L2Config cfg_;
-  CoreId core_;
+  CoreId core_ = 0;
   noc::Interconnect& ic_;
-  L1Cache* upper_;
+  L1Cache* upper_ = nullptr;
   verify::AccessObserver* obs_ = nullptr;
 
   /// The level-agnostic engine: tags, MSHRs, decay machinery, stats.

@@ -138,4 +138,10 @@ class L3Cache final : public noc::MemorySideCache {
   std::vector<std::unique_ptr<Bank>> banks_;
 };
 
+// Fail here, at the implementation, if the fabric interface grows a member
+// L3Cache does not override — not at the make_unique in cmp_system.
+static_assert(noc::MemorySideCacheImpl<L3Cache>,
+              "L3Cache must implement every noc::MemorySideCache virtual "
+              "(is the class abstract after an interface change?)");
+
 }  // namespace cdsim::sim

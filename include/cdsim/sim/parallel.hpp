@@ -9,6 +9,25 @@
 // per-cell Xoshiro256 seeding, no shared mutable simulation state — so a
 // parallel sweep is bit-identical to running the same configurations
 // serially (tests/parallel_runner_test.cpp proves it).
+//
+// Happens-before map (the synchronization contract TSan certifies via
+// tests/tsan_grid_test.cpp; every edge below is a mutex release/acquire or
+// thread join — no lock-free tricks anywhere in the engine):
+//
+//   submit()           releases mu_ after pushing   -> worker_loop() acquires
+//                      mu_ to pop: the task body happens-after everything
+//                      the submitter wrote before submit().
+//   worker_loop()      releases mu_ after --in_flight_ (post-task)
+//                      -> wait_idle() acquires mu_ and observes
+//                      in_flight_ == 0: everything every task wrote
+//                      happens-before wait_idle() returning. This is the
+//                      edge that lets run_grid read its slot-indexed
+//                      results vector unguarded after the barrier.
+//   ~ThreadPool()      joins the workers: all task effects happen-before
+//                      pool destruction completing.
+//
+// Task exceptions ride the same edges: first_error_ is written under mu_ in
+// worker_loop and consumed under mu_ in wait_idle.
 
 #include <condition_variable>
 #include <cstddef>

@@ -27,8 +27,8 @@ namespace cdsim::thermal {
 
 struct BlockParams {
   std::string name;
-  double r_to_ambient;  ///< K/W vertical resistance (spreader+sink).
-  double heat_capacity; ///< J/K lumped capacitance.
+  double r_to_ambient = 0.0;  ///< K/W vertical resistance (spreader+sink).
+  double heat_capacity = 0.0; ///< J/K lumped capacitance.
 };
 
 struct ThermalConfig {
@@ -120,7 +120,7 @@ struct Floorplan {
   std::size_t core_block(CoreId c) const { return c; }
   std::size_t l2_block(CoreId c) const { return num_cores + c; }
   std::size_t bus_block() const { return 2 * num_cores; }
-  std::size_t num_cores;
+  std::size_t num_cores = 0;
 };
 
 Floorplan make_cmp_floorplan(const ThermalConfig& cfg, std::size_t num_cores,

@@ -102,8 +102,8 @@ class DifferentialChecker final : public AccessObserver {
   [[nodiscard]] Version mem_version(Addr line) const;
   [[nodiscard]] Version oracle_version(Addr line) const;
 
-  std::uint32_t num_cores_;
-  std::size_t max_recorded_;
+  std::uint32_t num_cores_ = 0;
+  std::size_t max_recorded_ = 0;
   Version next_version_ = 0;
 
   /// Flat reference model: last bus-serialized write per line.

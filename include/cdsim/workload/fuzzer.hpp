@@ -113,7 +113,7 @@ class FuzzerWorkload final : public WorkloadStream {
   void burst_hot_home();
 
   FuzzerConfig cfg_;
-  CoreId core_;
+  CoreId core_ = 0;
   Xoshiro256 rng_;
   std::deque<MemOp> queue_;
   std::uint64_t pingpong_step_ = 0;

@@ -158,7 +158,7 @@ class SyntheticWorkload final : public WorkloadStream {
   void start_stream2_burst(Cycle now);
 
   SyntheticConfig cfg_;
-  CoreId core_;
+  CoreId core_ = 0;
   Xoshiro256 rng_;
 
   // Current burst: consecutive ops to one line.

@@ -87,8 +87,8 @@ class CaptureStream final : public WorkloadStream {
 
  private:
   StreamPtr inner_;
-  CoreId core_;
-  Trace* sink_;
+  CoreId core_ = 0;
+  Trace* sink_ = nullptr;
 };
 
 /// Wraps `inner` so every produced stream records into `sink`. The caller

@@ -353,6 +353,15 @@ void ExperimentRunner::persist_disk_cache_locked() {
   // complete file, never interleaved or half-written lines. Lines from
   // other cache versions are dead weight (lookups can never hit them) and
   // are dropped here.
+  //
+  // Happens-before (persistence): the caller holds mu_, so this snapshot
+  // of cache_ happens-after every insertion it contains. Within one
+  // process, two runners sharing a path serialize through their own mu_
+  // and write distinct tmp names (pid + counter below); rename() is atomic
+  // at the filesystem level, so a concurrent loader in another runner
+  // reads either the old complete file or the new complete file — never a
+  // torn one (tests/tsan_grid_test.cpp persists two runners into one path
+  // concurrently to certify this under TSan).
   std::map<std::string, std::string> lines;
   {
     std::ifstream in(cache_path_);
@@ -461,6 +470,13 @@ const RunMetrics& ExperimentRunner::run(const workload::Benchmark& bench,
   // Simulate outside the lock so concurrent callers make progress. Two
   // threads racing on the same key both compute the same (deterministic)
   // result; emplace keeps the first.
+  //
+  // Happens-before (memoization handoff): the inserting thread releases
+  // mu_ after emplace; every later reader acquires mu_ before find() and
+  // only dereferences the node after that acquire, so the entry's contents
+  // are visible. Returning `it->second` by reference outside the lock is
+  // sound because std::map nodes are pointer-stable and a memoized entry
+  // is never mutated after insertion.
   RunMetrics m = simulate(bench, total_l2_bytes, technique);
   std::scoped_lock lock(mu_);
   const auto [it, inserted] = cache_.emplace(key, std::move(m));

@@ -122,11 +122,20 @@ SweepStats ExperimentRunner::run_grid(
   // Each worker writes only its own slot; merging under the lock happens
   // once, after the barrier, in job order — so the memo map and cache file
   // contents are independent of thread scheduling.
+  //
+  // Happens-before: each worker's results[i] store -> its --in_flight_
+  // under the pool mutex -> parallel_for's wait_idle observing 0 -> the
+  // unguarded reads of results[] in the merge loop below. No slot is ever
+  // touched by two threads, so the barrier is the only edge needed.
   std::vector<RunMetrics> results(jobs.size());
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     results[i] = simulate(*jobs[i].bench, jobs[i].bytes, jobs[i].technique);
   });
 
+  // Happens-before: this mu_ acquire pairs with the release in any
+  // concurrent run() that inserted one of our cells while we simulated —
+  // emplace then fails and we count the cell as reused instead of
+  // clobbering it (tests/tsan_grid_test.cpp races exactly this).
   std::scoped_lock lock(mu_);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (cache_.emplace(std::move(jobs[i].key), std::move(results[i])).second) {

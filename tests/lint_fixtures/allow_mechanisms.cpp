@@ -1,0 +1,19 @@
+// cdlint fixture: the two escape hatches. The harness feeds an allowlist
+// granting `unordered-iter` for this file, and the second site uses an
+// inline directive — both findings must come back with allowlisted=true.
+#include <unordered_map>
+
+int file_grant() {
+  std::unordered_map<int, int> m;
+  int n = 0;
+  for (const auto& kv : m) n += kv.second;  // suppressed by allowlist file
+  return n;
+}
+
+int inline_grant() {
+  std::unordered_map<int, int> m;
+  int n = 0;
+  // cdlint: allow(unordered-iter) order-independent integer fold, proven by test
+  for (const auto& kv : m) n += kv.second;
+  return n;
+}

@@ -1,0 +1,19 @@
+// cdlint fixture: pointer-keyed ordered containers (address order is
+// allocator order) vs. benign pointer *values* and stable-id keys.
+#include <map>
+#include <set>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> reach_count;        // CDLINT-EXPECT: ptr-key
+std::set<const Node*> visited;           // CDLINT-EXPECT: ptr-key
+std::multimap<Node*, Node*> edges;       // CDLINT-EXPECT: ptr-key
+
+// Benign: pointers as VALUES, stable ids as keys, and a non-std `set`.
+std::map<int, Node*> by_id;
+std::set<unsigned long> line_addrs;
+template <typename T>
+struct set {};
+set<Node*> not_a_std_set;

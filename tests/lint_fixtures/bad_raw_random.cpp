@@ -1,0 +1,24 @@
+// cdlint fixture: every banned nondeterminism source.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned seed_soup() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // CDLINT-EXPECT: raw-random, raw-random
+  unsigned s = static_cast<unsigned>(rand());             // CDLINT-EXPECT: raw-random
+  std::random_device rd;                                  // CDLINT-EXPECT: raw-random
+  std::mt19937 gen(rd());                                 // CDLINT-EXPECT: raw-random
+  s ^= static_cast<unsigned>(gen());
+  s ^= static_cast<unsigned>(clock());                    // CDLINT-EXPECT: raw-random
+  s ^= static_cast<unsigned>(
+      std::chrono::steady_clock::now().time_since_epoch().count());  // cdlint: allow(raw-random) exercised by the inline-directive test
+  return s;
+}
+
+// Benign lookalikes that must NOT fire: member access and project names.
+struct Timing {
+  unsigned long decay_time = 0;
+  unsigned long time_to_live() const { return decay_time; }
+};
+unsigned long benign(const Timing& t) { return t.time_to_live(); }

@@ -1,0 +1,32 @@
+// cdlint fixture: indeterminate fields in a header the harness registers
+// under the uninit-field scope. Initialized/static/function members and
+// non-scalar types must not fire.
+#pragma once
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct Packet {
+  std::uint64_t line;        // CDLINT-EXPECT: uninit-field
+  std::uint32_t bytes;       // CDLINT-EXPECT: uninit-field
+  bool posted;               // CDLINT-EXPECT: uninit-field
+  double energy_pj;          // CDLINT-EXPECT: uninit-field
+  Packet* next;              // CDLINT-EXPECT: uninit-field
+
+  std::uint64_t seq = 0;               // initialized: fine
+  bool valid{false};                   // braced init: fine
+  static constexpr int kMax = 8;       // static: fine
+  std::string tag;                     // non-scalar: default ctor is fine
+  std::vector<int> lanes;              // non-scalar: fine
+  unsigned flags : 3;                  // bitfield: skipped (has ':')
+  std::uint32_t size() const { return bytes; }  // function: fine
+};
+
+class Router {
+ public:
+  explicit Router(int id) : id_(id) {}
+  int id() const { return id_; }
+
+ private:
+  int id_;                   // CDLINT-EXPECT: uninit-field
+};

@@ -1,0 +1,35 @@
+// cdlint fixture: every flavor of nondeterministic unordered iteration.
+// The expect-marker comments trailing each bad line are the golden
+// expectations the harness checks lint findings against, line-exact.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Shadow = std::unordered_map<unsigned long, unsigned long>;
+
+double sum_versions(const std::unordered_map<int, double>& versions) {
+  std::unordered_map<int, double> copy = versions;
+  double total = 0.0;
+  for (const auto& [addr, v] : copy) {  // CDLINT-EXPECT: unordered-iter
+    total += v;                         // CDLINT-EXPECT: float-accum-unordered
+  }
+  return total;
+}
+
+int iterator_walk() {
+  std::unordered_set<int> live;
+  int n = 0;
+  for (auto it = live.begin(); it != live.end(); ++it) {  // CDLINT-EXPECT: unordered-iter
+    ++n;
+  }
+  return n;
+}
+
+unsigned long alias_walk() {
+  Shadow shadow;
+  unsigned long acc = 0;
+  for (const auto& kv : shadow) {  // CDLINT-EXPECT: unordered-iter
+    acc ^= kv.first;               // integer fold: no float-accum finding
+  }
+  return acc;
+}

@@ -1,0 +1,23 @@
+// cdlint fixture: deterministic unordered-container use — lookups, erases
+// by key, and iteration over *ordered* structures. Zero findings expected.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int lookups(std::unordered_map<int, int>& m, const std::vector<int>& keys) {
+  int hits = 0;
+  for (int k : keys) {                  // range-for over a vector: fine
+    if (m.find(k) != m.end()) ++hits;   // find/end compare: a lookup
+    if (m.count(k) != 0) ++hits;
+  }
+  m.erase(7);                           // erase by key: no iteration
+  return hits;
+}
+
+// NB: named `om`, not `m` — cdlint's name table is file-local (documented
+// heuristic), so reusing an unordered variable's name would false-positive.
+double ordered_sum(const std::map<int, double>& om) {
+  double total = 0.0;
+  for (const auto& [k, v] : om) total += v;  // std::map: deterministic order
+  return total;
+}

@@ -1,0 +1,9 @@
+// cdlint fixture: std::function on a file the harness registers as a hot
+// path (stand-in for common/event_queue.hpp, where SmallFn is mandated).
+#pragma once
+#include <functional>
+
+struct FakeQueue {
+  using Callback = std::function<void()>;  // CDLINT-EXPECT: hot-std-function
+  void schedule(std::function<void()> cb);  // CDLINT-EXPECT: hot-std-function
+};

@@ -49,7 +49,7 @@ TEST(DifferentialChecker, CleanWritebackPropagationPasses) {
   // Eviction write-back reaches memory; the copy dies.
   chk.on_writeback_initiated(0, line, 20);
   chk.on_invalidate(0, line, 20);
-  chk.on_writeback_resolved(0, line, 25, /*cancelled=*/false);
+  chk.on_writeback_resolved(0, line, 25, /*cancelled=*/false, /*to_l3=*/false);
   // Core 1 refetches from memory: must see the written version.
   chk.on_fill(1, line, 30, /*from_cache=*/false, /*for_write=*/false);
   chk.on_load_hit(1, line, 31, /*l1=*/false);
@@ -134,7 +134,7 @@ TEST(DifferentialChecker, CancelledWritebackDoesNotTouchMemory) {
   chk.on_write_serialized(1, line, 12);  // v2 at the new owner
   // The queued write-back resolves cancelled: memory must stay at v1, not
   // regress anything, and the new owner's copy stays authoritative.
-  chk.on_writeback_resolved(0, line, 15, /*cancelled=*/true);
+  chk.on_writeback_resolved(0, line, 15, /*cancelled=*/true, /*to_l3=*/false);
   chk.on_load_hit(1, line, 16, false);
 
   EXPECT_EQ(chk.total_divergences(), 0u);

@@ -1,0 +1,147 @@
+// cdlint CLI — determinism lint over the cdsim tree.
+//
+// Usage:
+//   cdlint [--allowlist FILE] [--fix-suggestions] [--list-rules]
+//          PATH [PATH...]
+//
+// Each PATH is a file or a directory (searched recursively for
+// .hpp/.h/.cpp/.cc). Findings print as `path:line: [rule] message`, sorted
+// by path then line — the tool's own output is deterministic. Exit status:
+//   0  no unallowlisted findings
+//   1  at least one unallowlisted finding
+//   2  usage / IO / allowlist-parse error
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string allowlist_path;
+  bool fix_suggestions = false;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cdlint: --allowlist needs a file argument\n");
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--fix-suggestions") {
+      fix_suggestions = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : cdlint::known_rules()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: cdlint [--allowlist FILE] [--fix-suggestions] "
+          "[--list-rules] PATH [PATH...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cdlint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "cdlint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  cdlint::LintConfig cfg;
+  if (!allowlist_path.empty()) {
+    std::string text;
+    if (!read_file(allowlist_path, text)) {
+      std::fprintf(stderr, "cdlint: cannot read allowlist '%s'\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+    cfg.allowlist = cdlint::parse_allowlist(text);
+    for (const std::string& e : cfg.allowlist.errors) {
+      std::fprintf(stderr, "cdlint: %s: %s\n", allowlist_path.c_str(),
+                   e.c_str());
+    }
+    if (!cfg.allowlist.errors.empty()) return 2;
+  }
+
+  // Expand roots into a sorted file list: deterministic scan order no
+  // matter what the directory iteration order is.
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    const fs::path p(root);
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) && lintable(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.generic_string());
+    } else {
+      std::fprintf(stderr, "cdlint: no such file or directory: '%s'\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t reported = 0, suppressed = 0;
+  for (const std::string& f : files) {
+    std::string source;
+    if (!read_file(f, source)) {
+      std::fprintf(stderr, "cdlint: cannot read '%s'\n", f.c_str());
+      return 2;
+    }
+    for (const cdlint::Finding& fd : cdlint::lint_source(cfg, f, source)) {
+      if (fd.allowlisted) {
+        ++suppressed;
+        continue;
+      }
+      ++reported;
+      std::printf("%s:%zu: [%s] %s\n", fd.path.c_str(), fd.line,
+                  fd.rule.c_str(), fd.message.c_str());
+      if (fix_suggestions) {
+        std::printf("    fix: %s\n",
+                    std::string(cdlint::suggestion_for(fd.rule)).c_str());
+      }
+    }
+  }
+
+  std::fprintf(stderr,
+               "cdlint: %zu file(s), %zu finding(s), %zu allowlisted\n",
+               files.size(), reported, suppressed);
+  return reported == 0 ? 0 : 1;
+}

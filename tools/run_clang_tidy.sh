@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over the
+# first-party C++ files changed since a base revision.
+#
+#   tools/run_clang_tidy.sh [BASE_REV] [BUILD_DIR]
+#
+#   BASE_REV   revision to diff against (default: HEAD~1)
+#   BUILD_DIR  build tree with compile_commands.json (default: build);
+#              configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+#
+# Exits 0 when clang-tidy is not installed (local convenience — the tool
+# is CI-mandatory there via the clang-tidy job, but a developer box with
+# only g++ must still be able to run every other check), 0 when no
+# relevant files changed, and clang-tidy's own status otherwise.
+set -eu
+
+base="${1:-HEAD~1}"
+build="${2:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed; skipping (CI runs it)" >&2
+    exit 0
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "run_clang_tidy: $build/compile_commands.json missing;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+# First-party translation units only: headers are pulled in through
+# HeaderFilterRegex, and tests/lint_fixtures/ holds deliberately-broken
+# lint fodder that must never be analyzed.
+changed=$(git diff --name-only --diff-filter=ACMR "$base" -- \
+              'src/*.cpp' 'tools/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
+              'examples/*.cpp' |
+          grep -v '^tests/lint_fixtures/' || true)
+
+if [ -z "$changed" ]; then
+    echo "run_clang_tidy: no first-party C++ changes vs $base"
+    exit 0
+fi
+
+echo "run_clang_tidy: analyzing vs $base:"
+printf '  %s\n' $changed
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+exec clang-tidy -p "$build" --quiet $changed
