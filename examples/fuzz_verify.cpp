@@ -29,9 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "cdsim/verify/fuzz.hpp"
 #include "cdsim/verify/shrink.hpp"
+#include "cli_flags.hpp"
 
 using namespace cdsim;
 
@@ -134,35 +136,42 @@ int demo_bug() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--demo-bug") == 0) {
-    return demo_bug();
-  }
+  bool demo = false;
   bool dmesh_only = false;
   bool three_level_only = false;
-  int arg = 1;
+  bool scenarios_set = false;
+  bool bad_positional = false;
   std::size_t scenarios = 208;
-  if (argc > arg && std::strcmp(argv[arg], "--dmesh-smoke") == 0) {
-    dmesh_only = true;
-    scenarios = 64;
-    ++arg;
-  } else if (argc > arg &&
-             std::strcmp(argv[arg], "--three-level-smoke") == 0) {
-    three_level_only = true;
-    scenarios = 64;
-    ++arg;
+  std::string report_dir;
+
+  examples::FlagParser parser;
+  parser.toggle("demo-bug", &demo)
+      .toggle("dmesh-smoke", &dmesh_only)
+      .toggle("three-level-smoke", &three_level_only)
+      .on_positional([&](int pos, const std::string& arg) {
+        if (pos == 0) {
+          const unsigned long long v =
+              std::strtoull(arg.c_str(), nullptr, 10);
+          if (v == 0) {
+            bad_positional = true;
+            return;
+          }
+          scenarios = static_cast<std::size_t>(v);
+          scenarios_set = true;
+        } else if (pos == 1) {
+          report_dir = arg;
+        }
+      });
+  if (!parser.parse(argc, argv) || bad_positional) {
+    std::fprintf(stderr,
+                 "usage: %s [--dmesh-smoke|--three-level-smoke] "
+                 "[scenarios] [report_dir] | --demo-bug\n",
+                 argv[0]);
+    return 2;
   }
-  if (argc > arg) {
-    const unsigned long long v = std::strtoull(argv[arg], nullptr, 10);
-    if (v == 0) {
-      std::fprintf(stderr,
-                   "usage: %s [--dmesh-smoke|--three-level-smoke] "
-                   "[scenarios] [report_dir] | --demo-bug\n",
-                   argv[0]);
-      return 2;
-    }
-    scenarios = static_cast<std::size_t>(v);
-    ++arg;
-  }
-  return run_matrix(scenarios, argc > arg ? argv[arg] : nullptr, dmesh_only,
-                    three_level_only);
+  if (demo) return demo_bug();
+  if ((dmesh_only || three_level_only) && !scenarios_set) scenarios = 64;
+  return run_matrix(scenarios, report_dir.empty() ? nullptr
+                                                  : report_dir.c_str(),
+                    dmesh_only, three_level_only);
 }

@@ -24,7 +24,7 @@
 
 #include "cdsim/common/table.hpp"
 #include "cdsim/sim/experiment.hpp"
-#include "hierarchy_flags.hpp"
+#include "cli_flags.hpp"
 
 using namespace cdsim;
 
@@ -34,21 +34,16 @@ int main(int argc, char** argv) {
   std::uint64_t instr = 1500000;
 
   examples::MachineFlags mf;
-  if (!examples::parse_machine_flags(
-          argc, argv, mf, [&](int pos, const std::string& arg) {
-            switch (pos) {
-              case 0: bench_name = arg; break;
-              case 1:
-                size_mb = std::strtoull(arg.c_str(), nullptr, 10);
-                break;
-              case 2:
-                instr = std::strtoull(arg.c_str(), nullptr, 10);
-                break;
-              default: break;
-            }
-          })) {
-    return 2;
-  }
+  examples::FlagParser parser;
+  parser.machine(&mf).on_positional([&](int pos, const std::string& arg) {
+    switch (pos) {
+      case 0: bench_name = arg; break;
+      case 1: size_mb = std::strtoull(arg.c_str(), nullptr, 10); break;
+      case 2: instr = std::strtoull(arg.c_str(), nullptr, 10); break;
+      default: break;
+    }
+  });
+  if (!parser.parse(argc, argv)) return 2;
   const noc::Topology topology = mf.topology;
   const sim::Hierarchy hierarchy = mf.hierarchy;
   const bool default_machine = !mf.any_set;

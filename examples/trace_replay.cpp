@@ -1,11 +1,41 @@
-// trace_replay — driving the hierarchy with an explicit access trace.
+// trace_replay — driving the machine family with recorded access traces.
 //
-// Uses ScriptedWorkload to replay a hand-written producer/consumer sharing
-// pattern and prints how each leakage technique handles it. This is the
-// entry point users with their own traces would start from.
+// Two modes:
+//
+//   $ ./trace_replay
+//       No-args demo: replays a hand-written producer/consumer script
+//       through the low-level cache plumbing and prints how the leakage
+//       technique handles the sharing pattern (the original example).
+//
+//   $ ./trace_replay prog_a.cdt [prog_b.cdt ...] [flags]
+//       Streams one or more .cdt traces (v1 or chunked v2 — the magic is
+//       sniffed) through a full CmpSystem. One trace with machine cores ==
+//       trace cores is exact per-core replay; several traces (or more
+//       machine cores than trace cores) become a rate-mode co-scheduled
+//       mix: core c runs program c % P (see cdsim/sim/scenario.hpp).
+//       Replay is streaming — multi-GB v2 traces run in O(cores x chunk)
+//       memory.
+//
+//       --topology=bus|dmesh --hierarchy=2|3 --cores=N   machine family
+//       --technique=baseline|protocol|decay|sel_decay    leakage technique
+//       --decay-k=N        decay window in Kcycles (default 32)
+//       --hot=IDX:MULT     weight program IDX by MULT (hot tenant)
+//       --verify           attach the differential oracle; exit 1 on any
+//                          divergence
+//       --in-memory        ALSO replay through the load-it-whole in-memory
+//                          path and fail unless the metrics are
+//                          bit-identical to the streaming run
+//       --max-rss-mb=N     fail if peak RSS exceeded N MiB
+//       --metrics-out=F    append "key value" lines (hexfloat doubles) to F
+
+#include <sys/resource.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cdsim/bus/snoop_bus.hpp"
@@ -13,11 +43,15 @@
 #include "cdsim/common/table.hpp"
 #include "cdsim/core/core_model.hpp"
 #include "cdsim/mem/memory.hpp"
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/sim/experiment.hpp"
 #include "cdsim/sim/l1_cache.hpp"
 #include "cdsim/sim/l2_cache.hpp"
+#include "cdsim/sim/scenario.hpp"
+#include "cdsim/verify/oracle.hpp"
 #include "cdsim/workload/scripted.hpp"
-
-#include <memory>
+#include "cdsim/workload/trace_v2.hpp"
+#include "cli_flags.hpp"
 
 namespace {
 
@@ -44,9 +78,7 @@ std::vector<workload::MemOp> make_script(CoreId core) {
   return ops;
 }
 
-}  // namespace
-
-int main() {
+int run_demo() {
   std::printf("trace_replay: producer/consumer script on 4 cores, 1MB L2\n\n");
 
   // Direct low-level replay through the cache hierarchy.
@@ -105,4 +137,232 @@ int main() {
       "selective-decay config used here additionally harvests idle clean\n"
       "lines after 32K cycles.\n");
   return 0;
+}
+
+double peak_rss_mb() {
+  struct rusage ru = {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+struct ReplayResult {
+  sim::RunMetrics metrics;
+  std::uint64_t divergences = 0;
+};
+
+ReplayResult run_machine(const sim::SystemConfig& cfg,
+                         const workload::StreamFactory& streams,
+                         bool verify, const std::string& name) {
+  workload::Benchmark bench;
+  bench.config.name = name;
+  verify::DifferentialChecker checker(cfg.num_cores);
+  sim::CmpSystem sys(cfg, bench, streams);
+  if (verify) sys.set_observer(&checker);
+  ReplayResult out;
+  out.metrics = sys.run();
+  if (verify) {
+    sys.check_coherence_invariants();
+    out.divergences = checker.total_divergences();
+    if (out.divergences != 0) {
+      std::fprintf(stderr, "DIVERGENCE: %s\n",
+                   verify::to_string(checker.divergences().front()).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return run_demo();
+
+  examples::MachineFlags mf;
+  std::string tech_name = "sel_decay";
+  std::uint64_t decay_k = 32;
+  std::uint64_t max_rss_mb = 0;
+  std::string hot_spec;
+  std::string metrics_out;
+  bool verify = false;
+  bool in_memory = false;
+  std::vector<std::string> paths;
+
+  examples::FlagParser parser;
+  parser.machine(&mf)
+      .str("technique", &tech_name)
+      .u64("decay-k", &decay_k)
+      .str("hot", &hot_spec)
+      .toggle("verify", &verify)
+      .toggle("in-memory", &in_memory)
+      .u64("max-rss-mb", &max_rss_mb)
+      .str("metrics-out", &metrics_out)
+      .on_positional(
+          [&](int, const std::string& arg) { paths.push_back(arg); });
+  if (!parser.parse(argc, argv)) return 2;
+  if (paths.empty()) {
+    std::fprintf(stderr, "trace_replay: no trace files given\n");
+    return 2;
+  }
+
+  // Assemble the mix: one program per trace file, streaming openers.
+  std::vector<sim::ProgramSpec> programs;
+  for (const std::string& path : paths) {
+    sim::ProgramSpec spec;
+    spec.name = path;
+    spec.open = [path]() -> workload::TraceSourcePtr {
+      std::string err;
+      auto src = workload::open_trace_source(path, &err);
+      if (src == nullptr) {
+        std::fprintf(stderr, "trace_replay: %s\n", err.c_str());
+      }
+      return src;
+    };
+    programs.push_back(std::move(spec));
+  }
+  if (!hot_spec.empty()) {
+    char* end = nullptr;
+    const unsigned long idx = std::strtoul(hot_spec.c_str(), &end, 10);
+    const double mult =
+        (end != nullptr && *end == ':') ? std::strtod(end + 1, &end) : 0.0;
+    if (idx >= programs.size() || !(mult > 0.0) ||
+        (end != nullptr && *end != '\0')) {
+      std::fprintf(stderr, "invalid --hot value \"%s\" (want IDX:MULT)\n",
+                   hot_spec.c_str());
+      return 2;
+    }
+    programs[idx].weight = mult;
+  }
+
+  decay::DecayConfig d;
+  if (tech_name == "baseline") d.technique = decay::Technique::kBaseline;
+  else if (tech_name == "protocol") d.technique = decay::Technique::kProtocol;
+  else if (tech_name == "decay") d.technique = decay::Technique::kDecay;
+  else if (tech_name == "sel_decay") {
+    d.technique = decay::Technique::kSelectiveDecay;
+  } else {
+    std::fprintf(stderr, "unknown technique \"%s\"\n", tech_name.c_str());
+    return 2;
+  }
+  d.decay_time = decay_k * 1024;
+
+  // Machine cores: explicit --cores wins; otherwise a single program
+  // replays on exactly its recorded cores, and a mix defaults to the
+  // topology's core count.
+  std::uint32_t cores = mf.cores;
+  if (cores == 0 && programs.size() == 1) {
+    std::string err;
+    const auto probe = workload::open_trace_source(paths[0], &err);
+    if (probe == nullptr) return 1;
+    cores = probe->num_cores();
+  }
+  if (cores == 0) cores = mf.effective_cores();
+
+  sim::MixPlan plan;
+  try {
+    plan = sim::plan_mix(std::move(programs), cores);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_replay: %s\n", e.what());
+    return 1;
+  }
+
+  sim::SystemConfig cfg = sim::make_system_config(
+      static_cast<std::uint64_t>(cores) * MiB, d);
+  cfg.topology = mf.topology;
+  cfg.hierarchy = mf.hierarchy;
+  if (mf.hierarchy == sim::Hierarchy::kThreeLevel) {
+    cfg.total_l3_bytes = 4 * cfg.total_l2_bytes;
+    cfg.l1_decay = cfg.decay;  // the technique runs at every level
+    cfg.l3_decay = cfg.decay;
+  }
+  plan.apply(cfg);
+
+  std::printf("trace_replay: %zu program(s) on %s%u (%s), %s\n", paths.size(),
+              std::string(noc::to_string(cfg.topology)).c_str(), cfg.num_cores,
+              std::string(sim::to_string(cfg.hierarchy)).c_str(),
+              d.label().c_str());
+  for (std::size_t c = 0; c < plan.assignment.size(); ++c) {
+    const sim::MixAssignment& a = plan.assignment[c];
+    std::printf("  core %-3zu <- %s (trace core %u, budget %llu)\n", c,
+                plan.program_names[a.program].c_str(), a.trace_core,
+                static_cast<unsigned long long>(a.instructions));
+  }
+
+  const ReplayResult streamed =
+      run_machine(cfg, plan.streams, verify, "trace_replay");
+  const sim::RunMetrics& m = streamed.metrics;
+  std::printf("\ncycles %llu  IPC %.3f  L2 miss %.2f%%  energy %.3e\n",
+              static_cast<unsigned long long>(m.cycles), m.ipc,
+              100.0 * m.l2_miss_rate, m.energy);
+  std::printf("peak RSS %.1f MiB\n", peak_rss_mb());
+
+  int rc = 0;
+  if (verify) {
+    if (streamed.divergences == 0) {
+      std::printf("verify: OK, zero divergences\n");
+    } else {
+      std::printf("verify: %llu divergence(s)\n",
+                  static_cast<unsigned long long>(streamed.divergences));
+      rc = 1;
+    }
+  }
+
+  if (in_memory) {
+    // A/B: load everything through the in-memory demux path and insist on
+    // bit-identical metrics. Only meaningful for a single program replayed
+    // on its own core count (the mix path is streaming-only).
+    if (paths.size() != 1) {
+      std::fprintf(stderr, "--in-memory needs exactly one trace\n");
+      return 2;
+    }
+    std::string err;
+    auto src = workload::open_trace_source(paths[0], &err);
+    if (src == nullptr) {
+      std::fprintf(stderr, "trace_replay: %s\n", err.c_str());
+      return 1;
+    }
+    auto whole = std::make_shared<workload::Trace>();
+    whole->num_cores = src->num_cores();
+    workload::TraceRecord rec;
+    while (src->next(rec)) whole->append(rec);
+    const ReplayResult mem = run_machine(
+        cfg, workload::replay_factory(
+                 std::shared_ptr<const workload::Trace>(whole)),
+        verify, "trace_replay");
+    const bool same = mem.metrics.cycles == m.cycles &&
+                      mem.metrics.ipc == m.ipc &&
+                      mem.metrics.energy == m.energy &&
+                      mem.metrics.l2_miss_rate == m.l2_miss_rate &&
+                      mem.metrics.l2_accesses == m.l2_accesses &&
+                      mem.metrics.l2_misses == m.l2_misses;
+    if (same) {
+      std::printf("in-memory A/B: bit-identical to the streaming replay\n");
+    } else {
+      std::printf("in-memory A/B: MISMATCH (streaming %llu cycles, "
+                  "in-memory %llu)\n",
+                  static_cast<unsigned long long>(m.cycles),
+                  static_cast<unsigned long long>(mem.metrics.cycles));
+      rc = 1;
+    }
+  }
+
+  if (max_rss_mb != 0) {
+    const double rss = peak_rss_mb();
+    if (rss > static_cast<double>(max_rss_mb)) {
+      std::fprintf(stderr, "peak RSS %.1f MiB exceeds bound %llu MiB\n", rss,
+                   static_cast<unsigned long long>(max_rss_mb));
+      rc = 1;
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "cycles %llu\nipc %a\nl2_miss_rate %a\nenergy %a\n",
+                 static_cast<unsigned long long>(m.cycles), m.ipc,
+                 m.l2_miss_rate, m.energy);
+    std::fclose(f);
+  }
+  return rc;
 }

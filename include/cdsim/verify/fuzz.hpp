@@ -61,6 +61,12 @@ struct FuzzScenario {
   std::uint64_t total_l3_bytes = 0;
   std::uint64_t instructions_per_core = 30000;
   std::uint64_t seed = 1;
+  /// Multi-program cell: 0 runs the classic homogeneous fuzzer on every
+  /// core; N > 0 co-schedules N distinct fuzzer personalities (core c runs
+  /// program c % N) with a rate-mode "hot tenant" budget skew — the cores
+  /// running program 0 get a doubled instruction budget, so they keep
+  /// issuing after their neighbours retire.
+  std::uint32_t programs = 0;
   workload::FuzzerConfig fuzz;
   /// Enables the L2's test-only lost-write-back fault (the bug the suite
   /// proves the oracle catches).

@@ -1,15 +1,15 @@
 #pragma once
-// Portable .cdt trace format: capture, storage, and replay of per-core
+// Portable .cdt v1 trace format: capture, storage, and replay of per-core
 // memory-operation streams.
 //
 // A Trace is the exact sequence of MemOps the simulator drew from each
 // core's workload stream, in global draw order. Because every workload
 // stream is a deterministic function of its inputs and the event kernel is
-// deterministic, replaying a captured trace through ScriptedWorkload (with
-// per-core budgets of exactly sum(gap+1)) reproduces the original run
-// bit-identically — which is what makes traces usable as divergence
-// repros, as shrinker input, and as a scenario class of their own (real
-// program traces driven through the leakage techniques).
+// deterministic, replaying a captured trace (with per-core budgets of
+// exactly sum(gap+1)) reproduces the original run bit-identically — which
+// is what makes traces usable as divergence repros, as shrinker input, and
+// as a scenario class of their own (real program traces driven through the
+// leakage techniques).
 //
 // On-disk layout (.cdt, all integers little-endian, version 1):
 //
@@ -25,36 +25,39 @@
 // The reader rejects wrong magic, unsupported versions, truncated or
 // oversized files, checksum mismatches, and out-of-range fields — a
 // corrupt trace fails loudly instead of replaying garbage.
+//
+// v1 is the uncompressed, load-it-whole format kept for shrinker repros
+// and hand-built tests; the chunked, compressed, O(1)-memory successor is
+// .cdt v2 (trace_v2.hpp). open_trace_source() in trace_v2.hpp streams
+// either version through the TraceSource interface.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "cdsim/workload/scripted.hpp"
-#include "cdsim/workload/stream.hpp"
+#include "cdsim/workload/trace_source.hpp"
 
 namespace cdsim::workload {
 
-/// One drawn operation: which core drew it plus the op itself.
-struct TraceRecord {
-  CoreId core = 0;
-  MemOp op;
-};
-
-/// A captured (or hand-built) trace plus its .cdt (de)serialization.
-struct Trace {
+/// A captured (or hand-built) in-memory trace plus its .cdt v1
+/// (de)serialization. Implements TraceSink, so capture decorators write
+/// into it directly.
+struct Trace : TraceSink {
   static constexpr std::uint32_t kFormatVersion = 1;
 
   std::uint32_t num_cores = 0;
   std::vector<TraceRecord> records;  ///< Global draw order.
 
+  void append(const TraceRecord& rec) override { records.push_back(rec); }
+
   /// Writes the trace to `path`. Returns false (and sets *error) on I/O
   /// failure or unserializable content.
   bool save(const std::string& path, std::string* error = nullptr) const;
 
-  /// Reads a .cdt file. Returns nullopt (and sets *error) for unreadable,
-  /// corrupt, truncated, or version-mismatched files.
+  /// Reads a .cdt v1 file. Returns nullopt (and sets *error) for
+  /// unreadable, corrupt, truncated, or version-mismatched files.
   static std::optional<Trace> load(const std::string& path,
                                    std::string* error = nullptr);
 
@@ -67,40 +70,44 @@ struct Trace {
   [[nodiscard]] std::vector<std::uint64_t> per_core_instructions() const;
 };
 
-/// Stream decorator that records every drawn op into `sink` before handing
-/// it to the simulator. The event kernel is single-threaded, so appends
-/// from all cores interleave in deterministic global draw order.
-class CaptureStream final : public WorkloadStream {
+/// TraceSource cursor over an in-memory Trace (shared, never copied).
+/// Bridges v1 traces — and any hand-built Trace — into the streaming
+/// replay machinery.
+class InMemoryTraceSource final : public TraceSource {
  public:
-  CaptureStream(StreamPtr inner, CoreId core, Trace* sink)
-      : inner_(std::move(inner)), core_(core), sink_(sink) {}
-
-  MemOp next(Cycle now) override {
-    const MemOp op = inner_->next(now);
-    sink_->records.push_back(TraceRecord{core_, op});
-    return op;
+  explicit InMemoryTraceSource(std::shared_ptr<const Trace> trace)
+      : trace_(std::move(trace)) {
+    CDSIM_ASSERT(trace_ != nullptr);
   }
 
-  [[nodiscard]] std::string_view name() const override {
-    return inner_->name();
+  bool next(TraceRecord& out) override {
+    if (pos_ >= trace_->records.size()) return false;
+    out = trace_->records[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t num_cores() const override {
+    return trace_->num_cores;
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> per_core_instructions()
+      const override {
+    return trace_->per_core_instructions();
   }
 
  private:
-  StreamPtr inner_;
-  CoreId core_ = 0;
-  Trace* sink_ = nullptr;
+  std::shared_ptr<const Trace> trace_;
+  std::size_t pos_ = 0;
 };
 
-/// Wraps `inner` so every produced stream records into `sink`. The caller
-/// must size sink->num_cores and keep it alive for the run.
-StreamFactory capture_factory(StreamFactory inner, Trace* sink);
+/// Replays a shared in-memory trace without duplicating its records: each
+/// pass opens an InMemoryTraceSource cursor over `trace` and demultiplexes
+/// it per core (see trace_source.hpp for the tail/idle-core contract).
+StreamFactory replay_factory(std::shared_ptr<const Trace> trace);
 
-/// Replays a trace: each core gets a ScriptedWorkload over its recorded
-/// ops (AtEnd::kRepeatLast). Cores without records replay a single idle
-/// load to a reserved line so the core model stays constructible; pair
-/// with Trace::per_core_instructions() so such cores commit exactly one
-/// instruction. The trace is copied into shared state — the factory
-/// outlives the Trace it was built from.
+/// Convenience overload for temporaries: copies `trace` once into shared
+/// ownership so the factory outlives it. Callers holding a stable Trace
+/// should prefer the shared_ptr overload (no copy).
 StreamFactory replay_factory(const Trace& trace);
 
 }  // namespace cdsim::workload

@@ -1,0 +1,208 @@
+#pragma once
+// Streaming trace plumbing: the TraceSource/TraceSink abstraction every
+// trace producer and consumer in the repo is built on.
+//
+// A TraceSink receives drawn operations one at a time, in global draw
+// order (capture decorators write into one; an in-memory Trace and the
+// chunked .cdt v2 writer both implement it). A TraceSource is a forward
+// cursor over a stored trace — pull records one at a time, O(1) state —
+// implemented by the in-memory v1 Trace bridge and the chunked v2 reader.
+// Replay is built on sources, never on materialized per-core vectors, so
+// a multi-gigabyte trace replays without ever living in memory:
+//
+//   * replay_factory(open): ONE shared cursor per system, demultiplexed
+//     into per-core queues. Memory is bounded by the capture's
+//     interleaving skew (simulator captures interleave fairly, so queues
+//     stay shallow). Cheapest when the source is already in memory.
+//   * streaming_replay_factory(open): every core opens its OWN cursor and
+//     discards other cores' records. Strictly O(chunk) memory per core no
+//     matter how skewed the trace is — the path the multi-gigabyte CI
+//     smoke uses — at the price of N file cursors.
+//
+// Both factories reproduce ScriptedWorkload's kRepeatLast contract
+// exactly (see scripted.hpp): the final recorded op is returned verbatim
+// once, every repeat after that is re-stamped dependent=false, and a core
+// the trace never scheduled replays a single idle filler op. That is what
+// keeps the golden replay pins bit-identical across the in-memory and
+// streaming paths.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cdsim/common/assert.hpp"
+#include "cdsim/workload/stream.hpp"
+
+namespace cdsim::workload {
+
+/// One drawn operation: which core drew it plus the op itself.
+struct TraceRecord {
+  CoreId core = 0;
+  MemOp op;
+};
+
+/// Receives records in global draw order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void append(const TraceRecord& rec) = 0;
+};
+
+/// Forward cursor over a stored trace.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Pulls the next record in global draw order. Returns false at the end
+  /// of the trace (or, for disk-backed sources, on a read error — check
+  /// the source's own error state when that matters).
+  virtual bool next(TraceRecord& out) = 0;
+
+  [[nodiscard]] virtual std::uint32_t num_cores() const = 0;
+
+  /// Per-core instruction budgets that make a replayed core commit exactly
+  /// its recorded ops: sum of (gap + 1) per core, with op-less cores
+  /// bumped to 1 (they replay the idle filler). Available without scanning
+  /// for footer-indexed formats; the in-memory bridge computes it.
+  [[nodiscard]] virtual std::vector<std::uint64_t> per_core_instructions()
+      const = 0;
+};
+
+using TraceSourcePtr = std::unique_ptr<TraceSource>;
+
+/// Opens one fresh, independent cursor over a trace, positioned at the
+/// start. Replay factories take openers rather than sources so a factory
+/// can be reused across systems (each pass re-opens) and so rate-mode
+/// co-scheduling can give every assigned core its own cursor.
+using TraceOpener = std::function<TraceSourcePtr()>;
+
+/// Reserved region for the idle filler op of cores a trace never
+/// scheduled (region id 7 in the synthetic address map's bits 40+, far
+/// from every generator).
+inline constexpr Addr kReplayIdleRegion = 0x7ull << 40;
+
+/// The single idle load an op-less core replays (budget 1 via
+/// per_core_instructions()): a reserved, never-shared line.
+[[nodiscard]] inline MemOp replay_idle_op(CoreId core) {
+  return MemOp{AccessType::kLoad,
+               kReplayIdleRegion | (static_cast<Addr>(core) << 32), 0, false,
+               0};
+}
+
+/// Stream decorator that records every drawn op into `sink` before handing
+/// it to the simulator. The event kernel is single-threaded, so appends
+/// from all cores interleave in deterministic global draw order.
+class CaptureStream final : public WorkloadStream {
+ public:
+  CaptureStream(StreamPtr inner, CoreId core, TraceSink* sink)
+      : inner_(std::move(inner)), core_(core), sink_(sink) {}
+
+  MemOp next(Cycle now) override {
+    const MemOp op = inner_->next(now);
+    sink_->append(TraceRecord{core_, op});
+    return op;
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+
+ private:
+  StreamPtr inner_;
+  CoreId core_ = 0;
+  TraceSink* sink_ = nullptr;
+};
+
+/// Wraps `inner` so every produced stream records into `sink` (an
+/// in-memory Trace, a ChunkedTraceWriter, ...). The caller keeps the sink
+/// alive for the run and finalizes it afterwards if the sink needs it.
+StreamFactory capture_factory(StreamFactory inner, TraceSink* sink);
+
+/// Shared-cursor demultiplexer: one forward pass over a TraceSource
+/// feeding per-core FIFO queues. pop(core) advances the source (queueing
+/// other cores' ops) until an op for `core` appears or the source ends.
+class ReplayDemux {
+ public:
+  explicit ReplayDemux(TraceSourcePtr source)
+      : source_(std::move(source)), queues_(source_->num_cores()) {
+    CDSIM_ASSERT(source_ != nullptr);
+  }
+
+  /// False once the source is exhausted and `core`'s queue is empty.
+  bool pop(CoreId core, MemOp& out);
+
+  [[nodiscard]] std::uint32_t num_cores() const {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+ private:
+  TraceSourcePtr source_;
+  std::vector<std::deque<MemOp>> queues_;
+  bool exhausted_ = false;
+};
+
+/// Per-core replay over a shared demux, with ScriptedWorkload's
+/// kRepeatLast tail semantics (final op verbatim once, then re-stamped
+/// dependent=false; idle filler for op-less cores).
+class DemuxReplayStream final : public WorkloadStream {
+ public:
+  DemuxReplayStream(std::shared_ptr<ReplayDemux> demux, CoreId core,
+                    std::string name = "replay")
+      : demux_(std::move(demux)), core_(core), name_(std::move(name)) {}
+
+  MemOp next(Cycle now) override;
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  std::shared_ptr<ReplayDemux> demux_;
+  CoreId core_ = 0;
+  std::string name_;
+  MemOp last_;
+  bool have_last_ = false;
+  bool tail_ = false;
+};
+
+/// Per-core replay over a PRIVATE cursor: skips records of other cores as
+/// it streams, so memory stays O(1) in trace length regardless of how the
+/// capture interleaved. Same tail semantics as DemuxReplayStream.
+class FilteredReplayStream final : public WorkloadStream {
+ public:
+  /// `target` is the trace-core whose ops this stream replays (rate-mode
+  /// co-scheduling maps machine cores onto trace cores explicitly).
+  FilteredReplayStream(TraceSourcePtr source, CoreId target,
+                       std::string name = "replay")
+      : source_(std::move(source)), target_(target), name_(std::move(name)) {
+    CDSIM_ASSERT(source_ != nullptr);
+  }
+
+  MemOp next(Cycle now) override;
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  TraceSourcePtr source_;
+  CoreId target_ = 0;
+  std::string name_;
+  MemOp last_;
+  bool have_last_ = false;
+  bool tail_ = false;
+  bool exhausted_ = false;
+};
+
+/// Replay on a single shared cursor (one forward pass, per-core queues).
+/// The opener runs once per system: CmpSystem requests streams in core
+/// order, and a request for a core at or below the previous one starts a
+/// fresh pass, so the factory is safely reusable across runs.
+StreamFactory replay_factory(TraceOpener open);
+
+/// Replay with strictly O(chunk) memory: every core opens its own cursor
+/// via `open` and filters to its own records.
+StreamFactory streaming_replay_factory(TraceOpener open);
+
+}  // namespace cdsim::workload

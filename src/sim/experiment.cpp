@@ -3,10 +3,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -14,6 +17,8 @@
 #include "cdsim/common/assert.hpp"
 #include "cdsim/common/rng.hpp"
 #include "cdsim/verify/oracle.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+#include "cdsim/workload/trace_v2.hpp"
 
 namespace cdsim::sim {
 
@@ -241,7 +246,6 @@ SystemConfig normalized_run_config(const SystemConfig& cfg,
 RunMetrics run_config(const SystemConfig& cfg,
                       const workload::Benchmark& bench) {
   const SystemConfig fixed = normalized_run_config(cfg, bench);
-  CmpSystem sys(fixed, bench);
 
   // CDSIM_VERIFY=1: run every configuration against the differential
   // reference-model oracle (see cdsim/verify/oracle.hpp) and abort on the
@@ -250,9 +254,48 @@ RunMetrics run_config(const SystemConfig& cfg,
   const char* venv = std::getenv("CDSIM_VERIFY");
   if (venv != nullptr && *venv != '\0' &&
       std::string_view(venv) != std::string_view("0")) {
+    // CDSIM_VERIFY_TRACE=<dir>: additionally stream the verified run's
+    // exact op sequence into <dir>/<run>.cdt as chunked .cdt v2. The
+    // capture goes straight to disk chunk by chunk (O(chunk) memory — no
+    // whole-trace copy in shared state), and replaying the file
+    // reproduces the run bit-identically.
+    std::unique_ptr<workload::ChunkedTraceWriter> writer;
+    workload::StreamFactory factory;  // stays null unless capturing
+    const char* tenv = std::getenv("CDSIM_VERIFY_TRACE");
+    if (tenv != nullptr && *tenv != '\0') {
+      std::error_code ec;
+      std::filesystem::create_directories(tenv, ec);  // best effort
+      std::string stem;
+      for (const char ch : bench.config.name + "_" + fixed.decay.label() +
+                               "_s" + std::to_string(fixed.seed)) {
+        const auto uc = static_cast<unsigned char>(ch);
+        stem.push_back(std::isalnum(uc) != 0 ? ch : '_');
+      }
+      const std::string path = std::string(tenv) + "/" + stem + ".cdt";
+      writer = std::make_unique<workload::ChunkedTraceWriter>(
+          path, fixed.num_cores);
+      if (!writer->ok()) {
+        std::fprintf(stderr,
+                     "cdsim: CDSIM_VERIFY_TRACE: %s; capture disabled\n",
+                     writer->error().c_str());
+        writer.reset();
+      } else {
+        factory = workload::capture_factory(
+            [&bench](CoreId core, std::uint64_t seed) {
+              return workload::make_stream(bench, core, seed);
+            },
+            writer.get());
+      }
+    }
+
+    CmpSystem sys(fixed, bench, factory);
     verify::DifferentialChecker checker(fixed.num_cores);
     sys.set_observer(&checker);
     RunMetrics m = sys.run();
+    if (writer != nullptr && !writer->finish()) {
+      std::fprintf(stderr, "cdsim: CDSIM_VERIFY_TRACE: %s\n",
+                   writer->error().c_str());
+    }
     if (checker.total_divergences() != 0) {
       std::fprintf(stderr,
                    "cdsim: CDSIM_VERIFY: %llu value divergence(s) on %s/%s; "
@@ -265,6 +308,7 @@ RunMetrics run_config(const SystemConfig& cfg,
     }
     return m;
   }
+  CmpSystem sys(fixed, bench);
   return sys.run();
 }
 

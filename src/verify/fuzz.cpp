@@ -14,13 +14,14 @@ namespace cdsim::verify {
 
 namespace {
 
-/// The 32 (protocol x technique-config x topology) cells the matrix cycles
-/// through. Decay times are deliberately tiny (the fuzzer's runs are tens
-/// of thousands of cycles): small windows mean *more* turn-off edges per
-/// instruction, which is the point. The first 16 cells are the historical
-/// 4-core snoop-bus matrix; the second 16 run the directory mesh at 16
-/// (MESI) and 8 (MOESI, asymmetric 4x2 mesh) cores with the hot-home-node
-/// NoC stressor enabled.
+/// One cell of the (protocol x technique-config x topology x hierarchy x
+/// program-mix) matrix. Decay times are deliberately tiny (the fuzzer's
+/// runs are tens of thousands of cycles): small windows mean *more*
+/// turn-off edges per instruction, which is the point. The blocks: the
+/// historical 4-core snoop-bus matrix, the directory mesh at 16 (MESI)
+/// and 8 (MOESI, asymmetric 4x2 mesh) cores with the hot-home-node NoC
+/// stressor, the three-level shared-L3 machines, and the multi-program
+/// rate-mode mixes (heterogeneous tenants, skewed budgets).
 struct MatrixCell {
   coherence::Protocol protocol;
   decay::Technique technique;
@@ -28,6 +29,7 @@ struct MatrixCell {
   noc::Topology topology = noc::Topology::kSnoopBus;
   std::uint32_t num_cores = 4;
   sim::Hierarchy hierarchy = sim::Hierarchy::kTwoLevel;
+  std::uint32_t programs = 0;  ///< Multi-program cell (see FuzzScenario).
 };
 
 constexpr Cycle kDecayTimes[3] = {1024, 2048, 4096};
@@ -38,18 +40,19 @@ std::vector<MatrixCell> matrix_cells(bool dmesh_only,
   const auto add_block =
       [&cells](coherence::Protocol protocol, noc::Topology topo,
                std::uint32_t cores,
-               sim::Hierarchy h = sim::Hierarchy::kTwoLevel) {
+               sim::Hierarchy h = sim::Hierarchy::kTwoLevel,
+               std::uint32_t programs = 0) {
         cells.push_back({protocol, decay::Technique::kBaseline, 2048, topo,
-                         cores, h});
+                         cores, h, programs});
         cells.push_back({protocol, decay::Technique::kProtocol, 2048, topo,
-                         cores, h});
+                         cores, h, programs});
         for (const Cycle t : kDecayTimes) {
-          cells.push_back(
-              {protocol, decay::Technique::kDecay, t, topo, cores, h});
+          cells.push_back({protocol, decay::Technique::kDecay, t, topo,
+                           cores, h, programs});
         }
         for (const Cycle t : kDecayTimes) {
           cells.push_back({protocol, decay::Technique::kSelectiveDecay, t,
-                           topo, cores, h});
+                           topo, cores, h, programs});
         }
       };
   if (three_level_only) {
@@ -72,6 +75,14 @@ std::vector<MatrixCell> matrix_cells(bool dmesh_only,
               sim::Hierarchy::kThreeLevel);
     add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
               sim::Hierarchy::kThreeLevel);
+    // Multi-program rate-mode mixes: heterogeneous fuzzer personalities
+    // co-scheduled on one machine with a hot-tenant budget skew, so the
+    // oracle shadows cores that retire at different times while sharing
+    // the directory and NoC.
+    add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16,
+              sim::Hierarchy::kTwoLevel, /*programs=*/4);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
+              sim::Hierarchy::kThreeLevel, /*programs=*/3);
   } else {
     // The CI many-core smoke gate: 16-core mesh only, both protocols.
     add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16);
@@ -92,6 +103,7 @@ std::string FuzzScenario::label() const {
   if (hierarchy == sim::Hierarchy::kThreeLevel) {
     os << "/l3=" << total_l3_bytes / KiB << "K";
   }
+  if (programs > 0) os << "/progs=" << programs;
   os << "/seed=" << seed;
   if (inject_writeback_loss) os << "/INJECTED-WB-LOSS";
   return os.str();
@@ -121,6 +133,15 @@ sim::SystemConfig FuzzScenario::system_config() const {
     cfg.l3.ways = 8;
   }
   cfg.instructions_per_core = instructions_per_core;
+  if (programs > 0) {
+    // Rate-mode hot-tenant skew: program 0's cores get a doubled budget,
+    // so they keep issuing after the other tenants retire and the oracle
+    // shadows a machine whose cores finish at different times.
+    cfg.per_core_instructions.assign(num_cores, instructions_per_core);
+    for (std::uint32_t c = 0; c < num_cores; c += programs) {
+      cfg.per_core_instructions[c] = 2 * instructions_per_core;
+    }
+  }
   cfg.seed = seed;
   return cfg;
 }
@@ -139,6 +160,7 @@ std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
     sc.hierarchy = cell.hierarchy;
     sc.decay = decay::DecayConfig{cell.technique, cell.decay_time, 4};
     sc.num_cores = cell.num_cores;
+    sc.programs = cell.programs;
     // Alternate slice pressure between rounds of the matrix (32 KiB or
     // 64 KiB per core, matching the historical 4-core 128K/256K totals).
     const std::uint64_t per_core =
@@ -198,10 +220,43 @@ ScenarioOutcome run_scenario(const FuzzScenario& sc, bool capture) {
   trace.num_cores = cfg.num_cores;
 
   const workload::FuzzerConfig& fc = sc.fuzz;
-  workload::StreamFactory base = [&fc](CoreId core,
-                                       std::uint64_t seed) {
-    return std::make_unique<workload::FuzzerWorkload>(fc, core, seed);
-  };
+  workload::StreamFactory base;
+  if (sc.programs == 0) {
+    base = [&fc](CoreId core, std::uint64_t seed) {
+      return std::make_unique<workload::FuzzerWorkload>(fc, core, seed);
+    };
+  } else {
+    // Multi-program cell: core c runs personality c % programs. Each
+    // personality leans on different machinery, and its seed is mixed
+    // with the program index so tenants sharing a seed still draw
+    // distinct streams.
+    const std::uint32_t programs = sc.programs;
+    base = [&fc, programs](CoreId core, std::uint64_t seed) {
+      const std::uint32_t p = core % programs;
+      workload::FuzzerConfig pc = fc;
+      pc.name = fc.name + "/p" + std::to_string(p);
+      switch (p % 4) {
+        case 0:  // the classic hostile blend (the hot tenant)
+          break;
+        case 1:  // invalidation-heavy: ownership ping-pong through BusRdX
+          pc.w_false_share = 0.40;
+          pc.w_pingpong = 0.12;
+          break;
+        case 2:  // decay-edge heavy: long sleeps straddling the window
+          pc.w_straddle = 0.22;
+          pc.w_chain = 0.06;
+          pc.max_gap = 7;
+          break;
+        default:  // store-heavy churn: dirty evictions and write-backs
+          pc.w_pingpong = 0.40;
+          pc.store_fraction = 0.7;
+          pc.churn_lines = 96;
+          break;
+      }
+      return std::make_unique<workload::FuzzerWorkload>(
+          pc, core, seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+    };
+  }
   const workload::StreamFactory factory =
       capture ? workload::capture_factory(std::move(base), &trace) : base;
 
@@ -216,7 +271,12 @@ ScenarioOutcome replay_scenario(const FuzzScenario& sc,
   CDSIM_ASSERT_MSG(trace.num_cores == cfg.num_cores,
                    "trace core count does not match the scenario");
   cfg.per_core_instructions = trace.per_core_instructions();
-  return run_with_factory(sc, cfg, workload::replay_factory(trace));
+  // Replay is synchronous — the factory dies with this call frame — so
+  // alias the caller's trace instead of copying it (the shrinker replays
+  // thousands of candidates).
+  const auto alias = std::shared_ptr<const workload::Trace>(
+      std::shared_ptr<const workload::Trace>(), &trace);
+  return run_with_factory(sc, cfg, workload::replay_factory(alias));
 }
 
 namespace {

@@ -16,10 +16,6 @@ constexpr std::size_t kHeaderBytes = 20;
 constexpr std::size_t kRecordBytes = 16;
 constexpr std::size_t kChecksumBytes = 8;
 
-/// Reserved region for the idle filler op of record-less cores (region id
-/// 7 in the synthetic address map's bits 40+, far from every generator).
-constexpr Addr kIdleRegionBase = 0x7ull << 40;
-
 void put_u32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
@@ -223,31 +219,15 @@ std::vector<std::uint64_t> Trace::per_core_instructions() const {
   return budget;
 }
 
-StreamFactory capture_factory(StreamFactory inner, Trace* sink) {
-  CDSIM_ASSERT(sink != nullptr);
-  return [inner = std::move(inner), sink](CoreId core,
-                                          std::uint64_t seed) -> StreamPtr {
-    return std::make_unique<CaptureStream>(inner(core, seed), core, sink);
-  };
+StreamFactory replay_factory(std::shared_ptr<const Trace> trace) {
+  CDSIM_ASSERT(trace != nullptr);
+  return replay_factory(TraceOpener{[trace]() -> TraceSourcePtr {
+    return std::make_unique<InMemoryTraceSource>(trace);
+  }});
 }
 
 StreamFactory replay_factory(const Trace& trace) {
-  auto per_core =
-      std::make_shared<std::vector<std::vector<MemOp>>>(trace.ops_by_core());
-  return [per_core](CoreId core, std::uint64_t /*seed*/) -> StreamPtr {
-    CDSIM_ASSERT_MSG(core < per_core->size(),
-                     "replay on more cores than the trace recorded");
-    std::vector<MemOp> ops = (*per_core)[core];
-    if (ops.empty()) {
-      // A core the trace never scheduled: one idle load to a reserved,
-      // never-shared line (budget 1 via per_core_instructions()).
-      ops.push_back(MemOp{AccessType::kLoad,
-                          kIdleRegionBase | (static_cast<Addr>(core) << 32),
-                          0, false, 0});
-    }
-    return std::make_unique<ScriptedWorkload>(
-        std::move(ops), ScriptedWorkload::AtEnd::kRepeatLast, "replay");
-  };
+  return replay_factory(std::make_shared<const Trace>(trace));
 }
 
 }  // namespace cdsim::workload

@@ -1,0 +1,120 @@
+#include "cdsim/workload/trace_source.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace cdsim::workload {
+
+StreamFactory capture_factory(StreamFactory inner, TraceSink* sink) {
+  CDSIM_ASSERT(sink != nullptr);
+  return [inner = std::move(inner), sink](CoreId core,
+                                          std::uint64_t seed) -> StreamPtr {
+    return std::make_unique<CaptureStream>(inner(core, seed), core, sink);
+  };
+}
+
+bool ReplayDemux::pop(CoreId core, MemOp& out) {
+  CDSIM_ASSERT(core < queues_.size());
+  while (queues_[core].empty() && !exhausted_) {
+    TraceRecord rec;
+    if (!source_->next(rec)) {
+      exhausted_ = true;
+      break;
+    }
+    CDSIM_ASSERT_MSG(rec.core < queues_.size(),
+                     "trace record names a core outside the trace header");
+    queues_[rec.core].push_back(rec.op);
+  }
+  if (queues_[core].empty()) return false;
+  out = queues_[core].front();
+  queues_[core].pop_front();
+  return true;
+}
+
+MemOp DemuxReplayStream::next(Cycle /*now*/) {
+  if (!tail_) {
+    MemOp op;
+    if (demux_->pop(core_, op)) {
+      last_ = op;
+      have_last_ = true;
+      return op;  // the final recorded op leaves here verbatim
+    }
+    tail_ = true;
+    if (!have_last_) last_ = replay_idle_op(core_);
+  }
+  MemOp op = last_;
+  // Tail repeats are re-stamped independent, mirroring ScriptedWorkload's
+  // kRepeatLast contract (see scripted.hpp for why a repeated dependent
+  // load would break replay determinism). The idle filler's first return
+  // counts as its verbatim appearance — it is already independent.
+  if (have_last_) op.dependent = false;
+  have_last_ = true;
+  return op;
+}
+
+MemOp FilteredReplayStream::next(Cycle /*now*/) {
+  if (!tail_) {
+    TraceRecord rec;
+    while (!exhausted_) {
+      if (!source_->next(rec)) {
+        exhausted_ = true;
+        break;
+      }
+      if (rec.core != target_) continue;  // another core's record: discard
+      last_ = rec.op;
+      have_last_ = true;
+      return rec.op;
+    }
+    tail_ = true;
+    if (!have_last_) last_ = replay_idle_op(target_);
+  }
+  MemOp op = last_;
+  if (have_last_) op.dependent = false;  // see DemuxReplayStream::next
+  have_last_ = true;
+  return op;
+}
+
+namespace {
+
+/// Shared-cursor state for replay_factory: the demux of the current pass
+/// plus the last core handed out, so a non-ascending request (CmpSystem
+/// always asks 0..N-1 in order) re-opens the source for a fresh pass.
+struct DemuxPass {
+  std::shared_ptr<ReplayDemux> demux;
+  CoreId prev_core = 0;
+  bool any = false;
+};
+
+}  // namespace
+
+StreamFactory replay_factory(TraceOpener open) {
+  CDSIM_ASSERT(open != nullptr);
+  auto pass = std::make_shared<DemuxPass>();
+  return [open = std::move(open), pass](CoreId core,
+                                        std::uint64_t /*seed*/) -> StreamPtr {
+    if (pass->demux == nullptr || (pass->any && core <= pass->prev_core)) {
+      TraceSourcePtr src = open();
+      CDSIM_ASSERT_MSG(src != nullptr, "trace opener failed");
+      pass->demux = std::make_shared<ReplayDemux>(std::move(src));
+    }
+    pass->prev_core = core;
+    pass->any = true;
+    CDSIM_ASSERT_MSG(core < pass->demux->num_cores(),
+                     "replay on more cores than the trace recorded");
+    return std::make_unique<DemuxReplayStream>(pass->demux, core);
+  };
+}
+
+StreamFactory streaming_replay_factory(TraceOpener open) {
+  CDSIM_ASSERT(open != nullptr);
+  return [open = std::move(open)](CoreId core,
+                                  std::uint64_t /*seed*/) -> StreamPtr {
+    TraceSourcePtr src = open();
+    CDSIM_ASSERT_MSG(src != nullptr, "trace opener failed");
+    CDSIM_ASSERT_MSG(core < src->num_cores(),
+                     "replay on more cores than the trace recorded");
+    return std::make_unique<FilteredReplayStream>(std::move(src), core);
+  };
+}
+
+}  // namespace cdsim::workload

@@ -115,6 +115,13 @@ TEST(CdlintGolden, DeterministicLookupsStayQuiet) {
 
 TEST(CdlintGolden, RawRandomness) { expect_golden("bad_raw_random.cpp"); }
 
+TEST(CdlintGolden, ChunkCodecIdiomsStayQuiet) {
+  // The .cdt v2 codec's shapes — varint shift loops, integer FNV-1a
+  // accumulation, zigzag folds, NSDMI'd codec-state structs — must never
+  // trip the determinism rules.
+  expect_golden("good_chunk_codec.cpp");
+}
+
 TEST(CdlintGolden, PointerKeyedContainers) {
   expect_golden("bad_ptr_key.cpp");
 }

@@ -264,7 +264,13 @@ TEST(GoldenMetricsTest, ThreeLevelConfigIsPinned) {
   EXPECT_EQ(m.l3.hits, 8671u);
   EXPECT_EQ(m.l3.misses, 10523u);
   EXPECT_EQ(m.l3.decay_turnoffs, 1579u);
-  EXPECT_EQ(m.l3.decay_induced_misses, 55u);
+  // 0 is correct, not a regression: every L3 access that lands on a decayed
+  // line in this run is an absorbed write-back (55 of them), and absorbs
+  // deliberately skip note_miss — writing fresh data into a dead frame costs
+  // no refetch, so charging decay_induced_misses would double-count. The
+  // demand-access path still attributes decay misses (L1/L2 pins above are
+  // non-zero); this config simply never demand-hits a decayed L3 line.
+  EXPECT_EQ(m.l3.decay_induced_misses, 0u);
   EXPECT_EQ(m.l3.writebacks, 179u);
   EXPECT_EQ(m.l3.occupation, 0x1.52bace6d02d1bp-5);
 

@@ -1,0 +1,78 @@
+// cdlint fixture: chunk-codec idioms from the .cdt v2 reader/writer —
+// varint encode/decode loops, FNV-1a checksum accumulation in integer
+// arithmetic, zigzag folding, byte packing into a std::string buffer, and
+// an NSDMI'd codec-state struct. All deterministic; zero findings expected.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Codec state with every scalar initialized (the uninit_field rule watches
+// this directory): per-core delta bases plus the running chunk totals.
+struct ChunkState {
+  std::uint64_t checksum = 14695981039346656037ull;
+  std::uint32_t records = 0;
+  std::uint64_t prev_addr = 0;
+  bool sealed = false;
+};
+
+// FNV-1a over a byte buffer: integer accumulation, no float totals.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// LEB128-style varint: shift/mask loops are pure integer control flow.
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+bool get_varint(const std::string& in, std::size_t& off, std::uint64_t& v) {
+  v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (off >= in.size()) return false;
+    const auto byte = static_cast<unsigned char>(in[off++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+// Zigzag fold: signed deltas into small unsigned varints.
+std::uint64_t zigzag(std::uint64_t delta) {
+  return (delta << 1) ^ (delta >> 63 ? ~0ull : 0ull);
+}
+
+}  // namespace
+
+// Round-trips a delta-encoded address walk through the codec primitives.
+bool codec_round_trip(const std::vector<std::uint64_t>& addrs) {
+  ChunkState st;
+  std::string buf;
+  for (const std::uint64_t a : addrs) {
+    put_varint(buf, zigzag(a - st.prev_addr));
+    st.prev_addr = a;
+    ++st.records;
+  }
+  st.checksum = fnv1a(buf);
+  st.sealed = true;
+
+  std::size_t off = 0;
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < st.records; ++i) {
+    std::uint64_t z = 0;
+    if (!get_varint(buf, off, z)) return false;
+    prev += (z >> 1) ^ (~(z & 1) + 1);
+    if (prev != addrs[i]) return false;
+  }
+  return st.sealed && off == buf.size() && st.checksum == fnv1a(buf);
+}
