@@ -200,6 +200,11 @@ class SnoopBus final : public noc::Interconnect {
 
     Cycle done = granted + cfg_.address_phase;
     const Cycle beats = transfer_cycles(tx.bytes);
+    const bool dram = mem_.model() == mem::MemoryModel::kDram;
+    // kDram resolves memory completions through callbacks; these flags
+    // divert the tail of execute() onto the asynchronous path.
+    bool async_read = false;
+    bool async_write = false;
 
     switch (tx.kind) {
       case coherence::BusTxKind::kBusRd:
@@ -207,11 +212,20 @@ class SnoopBus final : public noc::Interconnect {
         if (res.supplied_by_cache) {
           // Dirty owner flushes: data to the requester, and to memory when
           // the protocol says the flush ends ownership (MESI always; MOESI
-          // keeps an Owned supplier responsible and memory stale).
+          // keeps an Owned supplier responsible and memory stale). The
+          // memory-update side of a flush is always posted — the requester
+          // got its data from the owner and never waits on memory.
           done += cfg_.cache_to_cache_latency + beats;
           if (flush_writes_memory) {
-            mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+            if (dram) {
+              mem_.dram_write(granted + cfg_.address_phase, tx.bytes,
+                              tx.line_addr, {});
+            } else {
+              mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+            }
           }
+        } else if (dram) {
+          async_read = true;  // memory supplies; fill time known later
         } else {
           // Memory supplies.
           done = mem_.schedule_read(granted + cfg_.address_phase, tx.bytes);
@@ -223,7 +237,20 @@ class SnoopBus final : public noc::Interconnect {
         break;
       case coherence::BusTxKind::kWriteBack:
         done += beats;
-        mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+        if (dram) {
+          if (mem_.config().posted_writes) {
+            mem_.dram_write(granted + cfg_.address_phase, tx.bytes,
+                            tx.line_addr, {});
+          } else {
+            async_write = true;  // completion rides the DRAM service
+          }
+        } else {
+          const Cycle wdone =
+              mem_.post_write(granted + cfg_.address_phase, tx.bytes);
+          // Non-posted: the evicting cache holds the transaction open
+          // until the channel has absorbed the write.
+          if (!mem_.config().posted_writes && wdone > done) done = wdone;
+        }
         if (obs_) {
           obs_->on_writeback_resolved(tx.requester, tx.line_addr, granted,
                                       /*cancelled=*/false);
@@ -237,6 +264,37 @@ class SnoopBus final : public noc::Interconnect {
     busy_cycles_ += occupied_until - granted;
     free_at_ = occupied_until;
     bytes_.inc(tx.bytes);
+
+    if (async_read || async_write) {
+      // DRAM decides the completion cycle. The grant-time contract is
+      // unchanged: on_grant consumers never read done_at (the directory
+      // mesh sets the same provisional value), coherence state still
+      // updates atomically at grant.
+      res.done_at = granted;  // provisional; the DRAM callback sets it
+      if (tx.hooks.on_grant) tx.hooks.on_grant(res);
+      const Cycle local_done = done;
+      auto finish = [this, cb = std::move(tx.hooks.on_done), res,
+                     local_done](Cycle t) mutable {
+        if (!cb) return;
+        // A write-back is complete when both the bus data phase and the
+        // memory service are over (reads always finish at the fill).
+        res.done_at = t > local_done ? t : local_done;
+        if (res.done_at == t) {
+          cb(res);
+        } else {
+          eq_.schedule_at(res.done_at,
+                          [cb = std::move(cb), res]() mutable { cb(res); });
+        }
+      };
+      if (async_read) {
+        mem_.dram_read(granted + cfg_.address_phase, tx.bytes, tx.line_addr,
+                       std::move(finish));
+      } else {
+        mem_.dram_write(granted + cfg_.address_phase, tx.bytes, tx.line_addr,
+                        std::move(finish));
+      }
+      return;
+    }
 
     res.done_at = done;
     if (tx.hooks.on_grant) tx.hooks.on_grant(res);

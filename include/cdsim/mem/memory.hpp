@@ -1,61 +1,279 @@
 #pragma once
-// Main-memory model: fixed access latency plus a bandwidth-limited channel.
+// Main-memory models behind the bus / memory-channel seam.
 //
-// The external bus / memory channel is where the paper's Figure 4(a) metric
-// lives: decay-induced refetches and turn-off write-backs all cross this
-// channel, so the controller counts every byte moved in each direction.
+// Two models share one facade (MemoryController), selected by
+// MemoryConfig.model:
+//
+//   * kFlat — the historical fixed-latency, bandwidth-limited channel. The
+//     external bus is where the paper's Figure 4(a) metric lives: decay
+//     refetches and turn-off write-backs all cross it, so the controller
+//     counts every byte in each direction. Flat-mode timing is bit-exact
+//     with the pre-DRAM simulator (all golden pins hold).
+//   * kDram — channels -> ranks -> banks with per-bank open-row state,
+//     row-buffer hit/miss/conflict timing (tCAS / tRCD+tCAS /
+//     tRP+tRCD+tCAS), an FR-FCFS scheduler over a bounded per-channel
+//     request queue, and a periodic (lazily applied) refresh. Requests
+//     complete through callbacks at their true service time.
+//
+// Oracle threading (kDram): the differential checker's memory shadow is
+// updated at write-back *grant* time, before the DRAM write is serviced. A
+// read arriving while an older write to the same line is still queued is
+// therefore served from the queue (write forwarding) instead of the bank —
+// a younger read can never bypass an older queued write and observe the
+// pre-write version. See DESIGN.md §9.
 
 #include <cstdint>
-#include <functional>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
 
 #include "cdsim/common/assert.hpp"
 #include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
 
 namespace cdsim::mem {
 
+/// Which memory model serves the channel (MemoryConfig.model).
+enum class MemoryModel : std::uint8_t {
+  kFlat,  ///< Fixed latency + bandwidth-limited channel (the paper's sink).
+  kDram,  ///< Banked DRAM with row-buffer timing and FR-FCFS scheduling.
+};
+
+constexpr std::string_view to_string(MemoryModel m) noexcept {
+  return m == MemoryModel::kFlat ? "flat" : "dram";
+}
+
+/// DRAM geometry and timing (kDram only). Timings are in *core* cycles; the
+/// defaults approximate DDR-class parts behind a ~3.5 GHz core (one DRAM
+/// clock ~ 9 core cycles, tRCD/tRP/tCAS ~ 13-14 DRAM clocks).
+struct DramConfig {
+  std::uint32_t channels = 2;
+  std::uint32_t ranks_per_channel = 2;
+  std::uint32_t banks_per_rank = 8;
+  /// Row-buffer size per bank; consecutive interleave units of one channel
+  /// stay in one row, so streaming traffic earns row hits.
+  std::uint32_t row_bytes = 2048;
+  /// Channel-interleave granularity (one cache line by default).
+  std::uint32_t interleave_bytes = 64;
+  /// Bounded FR-FCFS scheduling window per channel; arrivals beyond it
+  /// wait in a FIFO spill and are not visible to the scheduler yet.
+  std::uint32_t queue_depth = 16;
+  /// A row-hit may bypass the oldest request at most this many times
+  /// before oldest-first is forced (FR-FCFS starvation cap).
+  std::uint32_t starvation_limit = 4;
+  Cycle t_rcd = 40;  ///< Activate (row open) to column command.
+  Cycle t_rp = 40;   ///< Precharge (row close) latency.
+  Cycle t_cas = 35;  ///< Column access to first data beat.
+  /// Refresh interval (tREFI): one refresh per channel every t_refi
+  /// cycles, applied lazily (no events while idle). 0 disables refresh.
+  Cycle t_refi = 27300;
+  /// Refresh cycle time (tRFC): every bank of the channel is unavailable
+  /// this long per refresh, and all open rows close.
+  Cycle t_rfc = 1225;
+};
+
+/// Per-core TLB in front of the hierarchy (page granularity, fixed
+/// miss-walk latency). Disabled by default: the flat golden pins predate
+/// address translation.
+struct TlbConfig {
+  bool enabled = false;
+  std::uint32_t entries = 64;
+  std::uint32_t page_bytes = 4096;
+  Cycle miss_walk_latency = 60;
+};
+
 struct MemoryConfig {
-  /// Core cycles from channel issue to first data beat (row activation,
-  /// controller queuing not included — queuing is modeled explicitly).
+  MemoryModel model = MemoryModel::kFlat;
+  /// kFlat: core cycles from channel issue to first data beat (row
+  /// activation, controller queuing not included — queuing is modeled
+  /// explicitly).
   Cycle read_latency = 130;
   /// Channel bandwidth in bytes per core cycle (both directions share it).
   std::uint32_t bytes_per_cycle = 16;
   /// Writes are posted: the issuer never waits for them, but they occupy
-  /// channel bandwidth and are counted as traffic.
+  /// channel bandwidth and are counted as traffic. When false, write-back
+  /// completions wait for the memory write to finish.
   bool posted_writes = true;
+  DramConfig dram;  ///< kDram only.
+  TlbConfig tlb;    ///< Per-core TLBs (CmpSystem interposes them).
 };
 
-/// Bandwidth-limited, fixed-latency memory controller.
+/// kDram service counters (all zero under kFlat).
+struct DramStats {
+  std::uint64_t row_hits = 0;       ///< Open-row column accesses (tCAS).
+  std::uint64_t row_misses = 0;     ///< Closed-bank activates (tRCD+tCAS).
+  std::uint64_t row_conflicts = 0;  ///< Open-row replacements (tRP+tRCD+tCAS).
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t write_forwards = 0;  ///< Reads served from a queued write.
+};
+
+/// Completion callback for model-agnostic requests; invoked with the cycle
+/// the data is fully available. Inline budget fits the bus's DRAM-fill
+/// continuation (an on_done SmallFn plus a BusResult).
+using MemCallback = SmallFn<void(Cycle), 96>;
+
+/// The banked-DRAM engine (MemoryConfig.model == kDram). Owns per-channel
+/// FR-FCFS queues, per-bank open-row state, and the lazy refresh clock;
+/// requests are issued with read()/write() and complete via MemCallback at
+/// their true service cycle. Channels serialize one command at a time
+/// (bank-level overlap is folded into the per-request access latency — a
+/// documented simplification, see DESIGN.md §9).
+class DramController {
+ public:
+  DramController(EventQueue& eq, const MemoryConfig& cfg);
+
+  DramController(const DramController&) = delete;
+  DramController& operator=(const DramController&) = delete;
+
+  /// Enqueues a read of `bytes` at `line`, arriving at `start` (>= now).
+  /// `cb` fires at the service completion cycle. A queued older write to
+  /// the same line serves the read directly (write forwarding).
+  void read(Cycle start, std::uint32_t bytes, Addr line, MemCallback cb);
+
+  /// Enqueues a write. `cb` (optional) fires when the write is serviced —
+  /// the non-posted completion the issuer can wait on.
+  void write(Cycle start, std::uint32_t bytes, Addr line, MemCallback cb);
+
+  [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Request {
+    Addr line = 0;
+    std::uint32_t bytes = 0;
+    bool is_write = false;
+    std::uint32_t bypassed = 0;  ///< FR-FCFS bypass count (oldest only).
+    MemCallback cb;
+  };
+  struct Bank {
+    std::int64_t open_row = -1;  ///< -1: precharged (no open row).
+    Cycle ready = 0;             ///< Bank busy until here (incl. refresh).
+  };
+  struct Channel {
+    std::deque<Request> queue;  ///< The scheduler's bounded window.
+    std::deque<Request> spill;  ///< FIFO overflow beyond queue_depth.
+    std::vector<Bank> banks;
+    Cycle data_free = 0;  ///< Channel data bus busy until here.
+    bool busy = false;    ///< A command is in service.
+    std::uint64_t refreshes_applied = 0;
+  };
+  struct Decoded {
+    std::uint32_t channel = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+  };
+
+  [[nodiscard]] Decoded decode(Addr line) const noexcept;
+  [[nodiscard]] Cycle transfer_cycles(std::uint32_t bytes) const noexcept;
+  void issue(Cycle start, Request req);
+  void arrive(Request req);
+  void apply_refresh(Channel& ch, Cycle now);
+  void pump(std::size_t ci);
+
+  EventQueue& eq_;
+  MemoryConfig cfg_;
+  /// std::deque, not vector: Channel holds move-only request queues and a
+  /// deque grows without relocating (no noexcept-move requirement).
+  std::deque<Channel> channels_;
+  DramStats stats_;
+};
+
+/// The memory-side facade every fabric talks to.
 ///
-/// The channel serializes transfers: each request occupies the channel for
-/// ceil(bytes / bytes_per_cycle) cycles starting no earlier than the
-/// previous occupant finished. Reads additionally pay `read_latency` before
-/// their data is available to the requester.
+/// kFlat: the channel serializes transfers — each request occupies it for
+/// ceil(bytes / bytes_per_cycle) cycles placed *time-ordered* (first fit
+/// into the earliest idle gap at or after its start cycle, so a claim
+/// issued out of call order is no longer queued behind later traffic).
+/// Reads additionally pay `read_latency` before their data is available.
+/// kDram: requests are forwarded to the DramController and complete
+/// asynchronously via dram_read()/dram_write() callbacks.
 class MemoryController {
  public:
   MemoryController(EventQueue& eq, const MemoryConfig& cfg)
       : eq_(eq), cfg_(cfg) {
     CDSIM_ASSERT(cfg.bytes_per_cycle >= 1);
+    if (cfg_.model == MemoryModel::kDram) {
+      dram_ = std::make_unique<DramController>(eq, cfg_);
+    }
   }
 
+  [[nodiscard]] MemoryModel model() const noexcept { return cfg_.model; }
+
+  // --- kFlat synchronous API (asserts on kDram) ----------------------------
+
   /// Schedules a read of `bytes` starting at `start`; returns the cycle the
-  /// data is fully available at the on-chip side.
+  /// data is fully available at the on-chip side. Zero-byte requests are
+  /// no-ops (no channel claim, no counters).
   Cycle schedule_read(Cycle start, std::uint32_t bytes) {
+    CDSIM_ASSERT_MSG(cfg_.model == MemoryModel::kFlat,
+                     "synchronous reads are flat-model only");
+    if (bytes == 0) return start;
     const Cycle begin = claim_channel(start, bytes);
     reads_.inc();
     bytes_read_.inc(bytes);
     return begin + cfg_.read_latency + transfer_cycles(bytes);
   }
 
-  /// Posts a write of `bytes` at `start` (fire-and-forget). Returns the
-  /// cycle the channel finished moving it (for tests).
+  /// Posts a write of `bytes` at `start`. Returns the cycle the channel
+  /// finished moving it — the completion a non-posted issuer waits on
+  /// (posted issuers discard it). Zero-byte requests are no-ops.
   Cycle post_write(Cycle start, std::uint32_t bytes) {
+    CDSIM_ASSERT_MSG(cfg_.model == MemoryModel::kFlat,
+                     "synchronous writes are flat-model only");
+    if (bytes == 0) return start;
     const Cycle begin = claim_channel(start, bytes);
     writes_.inc();
     bytes_written_.inc(bytes);
     return begin + transfer_cycles(bytes);
   }
+
+  // --- kDram asynchronous API (asserts on kFlat) ---------------------------
+
+  /// Enqueues a DRAM read; `cb` fires at the true service-completion cycle
+  /// (possibly forwarded from a queued write to the same line).
+  void dram_read(Cycle start, std::uint32_t bytes, Addr line,
+                 MemCallback cb) {
+    CDSIM_ASSERT_MSG(dram_ != nullptr, "dram_read needs model == kDram");
+    if (bytes == 0) {  // no-op, like the flat path: no traffic, no counters
+      if (cb) {
+        const Cycle at = start > eq_.now() ? start : eq_.now();
+        eq_.schedule_at(at, [cb = std::move(cb), at]() mutable { cb(at); });
+      }
+      return;
+    }
+    reads_.inc();
+    bytes_read_.inc(bytes);
+    dram_->read(start, bytes, line, std::move(cb));
+  }
+
+  /// Enqueues a DRAM write; `cb` (may be empty for posted writes) fires
+  /// when the write is serviced.
+  void dram_write(Cycle start, std::uint32_t bytes, Addr line,
+                  MemCallback cb) {
+    CDSIM_ASSERT_MSG(dram_ != nullptr, "dram_write needs model == kDram");
+    if (bytes == 0) {  // no-op, like the flat path: no traffic, no counters
+      if (cb) {
+        const Cycle at = start > eq_.now() ? start : eq_.now();
+        eq_.schedule_at(at, [cb = std::move(cb), at]() mutable { cb(at); });
+      }
+      return;
+    }
+    writes_.inc();
+    bytes_written_.inc(bytes);
+    dram_->write(start, bytes, line, std::move(cb));
+  }
+
+  /// kDram service counters (all zero under kFlat).
+  [[nodiscard]] const DramStats& dram_stats() const noexcept {
+    static constexpr DramStats kEmpty{};
+    return dram_ != nullptr ? dram_->stats() : kEmpty;
+  }
+
+  // --- traffic accounting (both models) ------------------------------------
 
   [[nodiscard]] std::uint64_t bytes_read() const noexcept {
     return bytes_read_.value();
@@ -86,16 +304,60 @@ class MemoryController {
     return (bytes + cfg_.bytes_per_cycle - 1) / cfg_.bytes_per_cycle;
   }
 
-  /// Serializes channel occupancy; returns when this transfer may begin.
+  /// Time-ordered channel arbitration: first fit into the earliest idle
+  /// gap at or after `start`. For nondecreasing starts this is identical
+  /// to the historical "begin at max(start, channel_free_at)" rule (a gap
+  /// can only open at a cycle some claim already started at, so later
+  /// claims — whose starts are >= that cycle — can never fit inside it),
+  /// which is what keeps flat-mode golden pins bit-exact. Out-of-order
+  /// starts now land in the gap they belong to instead of serializing
+  /// behind later traffic.
   Cycle claim_channel(Cycle start, std::uint32_t bytes) {
-    const Cycle begin = start > channel_free_at_ ? start : channel_free_at_;
-    channel_free_at_ = begin + transfer_cycles(bytes);
+    CDSIM_ASSERT(bytes > 0);
+    const Cycle len = transfer_cycles(bytes);
+    // Intervals that ended at or before the current event time can never
+    // host a future claim (every in-tree issue point is >= now), so the
+    // ledger stays O(outstanding transfers), not O(run length).
+    const Cycle now = eq_.now();
+    while (!busy_.empty() && busy_.begin()->second <= now) {
+      busy_.erase(busy_.begin());
+    }
+    Cycle begin = start;
+    auto it = busy_.upper_bound(begin);
+    if (it != busy_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second > begin) begin = prev->second;
+    }
+    while (it != busy_.end() && it->first < begin + len) {
+      if (it->second > begin) begin = it->second;
+      ++it;
+    }
+    // Insert [begin, begin + len), coalescing with exact neighbours.
+    Cycle nb = begin;
+    Cycle ne = begin + len;
+    const auto nxt = busy_.lower_bound(begin);
+    if (nxt != busy_.begin()) {
+      const auto prev = std::prev(nxt);
+      if (prev->second == nb) {
+        nb = prev->first;
+        busy_.erase(prev);
+      }
+    }
+    if (nxt != busy_.end() && nxt->first == ne) {
+      ne = nxt->second;
+      busy_.erase(nxt);
+    }
+    busy_[nb] = ne;
     return begin;
   }
 
+  /// Once dead weight, now load-bearing: prunes the busy-interval ledger
+  /// against simulated time and clocks the DRAM engine.
   EventQueue& eq_;
   MemoryConfig cfg_;
-  Cycle channel_free_at_ = 0;
+  std::unique_ptr<DramController> dram_;  ///< kDram only (else null).
+  /// Flat-channel busy intervals [begin, end), coalesced, pruned at now().
+  std::map<Cycle, Cycle> busy_;
   Counter reads_, writes_, bytes_read_, bytes_written_;
 };
 

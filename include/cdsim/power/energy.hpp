@@ -42,6 +42,12 @@ enum class Component : std::uint8_t {
   /// after the L3 block to keep component indices append-only (the
   /// experiment-cache shim depends on old indices staying valid).
   kL1OffResidual,
+  /// Off-chip DRAM row activations (kDram model only; flat runs log zero,
+  /// so the "system" total of every golden pin is untouched — DRAM energy
+  /// is reported alongside, not folded into the paper's normalization).
+  kDramActivate,
+  /// Off-chip DRAM precharges (row-conflict closes; kDram only).
+  kDramPrecharge,
   kCount,
 };
 
@@ -64,6 +70,8 @@ constexpr std::string_view to_string(Component c) noexcept {
     case Component::kL3Leakage: return "l3_leak";
     case Component::kL3OffResidual: return "l3_off_residual";
     case Component::kL1OffResidual: return "l1_off_residual";
+    case Component::kDramActivate: return "dram_activate";
+    case Component::kDramPrecharge: return "dram_precharge";
     case Component::kCount: break;
   }
   return "?";
@@ -147,6 +155,12 @@ struct PowerConfig {
   double l3_dyn_per_access = 0.20;
   /// Extra dynamic energy per L3 line install.
   double l3_dyn_per_fill = 0.35;
+
+  // --- off-chip DRAM (kDram memory model; flat runs contribute zero) ------
+  /// Energy per DRAM row activation (ACT: wordline + sense amplifiers).
+  double dram_act_energy = 1.2;
+  /// Energy per DRAM precharge (PRE closing a conflicting row).
+  double dram_pre_energy = 0.6;
 };
 
 }  // namespace cdsim::power

@@ -19,6 +19,7 @@
 #include "cdsim/core/core_model.hpp"
 #include "cdsim/decay/technique.hpp"
 #include "cdsim/mem/memory.hpp"
+#include "cdsim/mem/tlb.hpp"
 #include "cdsim/power/energy.hpp"
 #include "cdsim/power/leakage.hpp"
 #include "cdsim/sim/l1_cache.hpp"
@@ -173,6 +174,10 @@ class CmpSystem {
   std::vector<std::unique_ptr<L1Cache>> l1s_;
   std::vector<std::unique_ptr<L2Cache>> l2s_;
   std::unique_ptr<L3Cache> l3_;  ///< kThreeLevel only (else null).
+  /// Per-core TLB interposers (mem.tlb.enabled only, else empty). Declared
+  /// between the L1s they wrap and the cores that load through them so
+  /// destruction order stays reference-safe.
+  std::vector<std::unique_ptr<mem::TlbPort>> tlbs_;
   std::vector<std::unique_ptr<core::CoreModel>> cores_;
   std::unique_ptr<thermal::Floorplan> floorplan_;
   power::LeakageModel leak_model_;
@@ -194,6 +199,8 @@ class CmpSystem {
   std::uint64_t prev_l3_acc_ = 0;
   std::uint64_t prev_l3_fills_ = 0;
   double prev_l3_powered_ = 0.0;
+  std::uint64_t prev_dram_act_ = 0;
+  std::uint64_t prev_dram_pre_ = 0;
 };
 
 }  // namespace cdsim::sim

@@ -70,6 +70,18 @@ struct RunMetrics {
   LevelMetrics l2;                   ///< Private L2 slices, summed.
   LevelMetrics l3;                   ///< Shared L3 home banks (3L only).
   std::uint64_t total_l3_bytes = 0;  ///< 0 for two-level runs.
+
+  // --- memory side (cache-v5; all zero / "flat" under kFlat) --------------
+  std::string mem_model = "flat";    ///< mem::to_string(MemoryConfig.model).
+  std::uint64_t dram_row_hits = 0;
+  std::uint64_t dram_row_misses = 0;     ///< Closed-bank activates.
+  std::uint64_t dram_row_conflicts = 0;  ///< Open-row replacements.
+  std::uint64_t dram_activates = 0;
+  std::uint64_t dram_precharges = 0;
+  std::uint64_t dram_refreshes = 0;
+  std::uint64_t dram_write_forwards = 0;  ///< Reads served from queued writes.
+  std::uint64_t tlb_hits = 0;        ///< Per-core TLBs, summed.
+  std::uint64_t tlb_misses = 0;
 };
 
 /// A technique run normalized against its baseline (same benchmark, same

@@ -67,6 +67,10 @@ struct FuzzScenario {
   /// running program 0 get a doubled instruction budget, so they keep
   /// issuing after their neighbours retire.
   std::uint32_t programs = 0;
+  /// Memory model behind the fabric. kDram cells run the banked DRAM
+  /// controller with per-core TLBs enabled — the oracle must see identical
+  /// values to a flat run (only timing may differ).
+  mem::MemoryModel mem_model = mem::MemoryModel::kFlat;
   workload::FuzzerConfig fuzz;
   /// Enables the L2's test-only lost-write-back fault (the bug the suite
   /// proves the oracle catches).

@@ -50,10 +50,18 @@ void DirectoryMesh::attach_l3(MemorySideCache* l3) {
   // The bank's own dirty traffic (decay turn-offs, dirty victims) crosses
   // the mesh to the memory tile like any other data packet.
   l3_->connect_memory_port(
-      [this](std::uint32_t bank, Addr /*line*/, std::uint32_t bytes) {
+      [this](std::uint32_t bank, Addr line, std::uint32_t bytes) {
         noc_.send(bank, cfg_.mem_tile, bytes,
-                  [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+                  [this, bytes, line](Cycle c) { mem_write(c, bytes, line); });
       });
+}
+
+void DirectoryMesh::mem_write(Cycle at, std::uint32_t bytes, Addr line) {
+  if (mem_.model() == mem::MemoryModel::kDram) {
+    mem_.dram_write(at, bytes, line, {});
+  } else {
+    mem_.post_write(at, bytes);
+  }
 }
 
 void DirectoryMesh::note_clean_drop(CoreId core, Addr line_addr) {
@@ -216,7 +224,9 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
           if (l3_ != nullptr) l3_->invalidate(home, tx->line);
           const std::uint32_t bytes = tx->bytes;
           noc_.send(supplier, cfg_.mem_tile, bytes,
-                    [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+                    [this, bytes, line = tx->line](Cycle c) {
+                      mem_write(c, bytes, line);
+                    });
         }
         // Forward home -> owner, then the line owner -> requester.
         auto sp = std::shared_ptr<Tx>(std::move(tx));
@@ -254,9 +264,11 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
         auto sp = std::shared_ptr<Tx>(std::move(tx));
         noc_.send(home, cfg_.mem_tile, cfg_.ctrl_bytes,
                   [this, sp, res, req_tile, home](Cycle arr) mutable {
-                    const Cycle ready = mem_.schedule_read(arr, sp->bytes);
-                    eq_.schedule_at(ready, [this, sp, res, req_tile,
-                                            home]() mutable {
+                    // The delivery leg runs when memory has the line: flat
+                    // computes the cycle synchronously, kDram resolves it
+                    // through the controller's completion callback.
+                    auto deliver = [this, sp, res, req_tile,
+                                    home](Cycle /*ready*/) mutable {
                       if (l3_ != nullptr) {
                         l3_->install_from_memory(home, sp->line);
                       }
@@ -268,7 +280,16 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
                                     sp->hooks.on_done(r);
                                   }
                                 });
-                    });
+                    };
+                    if (mem_.model() == mem::MemoryModel::kDram) {
+                      mem_.dram_read(arr, sp->bytes, sp->line,
+                                     std::move(deliver));
+                    } else {
+                      const Cycle ready = mem_.schedule_read(arr, sp->bytes);
+                      eq_.schedule_at(
+                          ready, [deliver = std::move(deliver),
+                                  ready]() mutable { deliver(ready); });
+                    }
                   });
       }
       break;
@@ -313,15 +334,48 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
       // bank absorbs it (dirty) and the channel sees nothing; two-level:
       // forward it to memory.
       const std::uint32_t bytes = tx->bytes;
+      const Cycle local_done = res.granted_at + cfg_.directory_latency;
+      if (l3_ == nullptr && !mem_.config().posted_writes) {
+        // Non-posted: the evicting cache's completion waits for the
+        // memory write to land, not just the directory's ack. (An L3
+        // absorption completes locally — memory was never involved.)
+        auto sp = std::shared_ptr<Tx>(std::move(tx));
+        noc_.send(home, cfg_.mem_tile, bytes,
+                  [this, sp, res, local_done](Cycle c) mutable {
+                    const auto finish = [this](std::shared_ptr<Tx> t,
+                                               BusResult r, Cycle at) {
+                      if (!t->hooks.on_done) return;
+                      r.done_at = at;
+                      eq_.schedule_at(at, [t, r]() mutable {
+                        t->hooks.on_done(r);
+                      });
+                    };
+                    if (mem_.model() == mem::MemoryModel::kDram) {
+                      mem_.dram_write(
+                          c, sp->bytes, sp->line,
+                          [finish, sp, res, local_done](Cycle t) mutable {
+                            finish(sp, res,
+                                   t > local_done ? t : local_done);
+                          });
+                    } else {
+                      const Cycle wdone = mem_.post_write(c, sp->bytes);
+                      finish(sp, res,
+                             wdone > local_done ? wdone : local_done);
+                    }
+                  });
+        break;
+      }
       if (l3_ != nullptr) {
         l3_->absorb_writeback(home, tx->line);
       } else {
         noc_.send(home, cfg_.mem_tile, bytes,
-                  [this, bytes](Cycle c) { mem_.post_write(c, bytes); });
+                  [this, bytes, line = tx->line](Cycle c) {
+                    mem_write(c, bytes, line);
+                  });
       }
       if (tx->hooks.on_done) {
         BusResult r = res;
-        r.done_at = res.granted_at + cfg_.directory_latency;
+        r.done_at = local_done;
         eq_.schedule_at(r.done_at,
                         [cb = std::move(tx->hooks.on_done), r] { cb(r); });
       }

@@ -3,5 +3,5 @@
 #include "cdsim/power/leakage.hpp"
 
 namespace cdsim::power {
-static_assert(kNumComponents == 14);
+static_assert(kNumComponents == 16);
 }  // namespace cdsim::power

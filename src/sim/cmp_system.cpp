@@ -119,8 +119,16 @@ CmpSystem::CmpSystem(const SystemConfig& cfg, const workload::Benchmark& bench,
     const std::uint64_t budget = cfg_.per_core_instructions.empty()
                                      ? cfg_.instructions_per_core
                                      : cfg_.per_core_instructions[c];
+    // With TLBs enabled the core loads through the per-core TlbPort, which
+    // interposes the walk latency in front of the L1.
+    core::LoadStorePort* port = l1s_.back().get();
+    if (cfg_.mem.tlb.enabled) {
+      tlbs_.push_back(std::make_unique<mem::TlbPort>(eq_, cfg_.mem.tlb,
+                                                     *l1s_.back()));
+      port = tlbs_.back().get();
+    }
     cores_.push_back(std::make_unique<core::CoreModel>(
-        eq_, cfg_.core, c, *streams_.back(), *l1s_.back(), budget));
+        eq_, cfg_.core, c, *streams_.back(), *port, budget));
   }
 
   // Warm-start the thermal network near equilibrium so short runs operate
@@ -353,6 +361,21 @@ void CmpSystem::sample_power(Cycle upto) {
 
   watts[floorplan_->bus_block()] += bus_energy / dtd * w_per_eu;
 
+  // Off-chip DRAM command energy (kDram only; flat stats are all zero).
+  // Reported in the ledger but never attributed to an on-chip block — the
+  // paper's "system" normalization excludes off-chip DRAM (§V, fn. 2).
+  if (mem_->model() == mem::MemoryModel::kDram) {
+    const mem::DramStats& ds = mem_->dram_stats();
+    ledger_.add(power::Component::kDramActivate,
+                static_cast<double>(ds.activates - prev_dram_act_) *
+                    pw.dram_act_energy);
+    ledger_.add(power::Component::kDramPrecharge,
+                static_cast<double>(ds.precharges - prev_dram_pre_) *
+                    pw.dram_pre_energy);
+    prev_dram_act_ = ds.activates;
+    prev_dram_pre_ = ds.precharges;
+  }
+
   if (cfg_.thermal_feedback) {
     const double dt_sec =
         dtd / cfg_.thermal.clock_hz;
@@ -466,6 +489,21 @@ RunMetrics CmpSystem::collect(Cycle end) const {
     m.l3.decay_induced_misses = l3_->decay_induced_misses();
     m.l3.writebacks = l3_->writebacks();
     m.l3.occupation = l3_->occupation(end);
+  }
+
+  // --- memory side (cache-v5) -----------------------------------------------
+  m.mem_model = std::string(mem::to_string(cfg_.mem.model));
+  const mem::DramStats& ds = mem_->dram_stats();
+  m.dram_row_hits = ds.row_hits;
+  m.dram_row_misses = ds.row_misses;
+  m.dram_row_conflicts = ds.row_conflicts;
+  m.dram_activates = ds.activates;
+  m.dram_precharges = ds.precharges;
+  m.dram_refreshes = ds.refreshes;
+  m.dram_write_forwards = ds.write_forwards;
+  for (const auto& t : tlbs_) {
+    m.tlb_hits += t->tlb().hits();
+    m.tlb_misses += t->tlb().misses();
   }
   return m;
 }

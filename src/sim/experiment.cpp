@@ -31,16 +31,20 @@ namespace {
 //     ledger grew the noc_dyn component.
 // v4: per-level attribution (hierarchy tag, total_l3_bytes, and one
 //     LevelMetrics block per level) appended; the ledger grew the three
-//     L3 components. v3 lines still load through a shim (see
-//     deserialize_v3): the L2 block is recovered from the aggregate
-//     fields, L1/L3 blocks default to zero, and the entry is re-keyed to
-//     v4 — so a re-persisted cache bakes those defaults in (delete the
-//     cache file to re-measure per-level numbers).
-constexpr const char* kCacheVersion = "v4";
-constexpr const char* kShimCacheVersion = "v3";
-/// Ledger width when v3 was current (components have only ever been
-/// appended, so v3 indices map 1:1 onto today's enum).
-constexpr std::size_t kV3LedgerComponents = 10;
+//     L3 components. v3 lines loaded through a shim while v4 was current;
+//     that shim is retired (one-back policy).
+// v5: memory-side block appended (mem_model tag, DRAM row-buffer /
+//     activate / precharge / refresh / write-forward counters, TLB
+//     hits/misses) and the ledger grew the two DRAM components. v4 lines
+//     load through deserialize_v4: the memory block defaults to a flat
+//     channel with zero DRAM/TLB activity — exactly what every v4 run
+//     simulated — and the entry is re-keyed to v5.
+constexpr const char* kCacheVersion = "v5";
+constexpr const char* kShimCacheVersion = "v4";
+/// Ledger width when v4 was current (components have only ever been
+/// appended, so v4 indices map 1:1 onto today's enum).
+constexpr std::size_t kV4LedgerComponents =
+    static_cast<std::size_t>(power::Component::kDramActivate);
 
 void serialize_level(std::ostringstream& os, const LevelMetrics& l) {
   os << ' ' << l.accesses << ' ' << l.hits << ' ' << l.misses << ' '
@@ -75,6 +79,12 @@ std::string serialize(const RunMetrics& m) {
   serialize_level(os, m.l1);
   serialize_level(os, m.l2);
   serialize_level(os, m.l3);
+  // v5 tail: memory-side model tag + DRAM/TLB counters.
+  os << ' ' << m.mem_model << ' ' << m.dram_row_hits << ' '
+     << m.dram_row_misses << ' ' << m.dram_row_conflicts << ' '
+     << m.dram_activates << ' ' << m.dram_precharges << ' '
+     << m.dram_refreshes << ' ' << m.dram_write_forwards << ' '
+     << m.tlb_hits << ' ' << m.tlb_misses;
   return os.str();
 }
 
@@ -104,27 +114,27 @@ bool deserialize(const std::string& line, RunMetrics& m) {
   std::istringstream is(line);
   if (!deserialize_prefix(is, m, power::kNumComponents)) return false;
   if (!(is >> m.hierarchy >> m.total_l3_bytes)) return false;
-  return deserialize_level(is, m.l1) && deserialize_level(is, m.l2) &&
-         deserialize_level(is, m.l3);
+  if (!(deserialize_level(is, m.l1) && deserialize_level(is, m.l2) &&
+        deserialize_level(is, m.l3))) {
+    return false;
+  }
+  return static_cast<bool>(
+      is >> m.mem_model >> m.dram_row_hits >> m.dram_row_misses >>
+      m.dram_row_conflicts >> m.dram_activates >> m.dram_precharges >>
+      m.dram_refreshes >> m.dram_write_forwards >> m.tlb_hits >>
+      m.tlb_misses);
 }
 
-/// The v3 loader shim: parses the old line format and synthesizes the v4
-/// fields. The L2 block is recovered exactly from the aggregate fields the
-/// old format carried; L1/L3 have no historical record and default to
-/// zero (occupation 1.0, the ungated value).
-bool deserialize_v3(const std::string& line, RunMetrics& m) {
+/// The v4 loader shim: parses the old line format and synthesizes the v5
+/// memory block. Every v4 run simulated the flat channel, so the defaults
+/// (mem_model "flat", zero DRAM/TLB counters) are the true historical
+/// values — nothing is approximated.
+bool deserialize_v4(const std::string& line, RunMetrics& m) {
   std::istringstream is(line);
-  if (!deserialize_prefix(is, m, kV3LedgerComponents)) return false;
-  m.hierarchy = "2L";
-  m.total_l3_bytes = 0;
-  m.l2.accesses = m.l2_accesses;
-  m.l2.hits = m.l2_accesses - m.l2_misses;
-  m.l2.misses = m.l2_misses;
-  m.l2.decay_turnoffs = m.l2_decay_turnoffs;
-  m.l2.decay_induced_misses = m.l2_decay_induced_misses;
-  m.l2.writebacks = m.l2_writebacks;
-  m.l2.occupation = m.l2_occupation;
-  return true;
+  if (!deserialize_prefix(is, m, kV4LedgerComponents)) return false;
+  if (!(is >> m.hierarchy >> m.total_l3_bytes)) return false;
+  return deserialize_level(is, m.l1) && deserialize_level(is, m.l2) &&
+         deserialize_level(is, m.l3);
 }
 
 struct ParsedCacheLine {
@@ -365,15 +375,15 @@ void ExperimentRunner::load_disk_cache() {
   };
   while (std::getline(in, line)) {
     // Other-version entries may deserialize cleanly but describe a
-    // different simulator; never let them into the memo. v3 entries load
+    // different simulator; never let them into the memo. v4 entries load
     // through the shim (key upgraded, new fields defaulted) — but only
-    // into gaps: a genuine v4 entry for the same key always wins,
+    // into gaps: a genuine v5 entry for the same key always wins,
     // regardless of file order (shimmed lines are applied after the loop).
     auto parsed = parse_cache_line(line);
     if (!parsed) continue;
     const std::string& key = parsed->key;
     RunMetrics m;
-    if (parsed->shimmed ? !deserialize_v3(parsed->payload, m)
+    if (parsed->shimmed ? !deserialize_v4(parsed->payload, m)
                         : !deserialize(parsed->payload, m)) {
       continue;
     }
@@ -386,7 +396,7 @@ void ExperimentRunner::load_disk_cache() {
   }
   for (auto& [key, m] : shimmed) {
     recover_labels(key, m);
-    cache_.emplace(key, std::move(m));  // fills gaps only: v4 entries win
+    cache_.emplace(key, std::move(m));  // fills gaps only: v5 entries win
   }
 }
 
@@ -415,13 +425,13 @@ void ExperimentRunner::persist_disk_cache_locked() {
       auto parsed = parse_cache_line(line);
       if (!parsed) continue;
       if (parsed->shimmed) {
-        // A v3 line merged from disk: upgrade its payload to the v4
+        // A v4 line merged from disk: upgrade its payload to the v5
         // format (the key was already upgraded by the parser). Applied
-        // after the loop so a genuine v4 line for the same key wins
+        // after the loop so a genuine v5 line for the same key wins
         // regardless of file order — the same precedence load_disk_cache
         // uses.
         RunMetrics m;
-        if (!deserialize_v3(parsed->payload, m)) continue;
+        if (!deserialize_v4(parsed->payload, m)) continue;
         shimmed.emplace_back(std::move(parsed->key), serialize(m));
       } else {
         lines.emplace(std::move(parsed->key), std::move(parsed->payload));

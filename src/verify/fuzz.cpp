@@ -30,6 +30,8 @@ struct MatrixCell {
   std::uint32_t num_cores = 4;
   sim::Hierarchy hierarchy = sim::Hierarchy::kTwoLevel;
   std::uint32_t programs = 0;  ///< Multi-program cell (see FuzzScenario).
+  /// kDram cells run banked DRAM + TLBs; values must match flat exactly.
+  mem::MemoryModel mem_model = mem::MemoryModel::kFlat;
 };
 
 constexpr Cycle kDecayTimes[3] = {1024, 2048, 4096};
@@ -41,27 +43,32 @@ std::vector<MatrixCell> matrix_cells(bool dmesh_only,
       [&cells](coherence::Protocol protocol, noc::Topology topo,
                std::uint32_t cores,
                sim::Hierarchy h = sim::Hierarchy::kTwoLevel,
-               std::uint32_t programs = 0) {
+               std::uint32_t programs = 0,
+               mem::MemoryModel mm = mem::MemoryModel::kFlat) {
         cells.push_back({protocol, decay::Technique::kBaseline, 2048, topo,
-                         cores, h, programs});
+                         cores, h, programs, mm});
         cells.push_back({protocol, decay::Technique::kProtocol, 2048, topo,
-                         cores, h, programs});
+                         cores, h, programs, mm});
         for (const Cycle t : kDecayTimes) {
           cells.push_back({protocol, decay::Technique::kDecay, t, topo,
-                           cores, h, programs});
+                           cores, h, programs, mm});
         }
         for (const Cycle t : kDecayTimes) {
           cells.push_back({protocol, decay::Technique::kSelectiveDecay, t,
-                           topo, cores, h, programs});
+                           topo, cores, h, programs, mm});
         }
       };
   if (three_level_only) {
     // The CI three-level smoke gate: shared-L3 cells only, both protocols,
-    // decay at all three levels.
+    // decay at all three levels — plus a DRAM-backed round so the banked
+    // memory model is oracle-checked below the L3 too.
     add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16,
               sim::Hierarchy::kThreeLevel);
     add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
               sim::Hierarchy::kThreeLevel);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
+              sim::Hierarchy::kThreeLevel, /*programs=*/0,
+              mem::MemoryModel::kDram);
     return cells;
   }
   if (!dmesh_only) {
@@ -83,11 +90,27 @@ std::vector<MatrixCell> matrix_cells(bool dmesh_only,
               sim::Hierarchy::kTwoLevel, /*programs=*/4);
     add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
               sim::Hierarchy::kThreeLevel, /*programs=*/3);
+    // DRAM-backed rounds: the same hostile mixes with the banked DRAM
+    // controller and per-core TLBs behind the fabric. Flat vs. DRAM may
+    // diverge only in timing — the oracle proves values never do.
+    add_block(coherence::Protocol::kMesi, noc::Topology::kSnoopBus, 4,
+              sim::Hierarchy::kTwoLevel, /*programs=*/0,
+              mem::MemoryModel::kDram);
+    add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh, 8,
+              sim::Hierarchy::kTwoLevel, /*programs=*/0,
+              mem::MemoryModel::kDram);
+    add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16,
+              sim::Hierarchy::kThreeLevel, /*programs=*/0,
+              mem::MemoryModel::kDram);
   } else {
-    // The CI many-core smoke gate: 16-core mesh only, both protocols.
+    // The CI many-core smoke gate: 16-core mesh only, both protocols, and
+    // a DRAM-backed round of the MESI cells.
     add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16);
     add_block(coherence::Protocol::kMoesi, noc::Topology::kDirectoryMesh,
               16);
+    add_block(coherence::Protocol::kMesi, noc::Topology::kDirectoryMesh, 16,
+              sim::Hierarchy::kTwoLevel, /*programs=*/0,
+              mem::MemoryModel::kDram);
   }
   return cells;
 }
@@ -104,6 +127,7 @@ std::string FuzzScenario::label() const {
     os << "/l3=" << total_l3_bytes / KiB << "K";
   }
   if (programs > 0) os << "/progs=" << programs;
+  if (mem_model == mem::MemoryModel::kDram) os << "/dram";
   os << "/seed=" << seed;
   if (inject_writeback_loss) os << "/INJECTED-WB-LOSS";
   return os.str();
@@ -131,6 +155,16 @@ sim::SystemConfig FuzzScenario::system_config() const {
     cfg.l3_decay = cfg.decay;
     // Small banks so L3 evictions and decay churn within the run.
     cfg.l3.ways = 8;
+  }
+  if (mem_model == mem::MemoryModel::kDram) {
+    cfg.mem.model = mem::MemoryModel::kDram;
+    // Per-core TLBs ride along in DRAM cells. Tiny capacity plus a short
+    // refresh interval so walks, refresh stalls, and row-buffer churn all
+    // fire within a 30k-instruction run.
+    cfg.mem.tlb.enabled = true;
+    cfg.mem.tlb.entries = 16;
+    cfg.mem.dram.t_refi = 4096;
+    cfg.mem.dram.t_rfc = 64;
   }
   cfg.instructions_per_core = instructions_per_core;
   if (programs > 0) {
@@ -161,6 +195,7 @@ std::vector<FuzzScenario> fuzz_matrix(const FuzzOptions& opts) {
     sc.decay = decay::DecayConfig{cell.technique, cell.decay_time, 4};
     sc.num_cores = cell.num_cores;
     sc.programs = cell.programs;
+    sc.mem_model = cell.mem_model;
     // Alternate slice pressure between rounds of the matrix (32 KiB or
     // 64 KiB per core, matching the historical 4-core 128K/256K totals).
     const std::uint64_t per_core =

@@ -237,5 +237,77 @@ TEST(Memory, BandwidthMetric) {
   EXPECT_DOUBLE_EQ(mem.bandwidth(1000), 0.64);
 }
 
+TEST(Memory, OutOfOrderStartsFillEarlierGaps) {
+  // Channel arbitration is time-ordered, not call-ordered: a claim issued
+  // late but starting early lands in the idle gap in front of already
+  // booked traffic.
+  EventQueue eq;
+  mem::MemoryConfig cfg;
+  mem::MemoryController mem(eq, cfg);
+  const Cycle xfer = 64 / cfg.bytes_per_cycle;  // 4
+  const Cycle late = mem.schedule_read(1000, 64);
+  EXPECT_EQ(late, 1000 + cfg.read_latency + xfer);
+  const Cycle early = mem.schedule_read(0, 64);  // fits the gap [0, 1000)
+  EXPECT_EQ(early, 0 + cfg.read_latency + xfer);
+  // A start that cannot finish before the booked claim queues behind it.
+  const Cycle squeezed = mem.schedule_read(998, 64);
+  EXPECT_EQ(squeezed, 1000 + xfer + cfg.read_latency + xfer);
+}
+
+TEST(Memory, ZeroByteTransfersAreNoOps) {
+  EventQueue eq;
+  mem::MemoryConfig cfg;
+  mem::MemoryController mem(eq, cfg);
+  EXPECT_EQ(mem.schedule_read(100, 0), 100u);
+  EXPECT_EQ(mem.post_write(50, 0), 50u);
+  EXPECT_EQ(mem.read_count(), 0u);
+  EXPECT_EQ(mem.write_count(), 0u);
+  EXPECT_EQ(mem.total_bytes(), 0u);
+  // And no channel time was claimed: a real read still starts at cycle 0.
+  EXPECT_EQ(mem.schedule_read(0, 64),
+            0 + cfg.read_latency + 64 / cfg.bytes_per_cycle);
+}
+
+TEST(Memory, OddSizesRoundUpToWholeCycles) {
+  EventQueue eq;
+  mem::MemoryConfig cfg;
+  mem::MemoryController mem(eq, cfg);
+  // 17 bytes at 16 B/cycle occupies ceil(17/16) = 2 channel cycles.
+  EXPECT_EQ(mem.schedule_read(0, 17), 0 + cfg.read_latency + 2);
+  // A single byte still costs a full cycle, queued behind the first claim.
+  EXPECT_EQ(mem.schedule_read(0, 1), 2 + cfg.read_latency + 1);
+}
+
+TEST(SnoopBus, NonPostedWriteBackWaitsForTheMemoryChannel) {
+  // posted=true: the write-back completes at bus-occupancy time no matter
+  // how congested the memory channel is. posted=false: the evicting cache
+  // holds the transaction open until the channel absorbs the write.
+  Cycle done_at[2] = {0, 0};
+  for (int np = 0; np < 2; ++np) {
+    EventQueue eq;
+    mem::MemoryConfig mcfg;
+    mcfg.posted_writes = (np == 0);
+    mem::MemoryController mem(eq, mcfg);
+    bus::BusConfig bcfg;
+    bus::SnoopBus bus(eq, bcfg, mem);
+    FakeSnooper s0, s1;
+    bus.attach(&s0);
+    bus.attach(&s1);
+    mem.post_write(0, 640);  // congest the channel until cycle 40
+    BusResult got;
+    bus.request(BusTxKind::kWriteBack, 0x80, 0, 64,
+                [&](const BusResult& r) { got = r; });
+    eq.run();
+    if (np == 0) {
+      EXPECT_EQ(got.done_at, got.granted_at + bcfg.address_phase +
+                                 64 / bcfg.bytes_per_cycle);
+    }
+    done_at[np] = got.done_at;
+  }
+  EXPECT_GT(done_at[1], done_at[0]);
+  // Behind the 640-byte burst plus the write's own transfer.
+  EXPECT_EQ(done_at[1], 640 / 16 + 64 / 16);
+}
+
 }  // namespace
 }  // namespace cdsim::bus

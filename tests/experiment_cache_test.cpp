@@ -178,13 +178,13 @@ TEST_F(ExperimentCacheTest, StaleVersionEntriesAreNeitherLoadedNorKept) {
   EXPECT_EQ(v1_lines, 0u);
 }
 
-TEST_F(ExperimentCacheTest, V3EntriesLoadThroughTheShimAndAreRekeyed) {
-  // Build a genuine v4 cache entry, then rewrite it in the v3 line format
-  // (v3 key suffix, 10-component ledger, no per-level tail). The runner
+TEST_F(ExperimentCacheTest, V4EntriesLoadThroughTheShimAndAreRekeyed) {
+  // Build a genuine v5 cache entry, then rewrite it in the v4 line format
+  // (v4 key suffix, 14-component ledger, no memory-side tail). The runner
   // must serve it through the loader shim — no re-simulation — with the
-  // per-level L2 block recovered from the aggregate fields, and persist it
-  // back re-keyed to v4.
-  const std::string path = cache_path("v3shim");
+  // per-level blocks preserved exactly and the memory block defaulting to
+  // a flat channel, and persist it back re-keyed to v5.
+  const std::string path = cache_path("v4shim");
   sim::RunMetrics reference;
   {
     sim::ExperimentRunner writer(kInstr, path);
@@ -201,11 +201,12 @@ TEST_F(ExperimentCacheTest, V3EntriesLoadThroughTheShimAndAreRekeyed) {
     key = line.substr(0, bar);
     payload = line.substr(bar + 1);
   }
-  ASSERT_NE(key.find("/v4"), std::string::npos);
+  ASSERT_NE(key.find("/v5"), std::string::npos);
 
-  // v4 payload: 17 prefix + kNumComponents ledger + 6 interconnect +
-  // per-level tail tokens; v3 was 17 + 10 + 6 (components are
-  // append-only, so the first 10 ledger values are the v3 ledger).
+  // v5 payload: 17 prefix + kNumComponents ledger + 6 interconnect +
+  // per-level tail + 10 memory-side tokens; v4 was the same minus the
+  // memory tail with a 14-component ledger (components are append-only,
+  // so the first 14 ledger values are the v4 ledger).
   std::vector<std::string> tok;
   {
     std::istringstream is(payload);
@@ -213,16 +214,16 @@ TEST_F(ExperimentCacheTest, V3EntriesLoadThroughTheShimAndAreRekeyed) {
     while (is >> t) tok.push_back(t);
   }
   const std::size_t ic = 17 + power::kNumComponents;  // interconnect start
-  ASSERT_GE(tok.size(), ic + 6u);
-  std::ostringstream v3;
-  for (std::size_t i = 0; i < 17; ++i) v3 << (i ? " " : "") << tok[i];
-  for (std::size_t i = 17; i < 27; ++i) v3 << ' ' << tok[i];
-  for (std::size_t i = ic; i < ic + 6; ++i) v3 << ' ' << tok[i];
+  ASSERT_GE(tok.size(), ic + 6u + 10u);
+  std::ostringstream v4;
+  for (std::size_t i = 0; i < 17; ++i) v4 << (i ? " " : "") << tok[i];
+  for (std::size_t i = 17; i < 17 + 14; ++i) v4 << ' ' << tok[i];
+  for (std::size_t i = ic; i < tok.size() - 10; ++i) v4 << ' ' << tok[i];
   {
     std::ofstream out(path, std::ios::trunc);
-    std::string v3key = key;
-    v3key.replace(v3key.find("/v4"), 3, "/v3");
-    out << v3key << '|' << v3.str() << '\n';
+    std::string v4key = key;
+    v4key.replace(v4key.find("/v5"), 3, "/v4");
+    out << v4key << '|' << v4.str() << '\n';
   }
 
   sim::ExperimentRunner reader(kInstr, path);
@@ -232,25 +233,29 @@ TEST_F(ExperimentCacheTest, V3EntriesLoadThroughTheShimAndAreRekeyed) {
   const sim::RunMetrics& shimmed = reader.run(bench(), 1 * MiB, protocol());
   EXPECT_EQ(shimmed.cycles, reference.cycles);
   EXPECT_EQ(shimmed.energy, reference.energy);
-  // The per-level L2 block is recovered exactly from the aggregates...
+  // The v4 per-level blocks survive the shim exactly...
+  EXPECT_EQ(shimmed.l1.accesses, reference.l1.accesses);
   EXPECT_EQ(shimmed.l2.accesses, reference.l2_accesses);
   EXPECT_EQ(shimmed.l2.misses, reference.l2_misses);
   EXPECT_EQ(shimmed.l2.writebacks, reference.l2_writebacks);
-  // ...while L1/L3 have no v3 record and default to zero.
-  EXPECT_EQ(shimmed.l1.accesses, 0u);
-  EXPECT_EQ(shimmed.l3.accesses, 0u);
-  EXPECT_EQ(shimmed.hierarchy, "2L");
+  EXPECT_EQ(shimmed.hierarchy, reference.hierarchy);
+  // ...while the memory block defaults to the flat channel every v4 run
+  // actually simulated.
+  EXPECT_EQ(shimmed.mem_model, "flat");
+  EXPECT_EQ(shimmed.dram_row_hits, 0u);
+  EXPECT_EQ(shimmed.dram_activates, 0u);
+  EXPECT_EQ(shimmed.tlb_misses, 0u);
 
   // The rewritten file carries only current-version keys.
   std::ifstream in(path);
   std::string line;
-  std::size_t v3_lines = 0, v4_lines = 0;
+  std::size_t v4_lines = 0, v5_lines = 0;
   while (std::getline(in, line)) {
-    if (line.find("/v3|") != std::string::npos) ++v3_lines;
     if (line.find("/v4|") != std::string::npos) ++v4_lines;
+    if (line.find("/v5|") != std::string::npos) ++v5_lines;
   }
-  EXPECT_EQ(v3_lines, 0u);
-  EXPECT_GE(v4_lines, 2u);  // the shimmed entry + the fresh baseline
+  EXPECT_EQ(v4_lines, 0u);
+  EXPECT_GE(v5_lines, 2u);  // the shimmed entry + the fresh baseline
 }
 
 TEST_F(ExperimentCacheTest, PersistLeavesNoTempFilesAndParsableLines) {

@@ -286,6 +286,67 @@ TEST(GoldenMetricsTest, ThreeLevelConfigIsPinned) {
   }
 }
 
+// The banked-DRAM memory model, pinned the same way: the mpeg2enc decay64K
+// configuration re-run with mem.model = kDram and the per-core TLBs on.
+// Captured with the one-off "%a" harness when the DRAM controller was
+// introduced; any drift means the DRAM scheduler's simulated behavior
+// (row-buffer policy, FR-FCFS order, refresh, TLB walks) changed. The
+// flat-mode pins above are untouched by construction — kFlat timing is the
+// historical channel, bit for bit.
+TEST(GoldenMetricsTest, DramConfigIsPinned) {
+  decay::DecayConfig d{decay::Technique::kDecay, 64 * 1024, 4};
+  sim::SystemConfig cfg = sim::make_system_config(4 * MiB, d);
+  cfg.instructions_per_core = 200000;
+  cfg.mem.model = mem::MemoryModel::kDram;
+  cfg.mem.tlb.enabled = true;
+  const sim::RunMetrics m =
+      sim::run_config(cfg, workload::benchmark_by_name("mpeg2enc"));
+
+  EXPECT_EQ(m.cycles, 1236401u);
+  EXPECT_EQ(m.instructions, 800008u);
+  EXPECT_EQ(m.ipc, 0x1.4b499448c2546p-1);
+  EXPECT_EQ(m.l2_occupation, 0x1.7b9ef4f3ae8bdp-6);
+  EXPECT_EQ(m.l2_miss_rate, 0x1.72837eee06dfap-2);
+  EXPECT_EQ(m.l2_accesses, 88865u);
+  EXPECT_EQ(m.l2_misses, 32154u);
+  EXPECT_EQ(m.l2_decay_turnoffs, 17079u);
+  EXPECT_EQ(m.l2_decay_induced_misses, 11663u);
+  EXPECT_EQ(m.l2_coherence_invals, 456u);
+  EXPECT_EQ(m.l2_writebacks, 8860u);
+  EXPECT_EQ(m.amat, 0x1.18260e43af70dp+8);
+  EXPECT_EQ(m.mem_bandwidth, 0x1.72f2084e0c835p+0);
+  EXPECT_EQ(m.mem_bytes, 1791552u);
+  EXPECT_EQ(m.energy, 0x1.51fa98ad29b67p+21);
+  EXPECT_EQ(m.avg_l2_temp_kelvin, 0x1.4901819e49a1ep+8);
+  EXPECT_EQ(m.bus_utilization, 0x1.176bec9e0d9c1p-3);
+
+  // The DRAM service mix: mostly hits and conflicts (streaming rows vs
+  // decay write-back interleave), refresh really ticking, forwarding
+  // really firing, and the TLBs nearly always hitting on these footprints.
+  EXPECT_EQ(m.mem_model, "dram");
+  EXPECT_EQ(m.dram_row_hits, 12895u);
+  EXPECT_EQ(m.dram_row_misses, 753u);
+  EXPECT_EQ(m.dram_row_conflicts, 14289u);
+  EXPECT_EQ(m.dram_activates, 15042u);
+  EXPECT_EQ(m.dram_precharges, 14289u);
+  EXPECT_EQ(m.dram_refreshes, 90u);
+  EXPECT_EQ(m.dram_write_forwards, 56u);
+  EXPECT_EQ(m.tlb_hits, 316243u);
+  EXPECT_EQ(m.tlb_misses, 129u);
+
+  const double ledger[power::kNumComponents] = {
+      0x1.3880cccccccc8p+18, 0x1.eb745b74635d8p+20, 0x1.289947ae147b2p+13,
+      0x1.ace7e01b1a357p+17, 0x1.e2b8666666665p+13, 0x1.d57e085f4b993p+15,
+      0x1.1adbd708b681ap+16, 0x1.bfe353f7ced95p+12, 0x1.84dd5fb98fd7fp+14,
+      0x0p+0,                0x0p+0,                0x0p+0,
+      0x0p+0,                0x0p+0,                0x1.1a0999999999ap+14,
+      0x1.0beb333333335p+13};
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    const auto c = static_cast<power::Component>(i);
+    EXPECT_EQ(m.ledger.get(c), ledger[i]) << to_string(c);
+  }
+}
+
 // The kernel must also be self-deterministic: two runs of the same config
 // in one process give identical results (guards accidental global state).
 TEST(GoldenMetricsTest, RepeatRunsAreIdentical) {
