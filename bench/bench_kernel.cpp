@@ -12,6 +12,7 @@
 //
 // Usage: bench_kernel [output.json]   (default: BENCH_kernel.json in cwd)
 
+#include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
@@ -19,6 +20,8 @@
 #include <vector>
 
 #include "cdsim/common/version.hpp"
+#include "cdsim/obs/interval_sampler.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/sim/cmp_system.hpp"
 #include "cdsim/sim/experiment.hpp"
 #include "cdsim/workload/benchmarks.hpp"
@@ -38,9 +41,10 @@ struct Sample {
   sim::RunMetrics metrics;
 };
 
-Sample run_pinned(const decay::DecayConfig& dcfg, std::uint64_t instr) {
+Sample run_pinned(const decay::DecayConfig& dcfg, std::uint64_t instr,
+                  bool traced = false) {
   Sample s;
-  s.label = dcfg.label();
+  s.label = dcfg.label() + (traced ? "+obs" : "");
   const workload::Benchmark& bench = workload::benchmark_by_name("mpeg2enc");
   sim::SystemConfig cfg = sim::make_system_config(8 * MiB, dcfg);
   cfg.instructions_per_core = instr;
@@ -49,11 +53,27 @@ Sample run_pinned(const decay::DecayConfig& dcfg, std::uint64_t instr) {
     // Fresh system per rep, seeded exactly as run_config would seed this
     // cell, so the metrics match what the figure benches compute for it.
     sim::CmpSystem sys(sim::normalized_run_config(cfg, bench), bench);
+    // The traced sample measures observability *attached*: full recorder
+    // emission streamed to the bit bucket (so disk speed isn't in the
+    // measurement) plus a checksum-only sampler. Comparing its metrics
+    // against the plain sample's is the observer-only proof; comparing its
+    // best_ms is the attached-overhead number.
+    obs::TraceRecorder rec;
+    obs::IntervalSampler sampler(10'000);
+    if (traced) {
+      if (!rec.open("/dev/null")) {
+        std::fprintf(stderr, "bench_kernel: cannot open /dev/null\n");
+        std::exit(1);
+      }
+      sys.set_trace_recorder(&rec);
+      sys.set_sampler(&sampler);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     sim::RunMetrics m = sys.run();
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (traced) rec.close();
     s.runs_ms.push_back(ms);
     if (ms < s.best_ms) s.best_ms = ms;
     s.events = sys.events().executed();
@@ -63,8 +83,28 @@ Sample run_pinned(const decay::DecayConfig& dcfg, std::uint64_t instr) {
   return s;
 }
 
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Bit-identity across the fields the golden tests pin. Tolerance-free on
+/// purpose: the observability seam promises *zero* perturbation, not
+/// "close enough".
+bool metrics_identical(const sim::RunMetrics& a, const sim::RunMetrics& b) {
+  return a.cycles == b.cycles && a.instructions == b.instructions &&
+         same_bits(a.ipc, b.ipc) &&
+         same_bits(a.l2_occupation, b.l2_occupation) &&
+         same_bits(a.l2_miss_rate, b.l2_miss_rate) &&
+         a.l2_accesses == b.l2_accesses && a.l2_misses == b.l2_misses &&
+         a.l2_decay_turnoffs == b.l2_decay_turnoffs &&
+         same_bits(a.amat, b.amat) && same_bits(a.energy, b.energy) &&
+         a.mem_bytes == b.mem_bytes &&
+         same_bits(a.bus_utilization, b.bus_utilization) &&
+         same_bits(a.avg_l2_temp_kelvin, b.avg_l2_temp_kelvin);
+}
+
 void print_json(std::FILE* f, const std::vector<Sample>& samples,
-                std::uint64_t instr) {
+                std::uint64_t instr, double traced_over_plain) {
   std::fprintf(f, "{\n  \"bench\": \"bench_kernel\",\n");
   std::fprintf(f, "  \"version\": \"%s\",\n", version());
   std::fprintf(f, "  \"benchmark\": \"mpeg2enc\",\n");
@@ -96,7 +136,13 @@ void print_json(std::FILE* f, const std::vector<Sample>& samples,
                  static_cast<unsigned long long>(s.metrics.l2_decay_turnoffs),
                  s.metrics.l2_occupation, i + 1 < samples.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Wall-clock cost of running with the recorder + sampler attached,
+  // relative to the same config untraced. The compiled-in-but-detached
+  // cost is invisible here by construction (every sample pays the same
+  // null-pointer branches); this ratio bounds the *attached* cost.
+  std::fprintf(f, "  \"traced_over_plain\": %.3f,\n", traced_over_plain);
+  std::fprintf(f, "  \"observer_invariant\": true\n}\n");
 }
 
 }  // namespace
@@ -112,10 +158,23 @@ int main(int argc, char** argv) {
     instr = *v;
   }
 
+  const decay::DecayConfig decay64k{decay::Technique::kDecay, 64 * 1024, 4};
   std::vector<Sample> samples;
   samples.push_back(run_pinned(sim::baseline_config(), instr));
-  samples.push_back(run_pinned(
-      decay::DecayConfig{decay::Technique::kDecay, 64 * 1024, 4}, instr));
+  samples.push_back(run_pinned(decay64k, instr));
+  samples.push_back(run_pinned(decay64k, instr, /*traced=*/true));
+
+  // The observer-only gate: attaching the recorder + sampler must leave
+  // every pinned metric bit-identical. A drift here means an emission
+  // point read back into (or scheduled into) simulated state.
+  if (!metrics_identical(samples[1].metrics, samples[2].metrics)) {
+    std::fprintf(stderr,
+                 "bench_kernel: FAIL — metrics drifted with observability "
+                 "attached (traced run is not observer-only)\n");
+    return 1;
+  }
+  const double traced_over_plain =
+      samples[1].best_ms > 0.0 ? samples[2].best_ms / samples[1].best_ms : 0.0;
 
   std::printf("bench_kernel: mpeg2enc / 8MB / %llu instr/core, best of %d\n",
               static_cast<unsigned long long>(instr), kReps);
@@ -128,6 +187,8 @@ int main(int argc, char** argv) {
         static_cast<double>(s.events) / s.best_ms,
         static_cast<unsigned long long>(s.cycles));
   }
+  std::printf("  traced/plain wall-clock ratio: %.3f (metrics bit-identical)\n",
+              traced_over_plain);
 
   const char* out = argc > 1 ? argv[1] : "BENCH_kernel.json";
   std::FILE* f = std::fopen(out, "w");
@@ -135,7 +196,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_kernel: cannot write %s\n", out);
     return 1;
   }
-  print_json(f, samples, instr);
+  print_json(f, samples, instr, traced_over_plain);
   std::fclose(f);
   std::printf("wrote %s\n", out);
   return 0;

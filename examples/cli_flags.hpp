@@ -141,6 +141,14 @@ class FlagParser {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
+        // A single-dash argument is a mistyped flag, not a positional —
+        // silently routing "-cores=8" to the positional handler used to
+        // make typos vanish. A bare "-" stays positional (stdin idiom).
+        if (arg.size() >= 2 && arg[0] == '-') {
+          std::fprintf(stderr, "unknown flag \"%s\" (flags use --name[=value])\n",
+                       arg.c_str());
+          return false;
+        }
         if (on_pos_) on_pos_(pos, arg);
         ++pos;
         continue;

@@ -2,18 +2,31 @@
 //
 // Usage: diagnose <benchmark> <technique> <decay_time_k> [instr]
 //                 [--topology=bus|dmesh] [--hierarchy=2|3] [--cores=N]
+//                 [--trace-out=FILE] [--sample-out=FILE]
+//                 [--sample-every=N] [--profile]
 // Prints the per-level cache counters, interconnect/memory pressure, and
 // energy ledger that the figure-level metrics summarize. Useful for
 // calibrating workloads. The topology/hierarchy flags drive the full
 // machine family: the paper's 4-core snoop bus, the scaled directory
 // mesh, and the three-level machine (private L2s behind the shared
 // home-banked L3) with the chosen technique active at every level.
+//
+// Observability (all strictly observer-only — metrics are bit-identical
+// with and without them):
+//   --trace-out=FILE     Chrome-trace-event JSON timeline (load it in
+//                        Perfetto / chrome://tracing).
+//   --sample-out=FILE    windowed time-series CSV.
+//   --sample-every=N     sampling window in cycles (default 100000).
+//   --profile            host wall-clock phase profile on stderr.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "cdsim/common/host_timer.hpp"
+#include "cdsim/obs/interval_sampler.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/sim/cmp_system.hpp"
 #include "cdsim/sim/experiment.hpp"
 #include "cli_flags.hpp"
@@ -26,18 +39,32 @@ int main(int argc, char** argv) {
   Cycle decay_k = 512;
   std::uint64_t instr = 4000000;
 
+  std::string trace_out;
+  std::string sample_out;
+  std::uint64_t sample_every = 100000;
+  bool profile = false;
+  bool bad_positional = false;
+
   examples::MachineFlags mf;
   examples::FlagParser parser;
-  parser.machine(&mf).on_positional([&](int pos, const std::string& arg) {
-    switch (pos) {
-      case 0: bench_name = arg; break;
-      case 1: tech_name = arg; break;
-      case 2: decay_k = std::strtoull(arg.c_str(), nullptr, 10); break;
-      case 3: instr = std::strtoull(arg.c_str(), nullptr, 10); break;
-      default: break;
-    }
-  });
-  if (!parser.parse(argc, argv)) return 2;
+  parser.machine(&mf)
+      .str("trace-out", &trace_out)
+      .str("sample-out", &sample_out)
+      .u64("sample-every", &sample_every)
+      .toggle("profile", &profile)
+      .on_positional([&](int pos, const std::string& arg) {
+        switch (pos) {
+          case 0: bench_name = arg; break;
+          case 1: tech_name = arg; break;
+          case 2: decay_k = std::strtoull(arg.c_str(), nullptr, 10); break;
+          case 3: instr = std::strtoull(arg.c_str(), nullptr, 10); break;
+          default:
+            std::fprintf(stderr, "unexpected argument \"%s\"\n", arg.c_str());
+            bad_positional = true;
+            break;
+        }
+      });
+  if (!parser.parse(argc, argv) || bad_positional) return 2;
   const noc::Topology topology = mf.topology;
   const sim::Hierarchy hierarchy = mf.hierarchy;
   const std::uint32_t cores = mf.effective_cores();
@@ -65,7 +92,48 @@ int main(int argc, char** argv) {
 
   const auto& bench = workload::benchmark_by_name(bench_name);
   sim::CmpSystem sys(cfg, bench);
+
+  obs::TraceRecorder recorder;
+  if (!trace_out.empty()) {
+    std::string err;
+    if (!recorder.open(trace_out, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    sys.set_trace_recorder(&recorder);
+  }
+  obs::IntervalSampler sampler(sample_every);
+  if (!sample_out.empty()) {
+    std::string err;
+    if (!sampler.open_csv(sample_out, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    sys.set_sampler(&sampler);
+  }
+  if (profile) prof::HostProfiler::set_enabled(true);
+
   const sim::RunMetrics m = sys.run();
+
+  if (!trace_out.empty()) {
+    if (!recorder.close()) {
+      std::fprintf(stderr, "trace write failed: %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %llu event(s) on %u track(s) -> %s\n",
+                 (unsigned long long)recorder.events(), recorder.tracks(),
+                 trace_out.c_str());
+  }
+  if (!sample_out.empty()) {
+    if (!sampler.finish()) {
+      std::fprintf(stderr, "series write failed: %s\n", sample_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "series: %llu row(s), checksum %016llx -> %s\n",
+                 (unsigned long long)sampler.rows(),
+                 (unsigned long long)sampler.checksum(), sample_out.c_str());
+  }
+  if (profile) prof::HostProfiler::report(stderr);
 
   std::printf("=== %s / %s / %lluMB L2 / %s%u / %s / %llu instr/core ===\n",
               m.benchmark.c_str(), m.technique.c_str(),

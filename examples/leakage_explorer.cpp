@@ -35,15 +35,19 @@ int main(int argc, char** argv) {
 
   examples::MachineFlags mf;
   examples::FlagParser parser;
+  bool bad_positional = false;
   parser.machine(&mf).on_positional([&](int pos, const std::string& arg) {
     switch (pos) {
       case 0: bench_name = arg; break;
       case 1: size_mb = std::strtoull(arg.c_str(), nullptr, 10); break;
       case 2: instr = std::strtoull(arg.c_str(), nullptr, 10); break;
-      default: break;
+      default:
+        std::fprintf(stderr, "unexpected argument \"%s\"\n", arg.c_str());
+        bad_positional = true;
+        break;
     }
   });
-  if (!parser.parse(argc, argv)) return 2;
+  if (!parser.parse(argc, argv) || bad_positional) return 2;
   const noc::Topology topology = mf.topology;
   const sim::Hierarchy hierarchy = mf.hierarchy;
   const bool default_machine = !mf.any_set;

@@ -26,8 +26,10 @@
 #include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
+#include "cdsim/common/host_timer.hpp"
 #include "cdsim/mem/memory.hpp"
 #include "cdsim/noc/interconnect.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/verify/observer.hpp"
 
 namespace cdsim::bus {
@@ -81,6 +83,14 @@ class SnoopBus final : public noc::Interconnect {
   /// its cancellation validator.
   void set_observer(verify::AccessObserver* obs) noexcept override {
     obs_ = obs;
+  }
+
+  /// Attaches the timeline recorder (observer-only; nullptr detaches):
+  /// one span per grant covering the bus-occupied window, named by the
+  /// transaction kind.
+  void set_trace(obs::TraceRecorder* rec, obs::TrackId track) noexcept {
+    trace_ = rec;
+    trace_track_ = track;
   }
 
   /// Full-control variant with grant hook and cancellation validator.
@@ -166,6 +176,7 @@ class SnoopBus final : public noc::Interconnect {
   }
 
   void execute(Pending tx) {
+    const prof::ScopedPhase prof_scope(prof::Phase::kFabric);
     const Cycle granted = eq_.now();
 
     // A cancelled transaction vanishes before the address phase: no snoop,
@@ -264,6 +275,10 @@ class SnoopBus final : public noc::Interconnect {
     busy_cycles_ += occupied_until - granted;
     free_at_ = occupied_until;
     bytes_.inc(tx.bytes);
+    if (trace_ != nullptr) {
+      trace_->span(trace_track_, coherence::to_string(tx.kind).data(),
+                   granted, occupied_until, "line", tx.line_addr);
+    }
 
     if (async_read || async_write) {
       // DRAM decides the completion cycle. The grant-time contract is
@@ -308,6 +323,8 @@ class SnoopBus final : public noc::Interconnect {
   BusConfig cfg_;
   mem::MemoryController& mem_;
   verify::AccessObserver* obs_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
   std::vector<Snooper*> snoopers_;
   std::vector<std::deque<Pending>> queues_;
   std::size_t next_rr_ = 0;

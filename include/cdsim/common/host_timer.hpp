@@ -1,0 +1,142 @@
+#pragma once
+// Host-side wall-clock profiling: the third part of cdsim::obs, living in
+// common/ because, like the RNG, it is the single sanctioned home for an
+// otherwise-banned primitive. This is the ONLY file in include/ or src/
+// that may read a wall clock — cdlint's raw-random rule enforces that
+// (see tools/cdlint/allowlist.txt), so wall time provably never leaks
+// into simulated state. Everything else references clocks exclusively
+// through ScopedPhase.
+//
+// The profiler attributes real (host) nanoseconds to the simulator's
+// major subsystems so ROADMAP's "profile-driven single-run speed" work
+// has data to aim at: event dispatch, decay sweeps, coherence snoops,
+// fabric transactions, DRAM scheduling, and oracle verification.
+//
+// Design constraints, in order:
+//   * Zero-cost when disabled: ScopedPhase construction is one relaxed
+//     atomic bool load and a branch — no clock read, no stores.
+//   * Safe under run_grid: accumulators are process-global relaxed
+//     atomics, so sweep threads profile concurrently without races and
+//     the aggregate across all shards falls out for free.
+//   * Observer-only by construction: nothing here touches simulator
+//     types at all; there is no path from a timestamp to an event.
+//
+// Phases nest (an oracle hook fires inside a fabric grant which fires
+// inside event dispatch), so times are INCLUSIVE and kEventDispatch ~=
+// total run loop time. report() prints each phase against that total;
+// "unattributed" is dispatch minus the (non-overlapping portion of the)
+// leaves, which in practice reads as core/L1 bookkeeping.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+namespace cdsim::prof {
+
+enum class Phase : std::uint32_t {
+  kEventDispatch = 0,  ///< The CmpSystem run loop (inclusive total).
+  kDecaySweep,         ///< L1/L2/L3 decay sweeps (expiry-wheel walks).
+  kCoherence,          ///< Snoop application in the caches.
+  kFabric,             ///< Bus grants / mesh transaction processing.
+  kDram,               ///< DRAM controller scheduling + completions.
+  kOracle,             ///< Differential-verification hooks.
+  kCount,
+};
+
+constexpr const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kEventDispatch: return "event_dispatch";
+    case Phase::kDecaySweep: return "decay_sweep";
+    case Phase::kCoherence: return "coherence";
+    case Phase::kFabric: return "fabric";
+    case Phase::kDram: return "dram";
+    case Phase::kOracle: return "oracle";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+/// Process-global phase accumulators. All statics, no instance: scopes in
+/// hot code need no pointer plumbed to them, and run_grid shards
+/// aggregate simply by sharing the process.
+class HostProfiler {
+ public:
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  static void add(Phase p, std::uint64_t ns) noexcept {
+    const auto i = static_cast<std::size_t>(p);
+    ns_[i].fetch_add(ns, std::memory_order_relaxed);
+    calls_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::uint64_t nanos(Phase p) noexcept {
+    return ns_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint64_t calls(Phase p) noexcept {
+    return calls_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+  }
+
+  static void reset() noexcept {
+    for (auto& a : ns_) a.store(0, std::memory_order_relaxed);
+    for (auto& a : calls_) a.store(0, std::memory_order_relaxed);
+  }
+
+  /// Human-readable attribution table. The denominator is kEventDispatch
+  /// (the inclusive run-loop total); leaf phases overlap it by design.
+  static void report(std::FILE* out) {
+    const double total_ms =
+        static_cast<double>(nanos(Phase::kEventDispatch)) / 1e6;
+    std::fprintf(out, "host-profile (wall time by subsystem):\n");
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(Phase::kCount);
+         ++i) {
+      const auto p = static_cast<Phase>(i);
+      const double ms = static_cast<double>(nanos(p)) / 1e6;
+      const double pct = total_ms > 0.0 ? 100.0 * ms / total_ms : 0.0;
+      std::fprintf(out, "  %-15s %10.3f ms  %6.2f%%  (%llu scopes)\n",
+                   phase_name(p), ms, pct,
+                   static_cast<unsigned long long>(calls(p)));
+    }
+  }
+
+ private:
+  static inline std::atomic<bool> enabled_{false};
+  static inline std::atomic<std::uint64_t>
+      ns_[static_cast<std::size_t>(Phase::kCount)]{};
+  static inline std::atomic<std::uint64_t>
+      calls_[static_cast<std::size_t>(Phase::kCount)]{};
+};
+
+/// RAII phase scope. When profiling is disabled (the default) the
+/// constructor is a relaxed load + branch and the destructor a branch —
+/// cheap enough for the event-dispatch hot loop (bench_kernel gates it).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase p) noexcept
+      : phase_(p), armed_(HostProfiler::enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhase() {
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      HostProfiler::add(phase_, static_cast<std::uint64_t>(ns));
+    }
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase phase_ = Phase::kEventDispatch;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace cdsim::prof

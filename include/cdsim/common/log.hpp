@@ -3,24 +3,56 @@
 //
 // cdsim is a library first: logging defaults to warnings-and-above on
 // stderr and is globally adjustable. Hot paths guard with level checks so a
-// disabled level costs one branch.
+// disabled level costs one relaxed atomic load and a branch.
+//
+// Thread safety: run_grid logs from worker threads, so the level is an
+// atomic (the old mutable-reference accessor was a data race waiting for a
+// TSan run) and each message is formatted into one stack buffer and handed
+// to the sink as a single call — no interleaved fragments from concurrent
+// writers. The sink itself is swappable (atomically) so tests can capture
+// output instead of scraping stderr.
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 
 namespace cdsim {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
+constexpr const char* to_string(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
 class Log {
  public:
-  static LogLevel& level() noexcept {
-    static LogLevel lvl = LogLevel::kWarn;
-    return lvl;
+  /// One fully formatted message (no trailing newline). `len` excludes the
+  /// NUL terminator. Sinks must be callable from multiple threads.
+  using Sink = void (*)(LogLevel lvl, const char* msg, std::size_t len);
+
+  [[nodiscard]] static LogLevel level() noexcept {
+    return level_().load(std::memory_order_relaxed);
+  }
+  static void set_level(LogLevel lvl) noexcept {
+    level_().store(lvl, std::memory_order_relaxed);
   }
 
   static bool enabled(LogLevel lvl) noexcept {
     return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
+
+  /// Swaps the sink; nullptr restores the default (one stderr line per
+  /// message). Returns the previous sink (nullptr if it was the default),
+  /// so tests can restore it.
+  static Sink set_sink(Sink sink) noexcept {
+    return sink_().exchange(sink, std::memory_order_acq_rel);
   }
 
 #if defined(__GNUC__)
@@ -28,13 +60,38 @@ class Log {
 #endif
   static void write(LogLevel lvl, const char* fmt, ...) {
     if (!enabled(lvl)) return;
-    static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
-    std::fprintf(stderr, "[cdsim %s] ", names[static_cast<int>(lvl)]);
+    // Single buffer, single sink call: concurrent writers can interleave
+    // whole lines but never fragments. Long messages truncate.
+    char buf[1024];
+    const int prefix =
+        std::snprintf(buf, sizeof(buf), "[cdsim %s] ", to_string(lvl));
+    std::size_t len = prefix > 0 ? static_cast<std::size_t>(prefix) : 0;
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    const int body =
+        std::vsnprintf(buf + len, sizeof(buf) - len, fmt, ap);
     va_end(ap);
-    std::fputc('\n', stderr);
+    if (body > 0) {
+      len += static_cast<std::size_t>(body);
+      if (len >= sizeof(buf)) len = sizeof(buf) - 1;
+    }
+    const Sink sink = sink_().load(std::memory_order_acquire);
+    if (sink != nullptr) {
+      sink(lvl, buf, len);
+      return;
+    }
+    buf[len] = '\n';  // one write syscall per message, newline included
+    (void)std::fwrite(buf, 1, len + 1, stderr);
+  }
+
+ private:
+  static std::atomic<LogLevel>& level_() noexcept {
+    static std::atomic<LogLevel> lvl{LogLevel::kWarn};
+    return lvl;
+  }
+  static std::atomic<Sink>& sink_() noexcept {
+    static std::atomic<Sink> sink{nullptr};
+    return sink;
   }
 };
 

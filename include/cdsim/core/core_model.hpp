@@ -25,6 +25,7 @@
 #include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/workload/stream.hpp"
 
 namespace cdsim::core {
@@ -114,6 +115,14 @@ class CoreModel {
     return stall_by_[static_cast<std::size_t>(r)].value();
   }
 
+  /// Attaches the timeline recorder (observer-only; nullptr detaches).
+  /// Emits one span per stall interval, named by its StallReason, on
+  /// `track`.
+  void set_trace(obs::TraceRecorder* rec, obs::TrackId track) noexcept {
+    trace_ = rec;
+    trace_track_ = track;
+  }
+
  private:
   struct OutstandingLoad {
     std::uint64_t instr_no = 0;  ///< Position in program order.
@@ -164,6 +173,8 @@ class CoreModel {
   Counter loads_, stores_, stall_cycles_;
   Counter stall_by_[static_cast<std::size_t>(StallReason::kCount)];
   StallReason park_reason_ = StallReason::kDep;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
   Histogram load_lat_{4, 256};  ///< 4-cycle buckets up to ~1K cycles.
 };
 

@@ -33,6 +33,7 @@
 #include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 
 namespace cdsim::mem {
 
@@ -141,6 +142,11 @@ class DramController {
 
   [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
 
+  /// Attaches the timeline recorder (observer-only; nullptr detaches).
+  /// Registers one track per channel (refresh catch-ups, write forwarding)
+  /// and one per bank (access spans named rd/wr × hit/miss/conflict).
+  void set_trace(obs::TraceRecorder* rec);
+
  private:
   struct Request {
     Addr line = 0;
@@ -171,7 +177,7 @@ class DramController {
   [[nodiscard]] Cycle transfer_cycles(std::uint32_t bytes) const noexcept;
   void issue(Cycle start, Request req);
   void arrive(Request req);
-  void apply_refresh(Channel& ch, Cycle now);
+  void apply_refresh(std::size_t ci, Cycle now);
   void pump(std::size_t ci);
 
   EventQueue& eq_;
@@ -180,6 +186,9 @@ class DramController {
   /// deque grows without relocating (no noexcept-move requirement).
   std::deque<Channel> channels_;
   DramStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::vector<obs::TrackId> channel_tracks_;  ///< [channel]
+  std::vector<obs::TrackId> bank_tracks_;     ///< [channel * banks + bank]
 };
 
 /// The memory-side facade every fabric talks to.
@@ -265,6 +274,13 @@ class MemoryController {
     writes_.inc();
     bytes_written_.inc(bytes);
     dram_->write(start, bytes, line, std::move(cb));
+  }
+
+  /// Attaches the timeline recorder (kDram only — the flat channel is a
+  /// latency formula with no per-event structure worth a timeline; a kFlat
+  /// call is a deliberate no-op). Observer-only; nullptr detaches.
+  void set_trace(obs::TraceRecorder* rec) {
+    if (dram_ != nullptr) dram_->set_trace(rec);
   }
 
   /// kDram service counters (all zero under kFlat).

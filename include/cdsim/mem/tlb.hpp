@@ -24,6 +24,7 @@
 #include "cdsim/common/types.hpp"
 #include "cdsim/core/core_model.hpp"
 #include "cdsim/mem/memory.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 
 namespace cdsim::mem {
 
@@ -98,6 +99,12 @@ class TlbPort final : public core::LoadStorePort {
     pending_.emplace(id, std::move(on_done));
     const Cycle walk =
         cfg_.miss_walk_latency >= 1 ? cfg_.miss_walk_latency : 1;
+    // The walk duration is fixed and known at issue, so the span can be
+    // emitted up front (the recorder orders events by emission, not time).
+    if (trace_ != nullptr) {
+      trace_->span(trace_track_, "walk", eq_.now(), eq_.now() + walk, "page",
+                   addr / cfg_.page_bytes);
+    }
     eq_.schedule_in(walk, [this, addr, id] { issue_after_walk(addr, id); });
     return {.accepted = true};
   }
@@ -112,6 +119,13 @@ class TlbPort final : public core::LoadStorePort {
   }
 
   [[nodiscard]] const Tlb& tlb() const noexcept { return tlb_; }
+
+  /// Attaches the timeline recorder (observer-only; nullptr detaches):
+  /// one span per load-miss page walk.
+  void set_trace(obs::TraceRecorder* rec, obs::TrackId track) noexcept {
+    trace_ = rec;
+    trace_track_ = track;
+  }
 
  private:
   void issue_after_walk(Addr addr, std::uint64_t id) {
@@ -158,6 +172,8 @@ class TlbPort final : public core::LoadStorePort {
   TlbConfig cfg_;
   Tlb tlb_;
   core::LoadStorePort& inner_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
   std::map<std::uint64_t, core::LoadCallback> pending_;
   std::deque<ParkedLoad> parked_;
   std::uint64_t next_id_ = 0;

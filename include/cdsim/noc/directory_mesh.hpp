@@ -49,6 +49,7 @@
 #include "cdsim/mem/memory.hpp"
 #include "cdsim/noc/interconnect.hpp"
 #include "cdsim/noc/mesh.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 
 namespace cdsim::noc {
 
@@ -134,6 +135,13 @@ class DirectoryMesh final : public Interconnect {
                std::uint32_t bytes, RequestHooks hooks) override;
   void note_clean_drop(CoreId core, Addr line_addr) override;
 
+  /// Attaches the timeline recorder (observer-only; nullptr detaches):
+  /// one span per home-bank grant, named by the transaction kind.
+  void set_trace(obs::TraceRecorder* rec, obs::TrackId track) noexcept {
+    trace_ = rec;
+    trace_track_ = track;
+  }
+
   /// Wires the shared L3 home banks into the memory legs (three-level
   /// hierarchy). Must be called before any request; also hands the cache
   /// its memory write port (bank -> memory tile over the NoC). nullptr
@@ -211,6 +219,8 @@ class DirectoryMesh final : public Interconnect {
   MeshNoc noc_;
   coherence::Directory dir_;
   verify::AccessObserver* obs_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
   MemorySideCache* l3_ = nullptr;  ///< Shared L3 banks (three-level only).
   std::vector<Snooper*> snoopers_;
 

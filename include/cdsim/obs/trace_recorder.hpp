@@ -1,0 +1,104 @@
+#pragma once
+// Streaming Chrome-trace-event recorder: the timeline half of cdsim::obs.
+//
+// A TraceRecorder turns instrumentation hooks scattered through the
+// simulator (core stalls, cache miss lifetimes, decay sweeps, bus grants,
+// DRAM bank activity, TLB walks) into a single Perfetto/chrome://tracing
+// loadable JSON file. The contract mirrors verify::AccessObserver exactly:
+//
+//   * Observer-only. A recorder never reads back into simulated state and
+//     never schedules events; attaching one must leave every RunMetrics
+//     double bit-identical (the golden hexfloat pins enforce this).
+//   * Null means off. Components hold a raw `obs::TraceRecorder*` that
+//     defaults to nullptr and guard every emission with one branch; the
+//     disabled cost is that branch and nothing else (bench_kernel gates
+//     it).
+//   * O(chunk) memory. Events stream through a fixed buffer to the file
+//     as they happen, like the .cdt v2 chunk writer — a trace of any
+//     length never materializes in memory.
+//
+// File format: the Chrome trace-event "JSON object" flavor,
+//   {"traceEvents":[ ... ]}
+// with "X" complete events for spans, "i" instants, and "M" thread_name
+// metadata naming each track. One simulated cycle maps to one microsecond
+// of trace time (ts/dur are µs in the format), so Perfetto's timeline
+// reads directly in cycles. Every track is a (pid=1, tid=track-id) pair;
+// track() registers the name lazily and emission is append-only, so the
+// writer needs no global state beyond "has anything been written yet".
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cdsim/common/types.hpp"
+
+namespace cdsim::obs {
+
+/// Identifies one timeline row (a core, a cache, a DRAM bank, ...). Dense
+/// small integers handed out by TraceRecorder::track() in registration
+/// order; value 0 is the first real track, so components can default-init
+/// their cached id and rely on the null-recorder guard for correctness.
+using TrackId = std::uint32_t;
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens `path` for streaming and writes the JSON preamble. Returns
+  /// false (with *err filled when non-null) on failure; the recorder then
+  /// stays inactive and every emission is a no-op.
+  bool open(const std::string& path, std::string* err = nullptr);
+
+  [[nodiscard]] bool active() const noexcept { return out_ != nullptr; }
+
+  /// Registers a timeline row and emits its thread_name metadata event.
+  /// Deterministic: ids are handed out in call order, which the plumbing
+  /// keeps fixed (cores, caches, fabric, memory, in CmpSystem wiring
+  /// order).
+  TrackId track(const std::string& name);
+
+  /// Point event at cycle `at`.
+  void instant(TrackId t, const char* name, Cycle at);
+  /// Point event with one integer argument (shown in Perfetto's detail
+  /// pane), e.g. the line address of a turn-off or a DRAM row number.
+  void instant(TrackId t, const char* name, Cycle at, const char* key,
+               std::uint64_t value);
+
+  /// Duration event covering [begin, end]. Zero-length spans are emitted
+  /// with dur 0 (Perfetto renders them as slivers), so callers don't need
+  /// their own emptiness checks.
+  void span(TrackId t, const char* name, Cycle begin, Cycle end);
+  void span(TrackId t, const char* name, Cycle begin, Cycle end,
+            const char* key, std::uint64_t value);
+
+  /// Flushes the buffer and writes the closing "]}"; returns false if any
+  /// write failed along the way (short disk, closed pipe). Safe to call
+  /// twice; the destructor calls it.
+  bool close();
+
+  /// Events emitted so far (metadata events included) — cdtrace's
+  /// --timeline summary and the tests use this to cross-check the file.
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] std::uint32_t tracks() const noexcept { return next_track_; }
+
+ private:
+  void emit(const char* data, std::size_t len);
+  void emit_str(const std::string& s) { emit(s.data(), s.size()); }
+  /// Appends the separating comma (all events but the first) and counts.
+  void begin_event();
+  void flush_buffer();
+
+  std::FILE* out_ = nullptr;
+  std::string buf_;           ///< Pending bytes; flushed at ~64 KiB.
+  std::uint64_t events_ = 0;
+  std::uint32_t next_track_ = 0;
+  bool any_event_ = false;    ///< Comma bookkeeping for valid JSON.
+  bool write_error_ = false;
+};
+
+}  // namespace cdsim::obs

@@ -20,6 +20,8 @@
 #include "cdsim/decay/technique.hpp"
 #include "cdsim/mem/memory.hpp"
 #include "cdsim/mem/tlb.hpp"
+#include "cdsim/obs/interval_sampler.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/power/energy.hpp"
 #include "cdsim/power/leakage.hpp"
 #include "cdsim/sim/l1_cache.hpp"
@@ -123,6 +125,20 @@ class CmpSystem {
   /// reports data movement (L1s, L2s, bus). Must be called before run().
   void set_observer(verify::AccessObserver* obs);
 
+  /// Attaches a timeline trace recorder to every instrumented component
+  /// (cores, caches, fabric, memory side, TLBs), registering one track per
+  /// component in a fixed order. Observer-only: attaching a recorder never
+  /// changes simulated state (the golden pins hold either way). nullptr
+  /// detaches. Must be called before run().
+  void set_trace_recorder(obs::TraceRecorder* rec);
+
+  /// Attaches a windowed time-series sampler. The run loop — not the event
+  /// queue — drives it, so a sampler can never perturb the event schedule.
+  /// Window boundaries are quantized to event execution times (deltas stay
+  /// exact and deterministic at event granularity). nullptr detaches. Must
+  /// be called before run().
+  void set_sampler(obs::IntervalSampler* s);
+
   // --- component access (tests, custom harnesses) -------------------------
   [[nodiscard]] EventQueue& events() noexcept { return eq_; }
   [[nodiscard]] core::CoreModel& core_model(CoreId c) { return *cores_.at(c); }
@@ -160,6 +176,8 @@ class CmpSystem {
  private:
   void sample_power(Cycle upto);
   void arm_sampler();
+  /// Emits one time-series window [wstart, wend) from counter deltas.
+  void sample_window(Cycle wstart, Cycle wend);
   RunMetrics collect(Cycle end) const;
 
   SystemConfig cfg_;
@@ -201,6 +219,21 @@ class CmpSystem {
   double prev_l3_powered_ = 0.0;
   std::uint64_t prev_dram_act_ = 0;
   std::uint64_t prev_dram_pre_ = 0;
+
+  // Time-series sampling state (cdsim::obs). Kept strictly separate from
+  // the power-sampling prev_* snapshots above: the sampler reads counters
+  // at its own window boundaries and must never disturb the power model's
+  // deltas.
+  obs::IntervalSampler* sampler_ = nullptr;
+  Cycle sampler_wstart_ = 0;      ///< Start of the open window.
+  Cycle sampler_next_ = 0;        ///< Next window boundary.
+  std::uint64_t s_prev_instr_ = 0;
+  std::uint64_t s_prev_l2_acc_ = 0;
+  std::uint64_t s_prev_l2_miss_ = 0;
+  double s_prev_l2_powered_ = 0.0;
+  std::uint64_t s_prev_row_hits_ = 0;
+  std::uint64_t s_prev_row_activity_ = 0;
+  double s_prev_fabric_busy_ = 0.0;
 };
 
 }  // namespace cdsim::sim

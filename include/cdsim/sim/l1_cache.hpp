@@ -35,6 +35,7 @@
 #include "cdsim/common/types.hpp"
 #include "cdsim/core/core_model.hpp"
 #include "cdsim/decay/technique.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/verify/observer.hpp"
 
 namespace cdsim::sim {
@@ -74,6 +75,13 @@ class L1Cache final : public core::LoadStorePort {
 
   /// Attaches a differential-verification observer (nullptr detaches).
   void set_observer(verify::AccessObserver* obs) noexcept { obs_ = obs; }
+
+  /// Attaches the timeline recorder (observer-only; nullptr detaches):
+  /// write-buffer drain spans, decay-sweep and back-invalidation instants.
+  void set_trace(obs::TraceRecorder* rec, obs::TrackId track) noexcept {
+    trace_ = rec;
+    trace_track_ = track;
+  }
 
   // --- core-facing (LoadStorePort) ----------------------------------------
   core::LoadOutcome try_load(Addr addr, core::LoadCallback on_done) override;
@@ -149,6 +157,8 @@ class L1Cache final : public core::LoadStorePort {
   CoreId core_ = 0;
   L2Cache* l2_ = nullptr;
   verify::AccessObserver* obs_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
 
   /// The level-agnostic engine: tags, MSHRs, write buffer, decay, stats.
   Level level_;

@@ -44,6 +44,7 @@
 #include "cdsim/common/stats.hpp"
 #include "cdsim/decay/sweeper.hpp"
 #include "cdsim/decay/technique.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/sim/l1_cache.hpp"
 #include "cdsim/verify/observer.hpp"
 
@@ -90,6 +91,13 @@ class L2Cache final : public noc::Snooper {
 
   /// Attaches a differential-verification observer (nullptr detaches).
   void set_observer(verify::AccessObserver* obs) noexcept { obs_ = obs; }
+
+  /// Attaches the timeline recorder (observer-only; nullptr detaches):
+  /// miss-lifetime spans, decay-sweep / turn-off / write-back instants.
+  void set_trace(obs::TraceRecorder* rec, obs::TrackId track) noexcept {
+    trace_ = rec;
+    trace_track_ = track;
+  }
 
   // --- upper-level (L1) interface -----------------------------------------
   /// Read request from an L1 miss. Always eventually responds (internally
@@ -211,6 +219,8 @@ class L2Cache final : public noc::Snooper {
   noc::Interconnect& ic_;
   L1Cache* upper_ = nullptr;
   verify::AccessObserver* obs_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
 
   /// The level-agnostic engine: tags, MSHRs, decay machinery, stats.
   Level level_;

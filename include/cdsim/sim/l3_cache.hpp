@@ -29,6 +29,7 @@
 #include "cdsim/common/event_queue.hpp"
 #include "cdsim/decay/technique.hpp"
 #include "cdsim/noc/directory_mesh.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
 #include "cdsim/verify/observer.hpp"
 
 namespace cdsim::sim {
@@ -63,6 +64,13 @@ class L3Cache final : public noc::MemorySideCache {
 
   /// Attaches a differential-verification observer (nullptr detaches).
   void set_observer(verify::AccessObserver* obs) noexcept { obs_ = obs; }
+
+  /// Attaches the timeline recorder (observer-only; nullptr detaches):
+  /// per-bank decay-sweep and memory-push instants on one shared track.
+  void set_trace(obs::TraceRecorder* rec, obs::TrackId track) noexcept {
+    trace_ = rec;
+    trace_track_ = track;
+  }
 
   // --- noc::MemorySideCache ------------------------------------------------
   void connect_memory_port(MemWritePort port) override {
@@ -134,6 +142,8 @@ class L3Cache final : public noc::MemorySideCache {
   EventQueue& eq_;
   L3Config cfg_;
   verify::AccessObserver* obs_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId trace_track_ = 0;
   MemWritePort mem_port_;
   std::vector<std::unique_ptr<Bank>> banks_;
 };

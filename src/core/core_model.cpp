@@ -3,6 +3,21 @@
 #include "cdsim/common/assert.hpp"
 
 namespace cdsim::core {
+namespace {
+
+constexpr const char* stall_name(CoreModel::StallReason r) noexcept {
+  switch (r) {
+    case CoreModel::StallReason::kDep: return "stall.dep";
+    case CoreModel::StallReason::kLoadQueue: return "stall.loadq";
+    case CoreModel::StallReason::kRob: return "stall.rob";
+    case CoreModel::StallReason::kPort: return "stall.mshr";
+    case CoreModel::StallReason::kStore: return "stall.store";
+    case CoreModel::StallReason::kCount: break;
+  }
+  return "stall";
+}
+
+}  // namespace
 
 CoreModel::CoreModel(EventQueue& eq, const CoreConfig& cfg, CoreId id,
                      workload::WorkloadStream& stream, LoadStorePort& port,
@@ -154,6 +169,10 @@ void CoreModel::wake() {
     const Cycle stalled = eq_.now() - parked_since_;
     stall_cycles_.inc(stalled);
     stall_by_[static_cast<std::size_t>(park_reason_)].inc(stalled);
+    if (trace_ != nullptr && stalled > 0) {
+      trace_->span(trace_track_, stall_name(park_reason_), parked_since_,
+                   eq_.now());
+    }
     try_issue();
   }
 }
@@ -165,7 +184,12 @@ void CoreModel::finish() {
   if (parked_) {
     parked_ = false;
     stall_cycles_.inc(eq_.now() - parked_since_);
+    if (trace_ != nullptr && eq_.now() > parked_since_) {
+      trace_->span(trace_track_, stall_name(park_reason_), parked_since_,
+                   eq_.now());
+    }
   }
+  if (trace_ != nullptr) trace_->instant(trace_track_, "finish", eq_.now());
   if (on_finished_) on_finished_();
 }
 

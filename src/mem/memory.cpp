@@ -9,6 +9,9 @@
 #include "cdsim/mem/memory.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "cdsim/common/host_timer.hpp"
 
 namespace cdsim::mem {
 
@@ -71,6 +74,21 @@ void DramController::write(Cycle start, std::uint32_t bytes, Addr line,
   issue(start, std::move(req));
 }
 
+void DramController::set_trace(obs::TraceRecorder* rec) {
+  trace_ = rec;
+  channel_tracks_.clear();
+  bank_tracks_.clear();
+  if (trace_ == nullptr) return;
+  const std::size_t banks = channels_.front().banks.size();
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    channel_tracks_.push_back(trace_->track("dram.c" + std::to_string(ci)));
+    for (std::size_t b = 0; b < banks; ++b) {
+      bank_tracks_.push_back(trace_->track(
+          "dram.c" + std::to_string(ci) + ".b" + std::to_string(b)));
+    }
+  }
+}
+
 void DramController::issue(Cycle start, Request req) {
   // Requests are handed over at their channel-arrival cycle; fabrics issue
   // them ahead of time (e.g. the bus at grant + address_phase).
@@ -84,6 +102,7 @@ void DramController::issue(Cycle start, Request req) {
 }
 
 void DramController::arrive(Request req) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kDram);
   const Decoded d = decode(req.line);
   Channel& ch = channels_[d.channel];
   if (!req.is_write) {
@@ -98,6 +117,10 @@ void DramController::arrive(Request req) {
         std::any_of(ch.spill.begin(), ch.spill.end(), matches);
     if (fwd) {
       ++stats_.write_forwards;
+      if (trace_ != nullptr) {
+        trace_->instant(channel_tracks_[d.channel], "fwd", eq_.now(), "line",
+                        req.line);
+      }
       const Cycle done =
           eq_.now() + cfg_.dram.t_cas + transfer_cycles(req.bytes);
       if (req.cb) {
@@ -116,7 +139,8 @@ void DramController::arrive(Request req) {
   pump(d.channel);
 }
 
-void DramController::apply_refresh(Channel& ch, Cycle now) {
+void DramController::apply_refresh(std::size_t ci, Cycle now) {
+  Channel& ch = channels_[ci];
   const DramConfig& d = cfg_.dram;
   if (d.t_refi == 0) return;
   const std::uint64_t due = now / d.t_refi;
@@ -129,11 +153,16 @@ void DramController::apply_refresh(Channel& ch, Cycle now) {
     b.open_row = -1;
     b.ready = std::max(b.ready, busy_until);
   }
+  if (trace_ != nullptr) {
+    trace_->instant(channel_tracks_[ci], "refresh", now, "caught_up",
+                    due - ch.refreshes_applied);
+  }
   stats_.refreshes += due - ch.refreshes_applied;
   ch.refreshes_applied = due;
 }
 
 void DramController::pump(std::size_t ci) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kDram);
   Channel& ch = channels_[ci];
   if (ch.busy) return;
   // Refill the scheduler window from the FIFO spill.
@@ -143,7 +172,7 @@ void DramController::pump(std::size_t ci) {
   }
   if (ch.queue.empty()) return;
   const Cycle now = eq_.now();
-  apply_refresh(ch, now);
+  apply_refresh(ci, now);
 
   // FR-FCFS: oldest row-hit first, oldest overall otherwise — unless the
   // oldest has been bypassed starvation_limit times, which forces it.
@@ -168,18 +197,22 @@ void DramController::pump(std::size_t ci) {
 
   const Cycle start = std::max(now, bank.ready);
   Cycle access = 0;
+  const char* row_outcome = nullptr;
   if (bank.open_row == static_cast<std::int64_t>(d.row)) {
     access = dc.t_cas;
     ++stats_.row_hits;
+    row_outcome = req.is_write ? "wr.hit" : "rd.hit";
   } else if (bank.open_row < 0) {
     access = dc.t_rcd + dc.t_cas;
     ++stats_.row_misses;
     ++stats_.activates;
+    row_outcome = req.is_write ? "wr.miss" : "rd.miss";
   } else {
     access = dc.t_rp + dc.t_rcd + dc.t_cas;
     ++stats_.row_conflicts;
     ++stats_.precharges;
     ++stats_.activates;
+    row_outcome = req.is_write ? "wr.conflict" : "rd.conflict";
   }
   bank.open_row = static_cast<std::int64_t>(d.row);
 
@@ -187,6 +220,11 @@ void DramController::pump(std::size_t ci) {
   const Cycle done = data_start + transfer_cycles(req.bytes);
   ch.data_free = done;
   bank.ready = done;
+
+  if (trace_ != nullptr) {
+    trace_->span(bank_tracks_[ci * ch.banks.size() + d.bank], row_outcome,
+                 start, done, "row", d.row);
+  }
 
   // One command in service per channel at a time; the completion event
   // reopens the scheduler. (Bank-level overlap is folded into the access

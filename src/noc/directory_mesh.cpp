@@ -3,6 +3,8 @@
 #include <bit>
 #include <utility>
 
+#include "cdsim/common/host_timer.hpp"
+
 namespace cdsim::noc {
 
 using coherence::BusTxKind;
@@ -94,9 +96,17 @@ void DirectoryMesh::home_arrive(TxPtr tx) {
 }
 
 void DirectoryMesh::process(TxPtr tx) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kFabric);
   const Cycle granted = eq_.now();
   const Addr line = tx->line;
   const BusTxKind kind = tx->kind;
+
+  // Home-bank grant span: the window this transaction occupies its
+  // serialization point (matches the bank_occupancy reserved at arrival).
+  if (trace_ != nullptr) {
+    trace_->span(trace_track_, coherence::to_string(kind).data(), granted,
+                 granted + cfg_.bank_occupancy, "line", line);
+  }
 
   // A cancelled transaction vanishes before its snoop phase: no snoops, no
   // traffic, no memory write — identical to the bus's validator semantics.

@@ -1,0 +1,156 @@
+#include "cdsim/obs/trace_recorder.hpp"
+
+#include <cinttypes>
+#include <cstring>
+
+namespace cdsim::obs {
+namespace {
+
+// Flush threshold for the streaming buffer. Events append to buf_ and hit
+// the file in ~64 KiB chunks, matching the .cdt v2 writer's O(chunk)
+// memory discipline.
+constexpr std::size_t kFlushBytes = 64 * 1024;
+
+// Track names come from the wiring code (no user input), but escape the
+// JSON-significant bytes anyway so a surprising name can never corrupt
+// the stream.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::~TraceRecorder() { close(); }
+
+bool TraceRecorder::open(const std::string& path, std::string* err) {
+  if (out_ != nullptr) {
+    if (err != nullptr) *err = "trace recorder already open";
+    return false;
+  }
+  out_ = std::fopen(path.c_str(), "wb");
+  if (out_ == nullptr) {
+    if (err != nullptr) *err = "cannot open trace file: " + path;
+    return false;
+  }
+  buf_.reserve(kFlushBytes + 512);
+  buf_ += "{\"traceEvents\":[";
+  return true;
+}
+
+TrackId TraceRecorder::track(const std::string& name) {
+  const TrackId id = next_track_++;
+  if (out_ == nullptr) return id;
+  begin_event();
+  char head[96];
+  const int n = std::snprintf(
+      head, sizeof head,
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu32
+      ",\"name\":\"thread_name\",\"args\":{\"name\":\"",
+      id);
+  emit(head, static_cast<std::size_t>(n));
+  emit_str(json_escape(name));
+  emit("\"}}", 3);
+  return id;
+}
+
+void TraceRecorder::instant(TrackId t, const char* name, Cycle at) {
+  if (out_ == nullptr) return;
+  begin_event();
+  char ev[160];
+  const int n = std::snprintf(
+      ev, sizeof ev,
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":%" PRIu32 ",\"ts\":%" PRIu64
+      ",\"s\":\"t\",\"name\":\"%s\"}",
+      t, at, name);
+  emit(ev, static_cast<std::size_t>(n));
+}
+
+void TraceRecorder::instant(TrackId t, const char* name, Cycle at,
+                            const char* key, std::uint64_t value) {
+  if (out_ == nullptr) return;
+  begin_event();
+  char ev[224];
+  const int n = std::snprintf(
+      ev, sizeof ev,
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":%" PRIu32 ",\"ts\":%" PRIu64
+      ",\"s\":\"t\",\"name\":\"%s\",\"args\":{\"%s\":%" PRIu64 "}}",
+      t, at, name, key, value);
+  emit(ev, static_cast<std::size_t>(n));
+}
+
+void TraceRecorder::span(TrackId t, const char* name, Cycle begin,
+                         Cycle end) {
+  if (out_ == nullptr) return;
+  begin_event();
+  char ev[192];
+  const Cycle dur = end >= begin ? end - begin : 0;
+  const int n = std::snprintf(
+      ev, sizeof ev,
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32 ",\"ts\":%" PRIu64
+      ",\"dur\":%" PRIu64 ",\"name\":\"%s\"}",
+      t, begin, dur, name);
+  emit(ev, static_cast<std::size_t>(n));
+}
+
+void TraceRecorder::span(TrackId t, const char* name, Cycle begin, Cycle end,
+                         const char* key, std::uint64_t value) {
+  if (out_ == nullptr) return;
+  begin_event();
+  char ev[256];
+  const Cycle dur = end >= begin ? end - begin : 0;
+  const int n = std::snprintf(
+      ev, sizeof ev,
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32 ",\"ts\":%" PRIu64
+      ",\"dur\":%" PRIu64 ",\"name\":\"%s\",\"args\":{\"%s\":%" PRIu64 "}}",
+      t, begin, dur, name, key, value);
+  emit(ev, static_cast<std::size_t>(n));
+}
+
+bool TraceRecorder::close() {
+  if (out_ == nullptr) return !write_error_;
+  buf_ += "]}\n";
+  flush_buffer();
+  if (std::fclose(out_) != 0) write_error_ = true;
+  out_ = nullptr;
+  return !write_error_;
+}
+
+void TraceRecorder::emit(const char* data, std::size_t len) {
+  buf_.append(data, len);
+  if (buf_.size() >= kFlushBytes) flush_buffer();
+}
+
+void TraceRecorder::begin_event() {
+  if (any_event_) buf_ += ',';
+  any_event_ = true;
+  ++events_;
+}
+
+void TraceRecorder::flush_buffer() {
+  if (!buf_.empty() && out_ != nullptr) {
+    if (std::fwrite(buf_.data(), 1, buf_.size(), out_) != buf_.size()) {
+      write_error_ = true;
+    }
+  }
+  buf_.clear();
+}
+
+}  // namespace cdsim::obs

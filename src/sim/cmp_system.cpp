@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/host_timer.hpp"
 
 namespace cdsim::sim {
 
@@ -160,6 +161,108 @@ void CmpSystem::set_observer(verify::AccessObserver* obs) {
   for (auto& l1 : l1s_) l1->set_observer(obs);
   for (auto& l2 : l2s_) l2->set_observer(obs);
   if (l3_ != nullptr) l3_->set_observer(obs);
+}
+
+void CmpSystem::set_trace_recorder(obs::TraceRecorder* rec) {
+  CDSIM_ASSERT_MSG(!ran_, "trace recorder must be attached before run()");
+  // Track registration order is fixed (cores, L1s, L2s, fabric, L3, TLBs,
+  // then the memory side registers its own bank tracks) so trace files for
+  // the same config are structurally identical across runs.
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    cores_[c]->set_trace(rec, rec != nullptr
+                                  ? rec->track("core" + std::to_string(c))
+                                  : 0);
+  }
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    l1s_[c]->set_trace(rec, rec != nullptr
+                                ? rec->track("L1." + std::to_string(c))
+                                : 0);
+  }
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    l2s_[c]->set_trace(rec, rec != nullptr
+                                ? rec->track("L2." + std::to_string(c))
+                                : 0);
+  }
+  const obs::TrackId fabric =
+      rec != nullptr ? rec->track("fabric") : 0;
+  if (bus_ != nullptr) bus_->set_trace(rec, fabric);
+  if (mesh_ != nullptr) mesh_->set_trace(rec, fabric);
+  if (l3_ != nullptr) {
+    l3_->set_trace(rec, rec != nullptr ? rec->track("L3") : 0);
+  }
+  for (CoreId c = 0; c < static_cast<CoreId>(tlbs_.size()); ++c) {
+    tlbs_[c]->set_trace(rec, rec != nullptr
+                                 ? rec->track("tlb." + std::to_string(c))
+                                 : 0);
+  }
+  mem_->set_trace(rec);
+}
+
+void CmpSystem::set_sampler(obs::IntervalSampler* s) {
+  CDSIM_ASSERT_MSG(!ran_, "sampler must be attached before run()");
+  sampler_ = s;
+}
+
+void CmpSystem::sample_window(Cycle wstart, Cycle wend) {
+  CDSIM_ASSERT(wend > wstart);
+  obs::SampleRow row;
+  row.window_start = wstart;
+  row.window_end = wend;
+  const double dtd = static_cast<double>(wend - wstart);
+
+  std::uint64_t instr = 0;
+  std::uint64_t l2a = 0;
+  std::uint64_t l2m = 0;
+  double powered = 0.0;
+  double cap_lines = 0.0;
+  double temp_sum = 0.0;
+  double temp_max = 0.0;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    instr += cores_[c]->committed();
+    const auto& st = l2s_[c]->stats();
+    l2a += st.accesses();
+    l2m += st.misses();
+    powered += l2s_[c]->powered_line_cycles(wend);
+    cap_lines += static_cast<double>(l2s_[c]->capacity_lines());
+    const double t =
+        floorplan_->model.temperature(floorplan_->l2_block(c));
+    temp_sum += t;
+    temp_max = std::max(temp_max, t);
+  }
+  row.instructions = instr - s_prev_instr_;
+  row.l2_accesses = l2a - s_prev_l2_acc_;
+  row.l2_misses = l2m - s_prev_l2_miss_;
+  row.ipc = static_cast<double>(row.instructions) / dtd;
+  row.l2_miss_rate = safe_div(static_cast<double>(row.l2_misses),
+                              static_cast<double>(row.l2_accesses));
+  row.l2_powered_frac = (powered - s_prev_l2_powered_) / (cap_lines * dtd);
+  row.avg_l2_temp_kelvin = temp_sum / static_cast<double>(cfg_.num_cores);
+  row.max_l2_temp_kelvin = temp_max;
+
+  const mem::DramStats& ds = mem_->dram_stats();
+  const std::uint64_t row_hits = ds.row_hits;
+  const std::uint64_t row_activity =
+      ds.row_hits + ds.row_misses + ds.row_conflicts;
+  row.dram_row_hit_rate =
+      safe_div(static_cast<double>(row_hits - s_prev_row_hits_),
+               static_cast<double>(row_activity - s_prev_row_activity_));
+
+  // utilization() is cumulative over [0, now]; busy cycles = util * now,
+  // and the window's occupancy is the busy delta over the window length.
+  const double fabric_busy =
+      ic_->utilization(wend) * static_cast<double>(wend);
+  row.fabric_occupancy =
+      std::max(0.0, fabric_busy - s_prev_fabric_busy_) / dtd;
+
+  sampler_->push(row);
+
+  s_prev_instr_ = instr;
+  s_prev_l2_acc_ = l2a;
+  s_prev_l2_miss_ = l2m;
+  s_prev_l2_powered_ = powered;
+  s_prev_row_hits_ = row_hits;
+  s_prev_row_activity_ = row_activity;
+  s_prev_fabric_busy_ = fabric_busy;
 }
 
 void CmpSystem::arm_sampler() {
@@ -395,13 +498,35 @@ RunMetrics CmpSystem::run() {
     core->start([this] { ++cores_done_; });
   }
   arm_sampler();
+  if (sampler_ != nullptr) {
+    sampler_wstart_ = 0;
+    sampler_next_ = sampler_->period();
+  }
 
-  while (cores_done_ < cfg_.num_cores) {
-    const bool progressed = eq_.step();
-    CDSIM_ASSERT_MSG(progressed, "deadlock: event queue drained early");
+  {
+    // Inclusive run-loop total for the host profiler; the subsystem scopes
+    // (decay sweep, fabric, DRAM, oracle) nest inside it.
+    const prof::ScopedPhase dispatch_scope(prof::Phase::kEventDispatch);
+    while (cores_done_ < cfg_.num_cores) {
+      const bool progressed = eq_.step();
+      CDSIM_ASSERT_MSG(progressed, "deadlock: event queue drained early");
+      if (sampler_ != nullptr) {
+        // Loop-driven, never event-driven: emitting a window cannot change
+        // the event schedule, so the golden pins hold with a sampler
+        // attached. Boundaries quantize to event execution times.
+        while (eq_.now() >= sampler_next_) {
+          sample_window(sampler_wstart_, sampler_next_);
+          sampler_wstart_ = sampler_next_;
+          sampler_next_ += sampler_->period();
+        }
+      }
+    }
   }
 
   const Cycle end = eq_.now();
+  if (sampler_ != nullptr && end > sampler_wstart_) {
+    sample_window(sampler_wstart_, end);  // final partial window
+  }
   sample_power(end);  // close the final partial window
   for (auto& l1 : l1s_) l1->stop();
   for (auto& l2 : l2s_) l2->stop();

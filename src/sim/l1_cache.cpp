@@ -1,6 +1,7 @@
 #include "cdsim/sim/l1_cache.hpp"
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/host_timer.hpp"
 #include "cdsim/sim/l2_cache.hpp"
 
 namespace cdsim::sim {
@@ -123,8 +124,13 @@ void L1Cache::drain_write_buffer() {
     const std::optional<Addr> line = level_.write_buffer().drain_next();
     if (!line.has_value()) return;
     ++drains_in_flight_;
-    l2_->write(*line, [this, line = *line](Cycle /*done*/,
-                                           bool /*may_cache*/) {
+    const Cycle drain_issued = eq_.now();
+    l2_->write(*line, [this, line = *line, drain_issued](Cycle /*done*/,
+                                                        bool /*may_cache*/) {
+      if (trace_ != nullptr) {
+        trace_->span(trace_track_, "wb.drain", drain_issued, eq_.now(),
+                     "line", line);
+      }
       // The slot is released only once the write reached the L2 — until
       // then pending_write() reports it, which is exactly the Table I gate.
       level_.write_buffer().drain_done(line);
@@ -143,6 +149,10 @@ void L1Cache::back_invalidate(Addr line_addr) {
     level_.tags().invalidate(*ln);
     level_.power_off();
     level_.stats().backinvals.inc();
+    if (trace_ != nullptr) {
+      trace_->instant(trace_track_, "backinval", eq_.now(), "line",
+                      line_addr);
+    }
   }
 }
 
@@ -151,6 +161,8 @@ void L1Cache::back_invalidate(Addr line_addr) {
 // ---------------------------------------------------------------------------
 
 void L1Cache::decay_sweep(Cycle now) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kDecaySweep);
+  std::uint64_t swept = 0;
   level_.for_each_expired(now, [&](LineT& ln, std::size_t line_index) {
     // Table I at level 1: a line with a buffered store that has not
     // reached the L2 yet must not be switched off (the store would lose
@@ -168,7 +180,11 @@ void L1Cache::decay_sweep(Cycle now) {
     level_.mark_decayed(ln.tag);
     level_.tags().invalidate(ln);
     level_.power_off();
+    ++swept;
   });
+  if (trace_ != nullptr && swept > 0) {
+    trace_->instant(trace_track_, "decay.sweep", now, "off", swept);
+  }
 }
 
 }  // namespace cdsim::sim

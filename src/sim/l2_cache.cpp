@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/host_timer.hpp"
 
 namespace cdsim::sim {
 
@@ -305,16 +306,22 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
 // ---------------------------------------------------------------------------
 
 void L2Cache::issue_fetch(Addr line_addr, bool is_write) {
+  const Cycle miss_begin = eq_.now();  // MSHR allocated this cycle
   noc::RequestHooks hooks;
   hooks.on_grant = [this, line_addr, is_write](const noc::BusResult& res) {
     install_at_grant(line_addr, is_write, res);
   };
-  hooks.on_done = [this, line_addr](const noc::BusResult& res) {
+  hooks.on_done = [this, line_addr,
+                   miss_begin](const noc::BusResult& res) {
     if (LineT* ln = level_.tags().find(line_addr)) {
       ln->payload.fetching = false;
     }
     level_.fills().inc();
     level_.mshr().complete(line_addr, res.done_at);
+    if (trace_ != nullptr) {
+      trace_->span(trace_track_, "miss", miss_begin, res.done_at, "line",
+                   line_addr);
+    }
   };
   ic_.request(is_write ? BusTxKind::kBusRdX : BusTxKind::kBusRd, line_addr,
                core_, cfg_.line_bytes, std::move(hooks));
@@ -365,6 +372,9 @@ void L2Cache::evict(LineT& victim) {
     // this line is superseded by the eviction write-back.
     cancel_td_wb(victim.payload);
     level_.stats().writebacks.inc();
+    if (trace_ != nullptr) {
+      trace_->instant(trace_track_, "wb.evict", eq_.now(), "line", vline);
+    }
     if (obs_) obs_->on_writeback_initiated(core_, vline, eq_.now());
     ic_.request(BusTxKind::kWriteBack, vline, core_, cfg_.line_bytes,
                  noc::Interconnect::Completion{});
@@ -383,6 +393,7 @@ void L2Cache::evict(LineT& victim) {
 
 noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
                                CoreId /*requester*/) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kCoherence);
   LineT* ln = level_.tags().find(line_addr);
   if (ln == nullptr) return {};
 
@@ -420,6 +431,8 @@ noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
 // ---------------------------------------------------------------------------
 
 void L2Cache::decay_sweep(Cycle now) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kDecaySweep);
+  std::uint64_t initiated = 0;
   // The engine yields the genuinely expired lines in line-index order —
   // the same order the old full-array sweep visited lines — so the
   // turn-off events (and the bus traffic they cause) are scheduled in an
@@ -439,12 +452,14 @@ void L2Cache::decay_sweep(Cycle now) {
     switch (coherence::classify_turnoff(cfg_.protocol, p.state)) {
       case coherence::MoesiTurnOffClass::kCleanTurnOff:
         p.state = MesiState::kTransientClean;
+        ++initiated;
         eq_.schedule_in(cfg_.l1_inval_latency,
                         [this, line_addr] { turn_off_clean(line_addr); });
         break;
       case coherence::MoesiTurnOffClass::kDirtyTurnOff: {
         p.state = MesiState::kTransientDirty;
         p.td_wb_token = std::make_shared<bool>(true);
+        ++initiated;
         eq_.schedule_in(cfg_.l1_inval_latency,
                         [this, line_addr] { turn_off_dirty(line_addr); });
         break;
@@ -454,6 +469,7 @@ void L2Cache::decay_sweep(Cycle now) {
         // must be invalidated before a line is turned off."
         p.state = MesiState::kTransientDirty;
         p.td_wb_token = std::make_shared<bool>(true);
+        ++initiated;
         eq_.schedule_in(cfg_.l1_inval_latency,
                         [this, line_addr] { turn_off_owned(line_addr); });
         break;
@@ -462,6 +478,9 @@ void L2Cache::decay_sweep(Cycle now) {
         break;  // unreachable for stationary states; defensive
     }
   });
+  if (trace_ != nullptr && initiated > 0) {
+    trace_->instant(trace_track_, "decay.sweep", now, "turnoffs", initiated);
+  }
 }
 
 void L2Cache::turn_off_clean(Addr line_addr) {
@@ -472,6 +491,9 @@ void L2Cache::turn_off_clean(Addr line_addr) {
   level_.stats().decay_turnoffs.inc();
   level_.mark_decayed(line_addr);
   line_off(*ln);
+  if (trace_ != nullptr) {
+    trace_->instant(trace_track_, "toff.clean", eq_.now(), "line", line_addr);
+  }
   // §III turn-off legality, directory form: a decayed line may be dropped
   // without data traffic exactly because it is clean — tell the home so
   // the sharer bitmap (and the PutE/PutS legality check) stays exact.
@@ -544,6 +566,10 @@ void L2Cache::issue_turnoff_writeback(Addr line_addr) {
     level_.stats().writebacks.inc();
     level_.mark_decayed(line_addr);
     line_off(*l2);
+    if (trace_ != nullptr) {
+      trace_->instant(trace_track_, "toff.dirty", eq_.now(), "line",
+                      line_addr);
+    }
     // Dirty turn-off complete: the flushed copy is off. The directory kept
     // the TD line tracked across the write-back grant (it stays snoopable
     // until this instant) and releases it here; the bus ignores the note.

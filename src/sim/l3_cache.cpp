@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/host_timer.hpp"
 
 namespace cdsim::sim {
 
@@ -59,6 +60,9 @@ void L3Cache::line_off(Bank& b, LineT& ln) {
 void L3Cache::push_to_memory(std::uint32_t bank, Addr line) {
   CDSIM_ASSERT_MSG(mem_port_ != nullptr, "L3 memory port not connected");
   if (obs_) obs_->on_l3_writeback(line, eq_.now());
+  if (trace_ != nullptr) {
+    trace_->instant(trace_track_, "wb.mem", eq_.now(), "line", line);
+  }
   mem_port_(bank, line, cfg_.line_bytes);
 }
 
@@ -166,7 +170,9 @@ void L3Cache::invalidate(std::uint32_t bank, Addr line) {
 // ---------------------------------------------------------------------------
 
 void L3Cache::decay_sweep(std::uint32_t bank, Cycle now) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kDecaySweep);
   Bank& b = *banks_[bank];
+  std::uint64_t swept = 0;
   b.level.for_each_expired(now, [&](LineT& ln, std::size_t /*line_index*/) {
     // The home bank is the serialization point, so the Figure-2 transient
     // choreography degenerates: no snooper can race this turn-off.
@@ -179,7 +185,11 @@ void L3Cache::decay_sweep(std::uint32_t bank, Cycle now) {
     }
     // Clean turn-off: silent drop — memory already holds the data.
     line_off(b, ln);
+    ++swept;
   });
+  if (trace_ != nullptr && swept > 0) {
+    trace_->instant(trace_track_, "decay.sweep", now, "bank", bank);
+  }
 }
 
 // ---------------------------------------------------------------------------

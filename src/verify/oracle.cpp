@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/host_timer.hpp"
 
 namespace cdsim::verify {
 
@@ -42,6 +43,7 @@ void DifferentialChecker::diverge(CoreId core, Addr line, Cycle now,
 
 void DifferentialChecker::on_load_hit(CoreId core, Addr line, Cycle now,
                                       bool l1) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kOracle);
   CDSIM_ASSERT(core < num_cores_);
   ++loads_checked_;
   const auto it = copy_[core].find(line);
@@ -60,6 +62,7 @@ void DifferentialChecker::on_load_hit(CoreId core, Addr line, Cycle now,
 
 void DifferentialChecker::on_fill(CoreId core, Addr line, Cycle now,
                                   bool from_cache, bool for_write) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kOracle);
   CDSIM_ASSERT(core < num_cores_);
   ++fills_checked_;
   Version v;
@@ -94,6 +97,7 @@ void DifferentialChecker::on_fill(CoreId core, Addr line, Cycle now,
 
 void DifferentialChecker::on_write_serialized(CoreId core, Addr line,
                                               Cycle /*now*/) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kOracle);
   CDSIM_ASSERT(core < num_cores_);
   ++writes_serialized_;
   const Version v = ++next_version_;
@@ -103,6 +107,7 @@ void DifferentialChecker::on_write_serialized(CoreId core, Addr line,
 
 void DifferentialChecker::on_flush_supply(CoreId core, Addr line,
                                           Cycle now, bool memory_update) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kOracle);
   CDSIM_ASSERT(core < num_cores_);
   const auto it = copy_[core].find(line);
   Version v = 0;
@@ -120,6 +125,7 @@ void DifferentialChecker::on_flush_supply(CoreId core, Addr line,
 
 void DifferentialChecker::on_writeback_initiated(CoreId core, Addr line,
                                                  Cycle now) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kOracle);
   CDSIM_ASSERT(core < num_cores_);
   const auto it = copy_[core].find(line);
   Version v = 0;
@@ -135,6 +141,7 @@ void DifferentialChecker::on_writeback_initiated(CoreId core, Addr line,
 void DifferentialChecker::on_writeback_resolved(CoreId core, Addr line,
                                                 Cycle now, bool cancelled,
                                                 bool to_l3) {
+  const prof::ScopedPhase prof_scope(prof::Phase::kOracle);
   CDSIM_ASSERT(core < num_cores_);
   const auto it = pending_wb_.find({core, line});
   if (it == pending_wb_.end() || it->second.empty()) {

@@ -115,6 +115,13 @@ TEST(CdlintGolden, DeterministicLookupsStayQuiet) {
 
 TEST(CdlintGolden, RawRandomness) { expect_golden("bad_raw_random.cpp"); }
 
+TEST(CdlintGolden, HostClockOutsideItsGrantedHeaderFires) {
+  // A host-profiling timer pasted anywhere but the granted
+  // include/cdsim/common/host_timer.hpp must trip raw-random — the grant
+  // in tools/cdlint/allowlist.txt is a path suffix, not a rule waiver.
+  expect_golden("bad_host_clock.cpp");
+}
+
 TEST(CdlintGolden, ChunkCodecIdiomsStayQuiet) {
   // The .cdt v2 codec's shapes — varint shift loops, integer FNV-1a
   // accumulation, zigzag folds, NSDMI'd codec-state structs — must never
@@ -191,6 +198,25 @@ TEST(CdlintAllow, MalformedAndUnknownAllowlistLinesError) {
   ASSERT_EQ(al.errors.size(), 2u);
   EXPECT_NE(al.errors[0].find("line 2"), std::string::npos);
   EXPECT_NE(al.errors[1].find("unknown rule"), std::string::npos);
+}
+
+TEST(CdlintAllow, HostTimerGrantIsConfinedToTheOneHeader) {
+  // The repo's actual grant shape: raw-random allowed for the host-timer
+  // header and nothing else. The same findings in any other file — the
+  // bad_host_clock fixture included — stay visible, which is the mechanism
+  // that keeps wall-clock reads confined to common/host_timer.hpp.
+  LintConfig cfg = fixture_config();
+  cfg.allowlist = cdlint::parse_allowlist(
+      "raw-random include/cdsim/common/host_timer.hpp\n");
+  ASSERT_TRUE(cfg.allowlist.errors.empty());
+  EXPECT_TRUE(
+      cfg.allowlist.allows("include/cdsim/common/host_timer.hpp",
+                           "raw-random"));
+  EXPECT_FALSE(cfg.allowlist.allows("src/sim/cmp_system.cpp", "raw-random"));
+  EXPECT_FALSE(cfg.allowlist.allows("include/cdsim/common/host_timer.hpp",
+                                    "unordered-iter"));
+  // The grant does not reach the fixture: both clock reads still fire.
+  EXPECT_EQ(lint_fixture("bad_host_clock.cpp", cfg).size(), 2u);
 }
 
 TEST(CdlintAllow, GrantsAreSuffixMatchedPerRule) {

@@ -1,0 +1,35 @@
+// cdlint fixture: a host-profiling timer written OUTSIDE
+// include/cdsim/common/host_timer.hpp. The repo allowlist grants raw-random
+// to that one header only, so the same shapes anywhere else — a scoped
+// wall-clock timer pasted into a component, say — must still fire. This is
+// what keeps host-time measurement confined to the single audited seam.
+#include <chrono>
+#include <cstdint>
+
+struct LocalScopedTimer {
+  std::uint64_t* sink = nullptr;
+  std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();  // CDLINT-EXPECT: raw-random
+  ~LocalScopedTimer() {
+    const auto t1 = std::chrono::steady_clock::now();  // CDLINT-EXPECT: raw-random
+    *sink += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+  }
+};
+
+std::uint64_t profile_something() {
+  std::uint64_t ns = 0;
+  {
+    LocalScopedTimer t{&ns};
+  }
+  return ns;
+}
+
+// Benign lookalikes that must NOT fire: simulated-time vocabulary that
+// merely mentions clocks without reading one.
+struct CycleClock {
+  unsigned long now_cycle = 0;
+  unsigned long now() const { return now_cycle; }
+};
+unsigned long benign(const CycleClock& c) { return c.now(); }

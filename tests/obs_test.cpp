@@ -1,0 +1,333 @@
+// Tests for cdsim::obs — the timeline recorder, the windowed time-series
+// sampler, and the host profiler.
+//
+// The load-bearing property is in AttachedVsDetached*: attaching the full
+// observability stack to a run must leave every RunMetrics field
+// bit-identical to the detached run. Everything else here checks the
+// artifacts themselves: the trace file is valid Chrome-trace JSON (and
+// truncation/corruption is *detected*, not shrugged at), the sampler's
+// window arithmetic covers the run exactly, zero-event runs still produce
+// valid files, and the series checksum for a pinned config is pinned like
+// the golden hexfloat metrics.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cdsim/common/host_timer.hpp"
+#include "cdsim/obs/interval_sampler.hpp"
+#include "cdsim/obs/json_check.hpp"
+#include "cdsim/obs/trace_recorder.hpp"
+#include "cdsim/sim/cmp_system.hpp"
+#include "cdsim/sim/experiment.hpp"
+#include "cdsim/workload/benchmarks.hpp"
+
+namespace {
+
+using namespace cdsim;
+
+std::string tmp_path(const char* stem) {
+  return ::testing::TempDir() + stem + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::uint64_t count_token(const std::string& text, const std::string& token) {
+  std::uint64_t n = 0;
+  for (std::size_t at = text.find(token); at != std::string::npos;
+       at = text.find(token, at + token.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// One small pinned run (FMM, 1 MiB, decay64K, 20k instr/core) used by
+/// several tests below. Observability hooks attach to whatever the caller
+/// passes; nullptr means detached.
+sim::RunMetrics run_small(obs::TraceRecorder* rec, obs::IntervalSampler* s) {
+  decay::DecayConfig d{decay::Technique::kDecay, 64 * 1024, 4};
+  sim::SystemConfig cfg = sim::make_system_config(1 * MiB, d);
+  cfg.instructions_per_core = 20000;
+  const auto& bench = workload::benchmark_by_name("FMM");
+  sim::CmpSystem sys(sim::normalized_run_config(cfg, bench), bench);
+  if (rec != nullptr) sys.set_trace_recorder(rec);
+  if (s != nullptr) sys.set_sampler(s);
+  return sys.run();
+}
+
+// --- trace recorder ---------------------------------------------------------
+
+TEST(TraceRecorder, EmitsWellFormedJson) {
+  const std::string path = tmp_path("obs_trace") + ".json";
+  obs::TraceRecorder rec;
+  std::string err;
+  ASSERT_TRUE(rec.open(path, &err)) << err;
+  const sim::RunMetrics m = run_small(&rec, nullptr);
+  ASSERT_TRUE(rec.close());
+  EXPECT_GT(m.instructions, 0u);
+  EXPECT_GT(rec.events(), 0u);
+  EXPECT_GT(rec.tracks(), 0u);
+
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(text.empty());
+  const obs::JsonCheckResult r = obs::json_check(text);
+  EXPECT_TRUE(r.ok) << "at byte " << r.error_at << ": " << r.error;
+
+  // The metadata events name exactly the registered tracks, and every
+  // emitted event is accounted for in the file.
+  EXPECT_EQ(count_token(text, "\"ph\":\"M\""), rec.tracks());
+  EXPECT_EQ(count_token(text, "\"ph\":"), rec.events());
+  // The wiring registers one track per core plus the caches and fabric.
+  EXPECT_NE(text.find("\"core0\""), std::string::npos);
+  EXPECT_NE(text.find("\"L2.0\""), std::string::npos);
+  EXPECT_NE(text.find("\"fabric\""), std::string::npos);
+}
+
+TEST(TraceRecorder, TruncatedFileIsDetected) {
+  const std::string path = tmp_path("obs_trunc") + ".json";
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.open(path));
+  run_small(&rec, nullptr);
+  ASSERT_TRUE(rec.close());
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  ASSERT_GT(text.size(), 64u);
+
+  // A stream cut anywhere before the closing "]}" must fail validation —
+  // this is what lets cdtrace flag a crashed/killed run's trace instead of
+  // silently summarizing half a timeline.
+  EXPECT_FALSE(obs::json_check(text.substr(0, text.size() / 2)).ok);
+  EXPECT_FALSE(obs::json_check(text.substr(0, text.size() - 3)).ok);
+
+  // Single-byte corruption in the middle is caught too, with a position.
+  std::string corrupt = text;
+  corrupt[corrupt.size() / 2] = '\x01';
+  const obs::JsonCheckResult r = obs::json_check(corrupt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.error_at, 0u);
+}
+
+TEST(TraceRecorder, ZeroEventRunIsValidEmptyFile) {
+  const std::string path = tmp_path("obs_empty") + ".json";
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.open(path));
+  ASSERT_TRUE(rec.close());
+  EXPECT_EQ(rec.events(), 0u);
+
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  const obs::JsonCheckResult r = obs::json_check(text);
+  EXPECT_TRUE(r.ok) << "at byte " << r.error_at << ": " << r.error;
+  EXPECT_NE(text.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceRecorder, OpenFailureLeavesRecorderInactive) {
+  obs::TraceRecorder rec;
+  std::string err;
+  EXPECT_FALSE(rec.open("/nonexistent-dir/trace.json", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(rec.active());
+  // Emission against an inactive recorder is a defined no-op.
+  const obs::TrackId t = rec.track("t");
+  rec.instant(t, "x", 1);
+  rec.span(t, "y", 1, 2);
+  EXPECT_EQ(rec.events(), 0u);
+}
+
+// --- interval sampler -------------------------------------------------------
+
+TEST(IntervalSampler, WindowArithmeticCoversTheRunExactly) {
+  // A period that does not divide the run length: the final partial window
+  // must close at the end cycle, so rows == ceil(cycles / period) and the
+  // windows tile [0, cycles) without gap or overlap.
+  obs::IntervalSampler s(7777);
+  const std::string path = tmp_path("obs_series") + ".csv";
+  ASSERT_TRUE(s.open_csv(path));
+  const sim::RunMetrics m = run_small(nullptr, &s);
+  ASSERT_TRUE(s.finish());
+  EXPECT_EQ(s.rows(), (m.cycles + 7776) / 7777);
+
+  // The CSV mirrors the pushed rows: header + one line per row.
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(count_token(text, "\n"), s.rows() + 1);
+  EXPECT_EQ(text.rfind("window_start,", 0), 0u);
+}
+
+TEST(IntervalSampler, ZeroRowRunIsValidHeaderOnlyFile) {
+  obs::IntervalSampler s(100);
+  const std::string path = tmp_path("obs_empty_series") + ".csv";
+  ASSERT_TRUE(s.open_csv(path));
+  ASSERT_TRUE(s.finish());
+  EXPECT_EQ(s.rows(), 0u);
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(count_token(text, "\n"), 1u);
+  EXPECT_EQ(text.rfind("window_start,", 0), 0u);
+}
+
+TEST(IntervalSampler, ChecksumCoversBitsNotText) {
+  // Two samplers fed the same rows agree; flipping one low mantissa bit —
+  // invisible at any printf precision — changes the checksum.
+  obs::SampleRow row;
+  row.window_start = 0;
+  row.window_end = 100;
+  row.instructions = 42;
+  row.ipc = 0.42;
+  obs::IntervalSampler a(100), b(100), c(100);
+  a.push(row);
+  b.push(row);
+  EXPECT_EQ(a.checksum(), b.checksum());
+  row.ipc = std::nextafter(row.ipc, 1.0);
+  c.push(row);
+  EXPECT_NE(a.checksum(), c.checksum());
+}
+
+// --- the observer-only contract ---------------------------------------------
+
+TEST(Observability, AttachedVsDetachedMetricsAreBitIdentical) {
+  const sim::RunMetrics plain = run_small(nullptr, nullptr);
+
+  const std::string path = tmp_path("obs_attached") + ".json";
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.open(path));
+  obs::IntervalSampler s(5000);
+  const sim::RunMetrics traced = run_small(&rec, &s);
+  ASSERT_TRUE(rec.close());
+  std::remove(path.c_str());
+
+  // Bit-for-bit across every pinned field — EXPECT_EQ on doubles is exact.
+  EXPECT_EQ(plain.cycles, traced.cycles);
+  EXPECT_EQ(plain.instructions, traced.instructions);
+  EXPECT_EQ(plain.ipc, traced.ipc);
+  EXPECT_EQ(plain.l2_occupation, traced.l2_occupation);
+  EXPECT_EQ(plain.l2_miss_rate, traced.l2_miss_rate);
+  EXPECT_EQ(plain.l2_accesses, traced.l2_accesses);
+  EXPECT_EQ(plain.l2_misses, traced.l2_misses);
+  EXPECT_EQ(plain.l2_decay_turnoffs, traced.l2_decay_turnoffs);
+  EXPECT_EQ(plain.l2_decay_induced_misses, traced.l2_decay_induced_misses);
+  EXPECT_EQ(plain.l2_coherence_invals, traced.l2_coherence_invals);
+  EXPECT_EQ(plain.l2_writebacks, traced.l2_writebacks);
+  EXPECT_EQ(plain.amat, traced.amat);
+  EXPECT_EQ(plain.mem_bandwidth, traced.mem_bandwidth);
+  EXPECT_EQ(plain.mem_bytes, traced.mem_bytes);
+  EXPECT_EQ(plain.energy, traced.energy);
+  EXPECT_EQ(plain.avg_l2_temp_kelvin, traced.avg_l2_temp_kelvin);
+  EXPECT_EQ(plain.bus_utilization, traced.bus_utilization);
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    const auto comp = static_cast<power::Component>(i);
+    EXPECT_EQ(plain.ledger.get(comp), traced.ledger.get(comp))
+        << to_string(comp);
+  }
+}
+
+TEST(Observability, DramMachineTracesAndStaysBitIdentical) {
+  // The memory-side emission points (bank access spans, refresh instants,
+  // TLB walks) ride the kDram model; prove they are observer-only too and
+  // that they actually show up in the file.
+  decay::DecayConfig d{decay::Technique::kDecay, 64 * 1024, 4};
+  sim::SystemConfig cfg = sim::make_system_config(1 * MiB, d);
+  cfg.instructions_per_core = 20000;
+  cfg.mem.model = mem::MemoryModel::kDram;
+  cfg.mem.tlb.enabled = true;
+  const auto& bench = workload::benchmark_by_name("mpeg2enc");
+
+  sim::CmpSystem plain_sys(sim::normalized_run_config(cfg, bench), bench);
+  const sim::RunMetrics plain = plain_sys.run();
+
+  const std::string path = tmp_path("obs_dram") + ".json";
+  obs::TraceRecorder rec;
+  ASSERT_TRUE(rec.open(path));
+  sim::CmpSystem traced_sys(sim::normalized_run_config(cfg, bench), bench);
+  traced_sys.set_trace_recorder(&rec);
+  const sim::RunMetrics traced = traced_sys.run();
+  ASSERT_TRUE(rec.close());
+
+  EXPECT_EQ(plain.cycles, traced.cycles);
+  EXPECT_EQ(plain.energy, traced.energy);
+  EXPECT_EQ(plain.dram_row_hits, traced.dram_row_hits);
+  EXPECT_EQ(plain.dram_row_conflicts, traced.dram_row_conflicts);
+  EXPECT_EQ(plain.tlb_misses, traced.tlb_misses);
+
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(obs::json_check(text).ok);
+  EXPECT_NE(text.find("\"dram.c0\""), std::string::npos);
+  EXPECT_NE(text.find("\"dram.c0.b0\""), std::string::npos);
+  EXPECT_NE(text.find("\"tlb.0\""), std::string::npos);
+}
+
+// --- golden series pin ------------------------------------------------------
+
+// The time-series analogue of the golden hexfloat metrics: the FNV-1a64
+// checksum over every SampleRow's raw bit patterns for one pinned config.
+// Captured by running this test and printing sampler.checksum() with
+// "%016llx" (the EXPECT_EQ failure message shows the live value). If an
+// intentional modeling change shifts it, re-capture in the same commit —
+// never widen to a tolerance; the checksum has none.
+TEST(Observability, GoldenSeriesChecksumIsPinned) {
+  obs::IntervalSampler s(10000);  // checksum-only: no CSV sink needed
+  const sim::RunMetrics m = run_small(nullptr, &s);
+  EXPECT_EQ(m.instructions, 80000u);
+  EXPECT_EQ(s.rows(), (m.cycles + 9999) / 10000);
+  EXPECT_EQ(s.checksum(), 0x97068239618517edULL);
+}
+
+// --- host profiler ----------------------------------------------------------
+
+TEST(HostProfiler, ScopedPhaseAccumulatesOnlyWhenEnabled) {
+  using prof::HostProfiler;
+  using prof::Phase;
+  HostProfiler::reset();
+
+  {  // Disabled (the default): a scope leaves no trace.
+    const prof::ScopedPhase scope(Phase::kOracle);
+  }
+  EXPECT_EQ(HostProfiler::calls(Phase::kOracle), 0u);
+  EXPECT_EQ(HostProfiler::nanos(Phase::kOracle), 0u);
+
+  HostProfiler::set_enabled(true);
+  {
+    const prof::ScopedPhase scope(Phase::kOracle);
+  }
+  {
+    const prof::ScopedPhase scope(Phase::kOracle);
+  }
+  HostProfiler::set_enabled(false);
+  EXPECT_EQ(HostProfiler::calls(Phase::kOracle), 2u);
+
+  HostProfiler::reset();
+  EXPECT_EQ(HostProfiler::calls(Phase::kOracle), 0u);
+}
+
+TEST(HostProfiler, ProfiledRunIsStillBitIdentical) {
+  // The profiler reads the wall clock, but its measurements flow only into
+  // host-side counters — simulated results cannot move.
+  const sim::RunMetrics plain = run_small(nullptr, nullptr);
+  prof::HostProfiler::reset();
+  prof::HostProfiler::set_enabled(true);
+  const sim::RunMetrics profiled = run_small(nullptr, nullptr);
+  prof::HostProfiler::set_enabled(false);
+  EXPECT_EQ(plain.cycles, profiled.cycles);
+  EXPECT_EQ(plain.energy, profiled.energy);
+  EXPECT_EQ(plain.ipc, profiled.ipc);
+  // The run loop was really measured.
+  EXPECT_GT(prof::HostProfiler::calls(prof::Phase::kEventDispatch), 0u);
+  EXPECT_GT(prof::HostProfiler::nanos(prof::Phase::kEventDispatch), 0u);
+  prof::HostProfiler::reset();
+}
+
+}  // namespace
