@@ -10,12 +10,27 @@
 // the default of 1M instructions/core keeps a full-fidelity sample under a
 // couple of seconds.
 //
-// Usage: bench_kernel [output.json]   (default: BENCH_kernel.json in cwd)
+// Usage: bench_kernel [output.json] [--baseline file] [--tolerance ratio]
+//   output.json   where to write this run's numbers (default BENCH_kernel.json)
+//   --baseline    a previously committed BENCH_kernel.json to gate against:
+//                 the deterministic fields (events, cycles, l2_misses,
+//                 decay_turnoffs, occupation) must match BIT-EXACTLY when the
+//                 instruction budgets agree, and best_ms may not exceed
+//                 baseline * tolerance. This is the CI perf gate for the
+//                 throughput-class sweep.
+//   --tolerance   wall-clock slowdown ratio allowed vs. the baseline
+//                 (default 3.0 — wide on purpose: shared CI runners are
+//                 noisy and the committed baseline came from different
+//                 hardware; the gate catches order-of-magnitude sins, the
+//                 committed history catches drift).
 
 #include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -145,9 +160,225 @@ void print_json(std::FILE* f, const std::vector<Sample>& samples,
   std::fprintf(f, "  \"observer_invariant\": true\n}\n");
 }
 
+// ---------------------------------------------------------------------------
+// Baseline gate (--baseline): hand-rolled extraction tuned to print_json's
+// own output — every config object is a single line, every scalar is
+// `"key": value`. No JSON library in the tree, and none needed to re-read
+// a format this file itself wrote.
+// ---------------------------------------------------------------------------
+
+struct BaselineConfig {
+  double best_ms = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t decay_turnoffs = 0;
+  double occupation = 0.0;
+};
+
+struct Baseline {
+  std::uint64_t instructions_per_core = 0;
+  // Parallel arrays keyed by technique label, in file order.
+  std::vector<std::string> labels;
+  std::vector<BaselineConfig> configs;
+
+  [[nodiscard]] const BaselineConfig* find(const std::string& label) const {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == label) return &configs[i];
+    }
+    return nullptr;
+  }
+};
+
+/// Extracts `"key": <number>` from one line; nullopt if the key is absent.
+std::optional<double> field_number(const std::string& line,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> field_u64(const std::string& line,
+                                       const std::string& key) {
+  const auto v = field_number(line, key);
+  if (!v.has_value()) return std::nullopt;
+  return static_cast<std::uint64_t>(*v);
+}
+
+/// Extracts `"key": "<text>"` from one line.
+std::optional<std::string> field_string(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto start = pos + needle.size();
+  const auto close = line.find('"', start);
+  if (close == std::string::npos) return std::nullopt;
+  return line.substr(start, close - start);
+}
+
+std::optional<Baseline> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  Baseline b;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto instr = field_u64(line, "instructions_per_core")) {
+      b.instructions_per_core = *instr;
+    }
+    const auto label = field_string(line, "technique");
+    if (!label.has_value()) continue;
+    BaselineConfig c;
+    const auto best = field_number(line, "best_ms");
+    const auto events = field_u64(line, "events");
+    const auto cycles = field_u64(line, "cycles");
+    const auto misses = field_u64(line, "l2_misses");
+    const auto turnoffs = field_u64(line, "decay_turnoffs");
+    const auto occ = field_number(line, "occupation");
+    if (!best || !events || !cycles || !misses || !turnoffs || !occ) {
+      std::fprintf(stderr,
+                   "bench_kernel: malformed baseline config line: %s\n",
+                   line.c_str());
+      return std::nullopt;
+    }
+    c.best_ms = *best;
+    c.events = *events;
+    c.cycles = *cycles;
+    c.l2_misses = *misses;
+    c.decay_turnoffs = *turnoffs;
+    c.occupation = *occ;
+    b.labels.push_back(*label);
+    b.configs.push_back(c);
+  }
+  return b;
+}
+
+/// Compares this run against the baseline. Deterministic fields (event
+/// count, cycles, misses, turnoffs, occupation) are a hard gate: the
+/// simulator promises bit-identical runs per config, so ANY drift is a
+/// functional regression, not noise. Wall clock is gated by `tolerance`
+/// (slowdown only — getting faster is the point). Returns failure count.
+int check_against_baseline(const std::vector<Sample>& samples,
+                           const Baseline& base, std::uint64_t instr,
+                           double tolerance) {
+  if (base.instructions_per_core != instr) {
+    std::printf(
+        "bench_kernel: baseline was recorded at %llu instr/core, this run "
+        "uses %llu — skipping gate (rerun with CDSIM_INSTR=%llu to compare)\n",
+        static_cast<unsigned long long>(base.instructions_per_core),
+        static_cast<unsigned long long>(instr),
+        static_cast<unsigned long long>(base.instructions_per_core));
+    return 0;
+  }
+  int failures = 0;
+  const auto fail = [&failures](const std::string& label, const char* what,
+                                double got, double want) {
+    std::fprintf(stderr,
+                 "bench_kernel: BASELINE MISMATCH [%s] %s: got %.17g, "
+                 "baseline %.17g\n",
+                 label.c_str(), what, got, want);
+    ++failures;
+  };
+  for (const Sample& s : samples) {
+    const BaselineConfig* c = base.find(s.label);
+    if (c == nullptr) {
+      std::fprintf(stderr,
+                   "bench_kernel: baseline has no \"%s\" config — "
+                   "regenerate it with this binary\n",
+                   s.label.c_str());
+      ++failures;
+      continue;
+    }
+    if (s.events != c->events) {
+      fail(s.label, "events", static_cast<double>(s.events),
+           static_cast<double>(c->events));
+    }
+    if (s.cycles != c->cycles) {
+      fail(s.label, "cycles", static_cast<double>(s.cycles),
+           static_cast<double>(c->cycles));
+    }
+    if (s.metrics.l2_misses != c->l2_misses) {
+      fail(s.label, "l2_misses", static_cast<double>(s.metrics.l2_misses),
+           static_cast<double>(c->l2_misses));
+    }
+    if (s.metrics.l2_decay_turnoffs != c->decay_turnoffs) {
+      fail(s.label, "decay_turnoffs",
+           static_cast<double>(s.metrics.l2_decay_turnoffs),
+           static_cast<double>(c->decay_turnoffs));
+    }
+    // %.17g round-trips doubles exactly, so plain equality IS bit equality
+    // (modulo -0.0/NaN, which l2_occupation never is).
+    if (s.metrics.l2_occupation != c->occupation) {
+      fail(s.label, "occupation", s.metrics.l2_occupation, c->occupation);
+    }
+    if (c->best_ms > 0.0 && s.best_ms > c->best_ms * tolerance) {
+      std::fprintf(stderr,
+                   "bench_kernel: PERF REGRESSION [%s] best %.1f ms vs "
+                   "baseline %.1f ms (limit %.1f ms = %.2fx)\n",
+                   s.label.c_str(), s.best_ms, c->best_ms,
+                   c->best_ms * tolerance, tolerance);
+      ++failures;
+    } else {
+      std::printf("  gate [%s]: %.1f ms vs baseline %.1f ms (%.2fx, "
+                  "limit %.2fx)\n",
+                  s.label.c_str(), s.best_ms, c->best_ms,
+                  c->best_ms > 0.0 ? s.best_ms / c->best_ms : 0.0, tolerance);
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string out = "BENCH_kernel.json";
+  std::string baseline_path;
+  double tolerance = 3.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_kernel: --baseline needs a file\n");
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_kernel: --tolerance needs a ratio\n");
+        return 2;
+      }
+      char* end = nullptr;
+      tolerance = std::strtod(argv[++i], &end);
+      if (end == argv[i] || tolerance <= 0.0) {
+        std::fprintf(stderr, "bench_kernel: invalid --tolerance \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_kernel: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      out = arg;
+    }
+  }
+
+  // Load (and validate) the baseline up front so a bad path fails in
+  // milliseconds, not after the measurement runs.
+  std::optional<Baseline> baseline;
+  if (!baseline_path.empty()) {
+    baseline = load_baseline(baseline_path);
+    if (!baseline.has_value()) {
+      std::fprintf(stderr, "bench_kernel: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+
   std::uint64_t instr = 1'000'000;
   if (const char* env = std::getenv("CDSIM_INSTR")) {
     const auto v = cdsim::sim::detail::parse_positive_u64(env);
@@ -190,14 +421,25 @@ int main(int argc, char** argv) {
   std::printf("  traced/plain wall-clock ratio: %.3f (metrics bit-identical)\n",
               traced_over_plain);
 
-  const char* out = argc > 1 ? argv[1] : "BENCH_kernel.json";
-  std::FILE* f = std::fopen(out, "w");
+  std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "bench_kernel: cannot write %s\n", out);
+    std::fprintf(stderr, "bench_kernel: cannot write %s\n", out.c_str());
     return 1;
   }
   print_json(f, samples, instr, traced_over_plain);
   std::fclose(f);
-  std::printf("wrote %s\n", out);
+  std::printf("wrote %s\n", out.c_str());
+
+  // The perf gate runs AFTER the JSON is written: a failing run still
+  // leaves its numbers on disk for the CI artifact upload / postmortem.
+  if (baseline.has_value()) {
+    const int failures =
+        check_against_baseline(samples, *baseline, instr, tolerance);
+    if (failures != 0) {
+      std::fprintf(stderr, "bench_kernel: %d baseline gate failure(s)\n",
+                   failures);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -17,11 +17,11 @@
 // bus order — exactly the property a physical snoopy bus provides.
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cdsim/coherence/mesi.hpp"
 #include "cdsim/common/assert.hpp"
+#include "cdsim/common/ring.hpp"
 #include "cdsim/common/event_queue.hpp"
 #include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
@@ -70,7 +70,7 @@ class SnoopBus final : public noc::Interconnect {
   void attach(Snooper* s) override {
     CDSIM_ASSERT(s != nullptr);
     snoopers_.push_back(s);
-    queues_.emplace_back();
+    queues_.emplace_back(kQueueCapacity);
   }
 
   [[nodiscard]] std::size_t num_agents() const noexcept override {
@@ -326,7 +326,12 @@ class SnoopBus final : public noc::Interconnect {
   obs::TraceRecorder* trace_ = nullptr;
   obs::TrackId trace_track_ = 0;
   std::vector<Snooper*> snoopers_;
-  std::vector<std::deque<Pending>> queues_;
+  static constexpr std::size_t kQueueCapacity = 16;
+  /// Per-agent pending-request rings (FIFO within an agent, round-robin
+  /// across agents). Sized for the in-flight budget an L2 can sustain (its
+  /// MSHR file plus turn-off write-backs); deeper bursts grow a ring to
+  /// its high-water mark once, after which arbitration is allocation-free.
+  std::vector<FifoRing<Pending>> queues_;
   std::size_t next_rr_ = 0;
   std::size_t queued_ = 0;
   bool arb_armed_ = false;

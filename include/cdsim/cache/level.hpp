@@ -109,7 +109,8 @@ concept LevelPayload = std::default_initializable<P> &&
 template <typename Payload>
 class CacheLevel {
  public:
-  using LineT = Line<Payload>;
+  /// Line handle (SoA LineRef, passed by value — see tag_array.hpp).
+  using LineT = LineRef<Payload>;
 
   CacheLevel(EventQueue& eq, const Geometry& geo, const LevelTiming& timing,
              const decay::DecayConfig& dcfg, const LevelPolicy& policy,
@@ -192,20 +193,20 @@ class CacheLevel {
 
   // --- LRU + decay countdown ----------------------------------------------
   /// Marks a line most-recently-used and restarts its decay countdown.
-  void touch(LineT& ln) {
+  void touch(LineT ln) {
     tags_.touch(ln);
-    ln.payload.decay.last_touch = eq_.now();
+    ln.payload().decay.last_touch = eq_.now();
     wheel_register(ln);
   }
 
   /// Registers an armed, unregistered line with the expiry wheel under its
   /// predicted expiry tick. No-op for unarmed/already-registered lines and
   /// non-decay techniques, so it is safe (and cheap) on the hit path.
-  void wheel_register(LineT& ln) {
-    decay::LineDecayState& d = ln.payload.decay;
+  void wheel_register(LineT ln) {
+    decay::LineDecayState& d = ln.payload().decay;
     if (!d.armed || d.wheel_ticket != 0 || !wheel_.enabled()) return;
-    d.wheel_ticket = wheel_.add(tags_.line_index(ln),
-                                dcfg_.first_expiry_tick(d.last_touch));
+    d.wheel_ticket =
+        wheel_.add(ln.index(), dcfg_.first_expiry_tick(d.last_touch));
   }
 
   /// Updates the decay-arming bit on a transition *into* `to` (paper §IV).
@@ -242,11 +243,11 @@ class CacheLevel {
     age_decay_attribution(now);
     wheel_.collect_due(now, due_scratch_);
     for (const decay::ExpiryWheel::Entry& e : due_scratch_) {
-      LineT& ln = tags_.line_at(e.line_index);
-      decay::LineDecayState& d = ln.payload.decay;
+      LineT ln = tags_.line_at(e.line_index);
+      decay::LineDecayState& d = ln.payload().decay;
       if (d.wheel_ticket != e.ticket) continue;  // slot was reused
       d.wheel_ticket = 0;
-      if (!ln.valid || !d.armed) continue;  // died or disarmed meanwhile
+      if (!ln.valid() || !d.armed) continue;  // died or disarmed meanwhile
       if (!dcfg_.expired(d, now)) {
         // Touched since registration: lazily reschedule at the new
         // deadline (registrations are never updated on the hit path).
@@ -260,8 +261,8 @@ class CacheLevel {
   /// Re-examines a gated (turn-off-ineligible) expired line at the next
   /// sweep tick — the full-array sweep re-examined gated lines every tick;
   /// this mirrors that.
-  void defer_to_next_tick(LineT& ln, std::size_t line_index, Cycle now) {
-    ln.payload.decay.wheel_ticket =
+  void defer_to_next_tick(LineT ln, std::size_t line_index, Cycle now) {
+    ln.payload().decay.wheel_ticket =
         wheel_.add(line_index, now + dcfg_.tick_period());
   }
 

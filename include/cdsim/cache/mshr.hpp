@@ -6,9 +6,17 @@
 // in-flight line fill plus the requests waiting on it. Capacity pressure is
 // part of the timing model: when the file is full the cache must stall new
 // misses, which is how limited memory-level parallelism reaches the core.
+//
+// Layout: the file is a fixed-capacity slot array (sized once, at
+// construction) with a packed live bitmask and a parallel line-address
+// array. find() — the hottest call, one per cache access that misses the
+// tag array — scans live bits and compares addresses out of one cache line
+// instead of chasing hash-table buckets, and allocate/complete recycle the
+// waiter vectors' buffers through a spare pool, so the steady state
+// performs no heap allocation at all.
 
+#include <bit>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cdsim/common/assert.hpp"
@@ -35,32 +43,53 @@ struct MshrEntry {
 /// Fixed-capacity MSHR file keyed by line address.
 class MshrFile {
  public:
-  explicit MshrFile(std::uint32_t capacity) : capacity_(capacity) {
+  explicit MshrFile(std::uint32_t capacity)
+      : capacity_(capacity),
+        addrs_(capacity, 0),
+        live_((capacity + 63) / 64, 0),
+        slots_(capacity) {
     CDSIM_ASSERT(capacity >= 1);
+    spare_waiters_.reserve(capacity);
   }
 
   [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::uint32_t in_use() const noexcept {
-    return static_cast<std::uint32_t>(entries_.size());
-  }
-  [[nodiscard]] bool full() const noexcept { return in_use() >= capacity_; }
+  [[nodiscard]] std::uint32_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] bool full() const noexcept { return in_use_ >= capacity_; }
 
   /// Entry for `line_addr`, or nullptr when no fill is outstanding.
   [[nodiscard]] MshrEntry* find(Addr line_addr) {
-    auto it = entries_.find(line_addr);
-    return it == entries_.end() ? nullptr : &it->second;
+    const std::size_t i = index_of(line_addr);
+    return i == kNone ? nullptr : &slots_[i];
   }
 
   /// Allocates an entry for a new outstanding fill. Precondition: !full()
-  /// and no entry exists for this line (merge instead).
+  /// and no entry exists for this line (merge instead). The returned
+  /// reference stays valid until the entry completes: the slot array never
+  /// reallocates.
   MshrEntry& allocate(Addr line_addr, bool is_write, Cycle now) {
     CDSIM_ASSERT_MSG(!full(), "MSHR allocate on full file");
     CDSIM_ASSERT_MSG(find(line_addr) == nullptr,
                      "MSHR allocate with existing entry (merge instead)");
-    MshrEntry& e = entries_[line_addr];
+    std::size_t i = 0;
+    for (std::size_t w = 0; w < live_.size(); ++w) {
+      if (live_[w] != ~std::uint64_t{0}) {
+        i = w * 64 + static_cast<std::size_t>(std::countr_one(live_[w]));
+        live_[w] |= std::uint64_t{1} << (i & 63);
+        break;
+      }
+    }
+    ++in_use_;
+    addrs_[i] = line_addr;
+    MshrEntry& e = slots_[i];
     e.line_addr = line_addr;
     e.is_write = is_write;
     e.allocated_at = now;
+    if (!spare_waiters_.empty()) {
+      // Reuse a retired waiter buffer (empty, capacity retained) so a
+      // steady-state miss never allocates.
+      e.waiters = std::move(spare_waiters_.back());
+      spare_waiters_.pop_back();
+    }
     ++allocations_;
     return e;
   }
@@ -77,13 +106,20 @@ class MshrFile {
   /// Completes the fill for `line_addr`: invokes all waiters with
   /// `fill_done` and frees the entry. Waiters run in merge order.
   void complete(Addr line_addr, Cycle fill_done) {
-    auto it = entries_.find(line_addr);
-    CDSIM_ASSERT_MSG(it != entries_.end(), "MSHR complete on absent entry");
-    // Move waiters out first: a waiter may synchronously allocate a new
-    // MSHR entry (even for the same line).
-    std::vector<FillCallback> waiters = std::move(it->second.waiters);
-    entries_.erase(it);
+    const std::size_t i = index_of(line_addr);
+    CDSIM_ASSERT_MSG(i != kNone, "MSHR complete on absent entry");
+    // Move waiters out and free the slot first: a waiter may synchronously
+    // allocate a new MSHR entry (even for the same line).
+    std::vector<FillCallback> waiters = std::move(slots_[i].waiters);
+    live_[i / 64] &= ~(std::uint64_t{1} << (i & 63));
+    --in_use_;
     for (auto& cb : waiters) cb(fill_done);
+    // Retire the buffer into the spare pool. Waiters may have refilled the
+    // file, so the pool can briefly exceed capacity_ — cap it there.
+    if (spare_waiters_.size() < capacity_) {
+      waiters.clear();
+      spare_waiters_.push_back(std::move(waiters));
+    }
   }
 
   /// Statistics: lifetime totals.
@@ -93,8 +129,28 @@ class MshrFile {
   [[nodiscard]] std::uint64_t total_merges() const noexcept { return merges_; }
 
  private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+
+  [[nodiscard]] std::size_t index_of(Addr line_addr) const noexcept {
+    for (std::size_t w = 0; w < live_.size(); ++w) {
+      std::uint64_t bits = live_[w];
+      while (bits != 0) {
+        const std::size_t i =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (addrs_[i] == line_addr) return i;
+      }
+    }
+    return kNone;
+  }
+
   std::uint32_t capacity_ = 0;
-  std::unordered_map<Addr, MshrEntry> entries_;
+  std::uint32_t in_use_ = 0;
+  std::vector<Addr> addrs_;          ///< Scan keys, parallel to slots_.
+  std::vector<std::uint64_t> live_;  ///< Bit i set <=> slot i allocated.
+  std::vector<MshrEntry> slots_;     ///< Fixed at capacity_; never grows.
+  /// Retired waiter buffers (empty, capacity retained) for reuse.
+  std::vector<std::vector<FillCallback>> spare_waiters_;
   std::uint64_t allocations_ = 0;
   std::uint64_t merges_ = 0;
 };

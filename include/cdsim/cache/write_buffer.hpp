@@ -10,8 +10,8 @@
 // while its drain is in flight.
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "cdsim/common/assert.hpp"
 #include "cdsim/common/types.hpp"
@@ -23,6 +23,9 @@ class WriteBuffer {
  public:
   explicit WriteBuffer(std::uint32_t capacity) : capacity_(capacity) {
     CDSIM_ASSERT(capacity >= 1);
+    // Occupancy never exceeds capacity_, so this one reservation is the
+    // buffer's only allocation — the push/drain hot path stays heap-free.
+    fifo_.reserve(capacity_);
   }
 
   [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
@@ -104,7 +107,9 @@ class WriteBuffer {
   };
 
   std::uint32_t capacity_ = 0;
-  std::deque<Slot> fifo_;
+  /// FIFO by construction (erase preserves order); a vector because the
+  /// occupancy is bounded by capacity_ — see the constructor reservation.
+  std::vector<Slot> fifo_;
   std::uint64_t pushes_ = 0;
   std::uint64_t coalesced_total_ = 0;
 };

@@ -23,12 +23,15 @@
 //     before the ring window reached that cycle, and the spill precedes
 //     any direct append for that window — so determinism needs no
 //     comparator at all;
-//   * callbacks execute in place out of a stable slot pool (a deque), so
-//     an event may freely schedule further events — including at the same
-//     cycle — while it runs.
+//   * callbacks execute in place out of a stable slot pool (fixed-size
+//     chunks, indexed by shift/mask), so bucket entries are a tiny POD
+//     (cycle, slot) — cheap to append, cheap to spill — and an event may
+//     freely schedule further events (including at the same cycle) while
+//     it runs; the pool grows only to the high-water mark of concurrently
+//     pending events and never allocates after that.
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -156,11 +159,12 @@ class EventQueue {
   void execute(const Event ev) {
     CDSIM_ASSERT(ev.when == scan_);
     now_ = scan_;
-    // Invoke in place: the deque gives slots stable addresses, so the
-    // callback may schedule further events (growing the pool) while it
-    // runs. The slot is destroyed and recycled only after it returns.
-    slots_[ev.slot]();
-    slots_[ev.slot] = nullptr;
+    // Invoke in place: chunks give slots stable addresses, so the callback
+    // may schedule further events (growing the pool) while it runs and the
+    // reference stays good. The slot is recycled only after it returns.
+    Callback& cb = slot(ev.slot);
+    cb();
+    cb = nullptr;
     free_slots_.push_back(ev.slot);
     --pending_;
     ++executed_;
@@ -185,15 +189,25 @@ class EventQueue {
     overflow_.resize(keep);
   }
 
+  /// Stable-address slot access: chunk base + offset, both powers of two.
+  [[nodiscard]] Callback& slot(std::uint32_t i) noexcept {
+    return slot_chunks_[i >> kSlotChunkShift][i & kSlotChunkMask];
+  }
+
   [[nodiscard]] std::uint32_t acquire_slot(Callback&& fn) {
     if (free_slots_.empty()) {
-      slots_.push_back(std::move(fn));
-      return static_cast<std::uint32_t>(slots_.size() - 1);
+      if ((slot_count_ & kSlotChunkMask) == 0) {
+        slot_chunks_.push_back(
+            std::make_unique<Callback[]>(std::size_t{1} << kSlotChunkShift));
+      }
+      const std::uint32_t i = slot_count_++;
+      slot(i) = std::move(fn);
+      return i;
     }
-    const std::uint32_t slot = free_slots_.back();
+    const std::uint32_t i = free_slots_.back();
     free_slots_.pop_back();
-    slots_[slot] = std::move(fn);
-    return slot;
+    slot(i) = std::move(fn);
+    return i;
   }
 
   /// Calendar ring: bucket b holds the events for every cycle c with
@@ -211,10 +225,15 @@ class EventQueue {
   Cycle scan_ = 0;
   /// Index of the next unexecuted event in bucket scan_.
   std::size_t head_ = 0;
-  /// Callback pool indexed by Event::slot; free list recycles LIFO so the
-  /// working set of slots stays cache-hot. A deque (stable references)
-  /// so in-flight callbacks survive pool growth.
-  std::deque<Callback> slots_;
+  /// Callback pool indexed by Event::slot; the free list recycles LIFO so
+  /// the working set of slots stays cache-hot. Chunked (stable references)
+  /// so in-flight callbacks survive pool growth; the chunk list grows only
+  /// to the high-water mark of simultaneously pending events.
+  static constexpr std::uint32_t kSlotChunkShift = 8;  ///< 256 slots/chunk.
+  static constexpr std::uint32_t kSlotChunkMask =
+      (std::uint32_t{1} << kSlotChunkShift) - 1;
+  std::vector<std::unique_ptr<Callback[]>> slot_chunks_;
+  std::uint32_t slot_count_ = 0;
   std::vector<std::uint32_t> free_slots_;
   std::size_t pending_ = 0;
   Cycle now_ = 0;

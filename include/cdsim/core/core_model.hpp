@@ -36,6 +36,11 @@ namespace cdsim::core {
 /// the core's capture list fits the 72-byte inline buffer).
 using LoadCallback = SmallFn<void(Cycle), 72>;
 
+/// Resources-freed waiter the core registers with its port. Fired on every
+/// load completion and write-buffer drain (the simulator's hottest wakeup
+/// path), so it is a SmallFn: the core's `this` capture lives inline.
+using FreedCallback = SmallFn<void(), 16>;
+
 /// Result of offering a load to the cache.
 struct LoadOutcome {
   bool accepted = false;
@@ -63,7 +68,7 @@ class LoadStorePort {
 
   /// Registers the single waiter notified when a previously-full resource
   /// (MSHR or write buffer) frees up.
-  virtual void set_resources_freed(std::function<void()> cb) = 0;
+  virtual void set_resources_freed(FreedCallback cb) = 0;
 };
 
 struct CoreConfig {
@@ -150,6 +155,14 @@ class CoreModel {
   bool have_op_ = false;
   workload::MemOp op_{};
   double gap_carry_ = 0.0;
+  /// Integer pacing fast path, used when issue_width is a power of two
+  /// (every config in the tree): the carry is kept exactly, in units of
+  /// 1/issue_width cycles. Bit-identical to the double accumulation —
+  /// division by a power of two is exact in binary floating point — while
+  /// skipping the per-op int<->double round trips.
+  bool pow2_width_ = false;
+  std::uint32_t gap_shift_ = 0;
+  std::uint64_t gap_rem_ = 0;
 
   // Outstanding loads in program order; slots index into this deque's
   // logical sequence (we keep completed entries until they are the oldest,

@@ -114,7 +114,7 @@ class TlbPort final : public core::LoadStorePort {
     return inner_.try_store(addr);
   }
 
-  void set_resources_freed(std::function<void()> cb) override {
+  void set_resources_freed(core::FreedCallback cb) override {
     core_waiter_ = std::move(cb);
   }
 
@@ -177,7 +177,7 @@ class TlbPort final : public core::LoadStorePort {
   std::map<std::uint64_t, core::LoadCallback> pending_;
   std::deque<ParkedLoad> parked_;
   std::uint64_t next_id_ = 0;
-  std::function<void()> core_waiter_;
+  core::FreedCallback core_waiter_;
 };
 
 }  // namespace cdsim::mem

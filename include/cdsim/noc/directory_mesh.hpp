@@ -38,7 +38,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -191,21 +190,50 @@ class DirectoryMesh final : public Interconnect {
   }
 
  private:
+  /// Handle into the transaction-record pool below. Handles (not pointers)
+  /// cross the mesh inside packet captures: a 4-byte id keeps every fabric
+  /// lambda inside its SmallFn inline buffer, and the pool slot is recycled
+  /// the moment the transaction retires.
+  using TxId = std::uint32_t;
+  static constexpr TxId kNoTx = 0xffffffffu;
+
   struct Tx {
     coherence::BusTxKind kind;
     Addr line = 0;
     CoreId requester = 0;
     std::uint32_t bytes = 0;
     RequestHooks hooks;
+    /// Outstanding inval/ack round trips of a BusUpgr (fan-in counter).
+    std::uint32_t remaining = 0;
+    /// Intrusive link: next transaction in the same per-line deferred FIFO.
+    TxId next = kNoTx;
   };
-  using TxPtr = std::unique_ptr<Tx>;
 
+  /// Intrusive FIFO of transactions parked behind an in-flight write-back
+  /// (chained through Tx::next — no per-deferral container allocation).
+  struct DefList {
+    TxId head = kNoTx;
+    TxId tail = kNoTx;
+  };
+
+  TxId alloc_tx(Tx&& tx);
+  void free_tx(TxId id);
+  void defer_append(DefList& q, TxId id);
   /// Request packet arrived at the home: schedule its bank grant.
-  void home_arrive(TxPtr tx);
+  void home_arrive(TxId id);
   /// The grant: validator, directed snoops, directory refresh, data legs.
-  void process(TxPtr tx);
-  void data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
+  void process(TxId id);
+  void data_legs(TxId id, BusResult res, std::uint64_t targets,
                  bool flush_writes_memory, CoreId supplier);
+  /// Terminal delivery: moves on_done out of the record, releases the pool
+  /// slot, then fires the hook with `done_at = at`. Every data leg that
+  /// delivers at a packet arrival funnels through here, so each record is
+  /// freed exactly once and is already reusable when the hook reenters.
+  void finish_tx(TxId id, BusResult res, Cycle at);
+  /// Write-back completion: schedules finish_tx at `at` — but only when an
+  /// on_done hook exists (event counts are pinned metrics; a hook-less
+  /// write-back must not add a scheduled event).
+  void wb_finish(TxId id, BusResult res, Cycle at);
   /// Re-dispatches transactions deferred on `line` (newest write-back for
   /// it just resolved).
   void wake_deferred(Addr line);
@@ -226,8 +254,18 @@ class DirectoryMesh final : public Interconnect {
 
   /// Earliest next grant per home bank.
   std::vector<Cycle> bank_free_;
-  /// Per-line FIFO of transactions waiting for an in-flight write-back.
-  std::unordered_map<Addr, std::deque<TxPtr>> deferred_;
+  /// Transaction-record pool + LIFO free list. A deque (not a vector) so
+  /// Tx& references stay valid across pool growth: process() holds a
+  /// reference while snoops and grant hooks may reenter request() and
+  /// allocate. The deque's chunk allocations stop at the high-water mark of
+  /// concurrently-live transactions; steady state recycles slots through
+  /// tx_free_ and never touches the heap (same policy as the EventQueue
+  /// slot pool).
+  std::deque<Tx> tx_pool_;
+  std::vector<TxId> tx_free_;
+  /// Per-line FIFO of transactions waiting for an in-flight write-back
+  /// (intrusive chains through Tx::next; an entry exists iff nonempty).
+  std::unordered_map<Addr, DefList> deferred_;
 
   Counter tx_count_[4];
   Counter cancelled_;

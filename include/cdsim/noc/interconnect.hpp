@@ -81,8 +81,9 @@ struct BusResult {
 /// Callbacks and guards attached to one transaction. All four are
 /// move-only SmallFn with inline buffers sized for the L2 controller's
 /// captures, so the hooks themselves never allocate. (On the snoopy bus
-/// the whole request path is allocation-free; the directory mesh does
-/// allocate one Tx per transaction to carry the hooks across the NoC.)
+/// the whole request path is allocation-free; the directory mesh parks the
+/// hooks in a pooled Tx record and passes a 4-byte handle across the NoC,
+/// so its steady state is allocation-free too.)
 struct RequestHooks {
   /// Fires at BusResult::done_at (data delivered / transaction retired).
   SmallFn<void(const BusResult&), 32> on_done;

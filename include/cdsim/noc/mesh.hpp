@@ -23,11 +23,11 @@
 // energy ledger (flit-hops x per-hop energy, see PowerConfig).
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cdsim/common/assert.hpp"
 #include "cdsim/common/event_queue.hpp"
+#include "cdsim/common/ring.hpp"
 #include "cdsim/common/small_fn.hpp"
 #include "cdsim/common/stats.hpp"
 #include "cdsim/common/types.hpp"
@@ -151,7 +151,11 @@ class MeshNoc {
     std::uint32_t to = 0;        ///< Receiving tile.
     std::uint32_t credits = 0;   ///< Free buffers at the receiving router.
     Cycle free_at = 0;           ///< Serialization tail on the wire.
-    std::deque<std::uint32_t> waitq;  ///< Packets (slots) awaiting a credit.
+    /// Packets (slots) awaiting a credit, FIFO. Ring capacity is fixed at
+    /// construction from the credit budget (see the MeshNoc constructor's
+    /// sizing proof); only injection bursts beyond every buffer in the
+    /// mesh can ever grow it.
+    FifoRing<std::uint32_t> waitq;
     LinkStats stats;
   };
 
@@ -178,7 +182,12 @@ class MeshNoc {
   NocConfig cfg_;
   std::uint32_t width_ = 0, height_ = 0;
   std::vector<Link> links_;  ///< tile * kDirs + dir (unused edges inert).
-  std::deque<Packet> slots_;
+  /// Packet slot pool + LIFO free list, pre-sized from the credit budget
+  /// at construction so the steady-state fabric never touches the heap.
+  /// Safe as a vector (growth moves elements): no Packet& is ever held
+  /// across an acquire_slot(), and delivery callbacks run only after the
+  /// packet's slot has been released.
+  std::vector<Packet> slots_;
   std::vector<std::uint32_t> free_slots_;
 
   std::uint64_t packets_sent_ = 0;

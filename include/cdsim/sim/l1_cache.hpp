@@ -86,7 +86,7 @@ class L1Cache final : public core::LoadStorePort {
   // --- core-facing (LoadStorePort) ----------------------------------------
   core::LoadOutcome try_load(Addr addr, core::LoadCallback on_done) override;
   bool try_store(Addr addr) override;
-  void set_resources_freed(std::function<void()> cb) override {
+  void set_resources_freed(core::FreedCallback cb) override {
     resources_freed_ = std::move(cb);
   }
 
@@ -119,12 +119,12 @@ class L1Cache final : public core::LoadStorePort {
     return level_.policy();
   }
   [[nodiscard]] bool has_line(Addr line_addr) const {
-    return level_.tags().find(line_addr) != nullptr;
+    return static_cast<bool>(level_.tags().find(line_addr));
   }
   /// Test/checker hook: visits every valid line's address.
   void for_each_valid_line(const std::function<void(Addr)>& fn) const {
     const_cast<cache::TagArray<Payload>&>(level_.tags())
-        .for_each_valid([&](cache::Line<Payload>& ln) { fn(ln.tag); });
+        .for_each_valid([&](cache::LineRef<Payload> ln) { fn(ln.tag()); });
   }
   [[nodiscard]] CoreId core() const noexcept { return core_; }
   /// Total accesses (for dynamic-energy accounting).
@@ -147,7 +147,7 @@ class L1Cache final : public core::LoadStorePort {
     decay::LineDecayState decay;
   };
   using Level = cache::CacheLevel<Payload>;
-  using LineT = cache::Line<Payload>;
+  using LineT = cache::LineRef<Payload>;
 
   void drain_write_buffer();
   void notify_resources_freed();
@@ -164,7 +164,7 @@ class L1Cache final : public core::LoadStorePort {
   Level level_;
   std::uint32_t drains_in_flight_ = 0;
 
-  std::function<void()> resources_freed_;
+  core::FreedCallback resources_freed_;
 };
 
 }  // namespace cdsim::sim

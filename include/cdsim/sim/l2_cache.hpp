@@ -193,15 +193,15 @@ class L2Cache final : public noc::Snooper {
     std::shared_ptr<bool> td_wb_token;
   };
   using Level = cache::CacheLevel<Payload>;
-  using LineT = cache::Line<Payload>;
+  using LineT = cache::LineRef<Payload>;
 
   void do_read(Addr line_addr, Response on_done, bool counted);
   void do_write(Addr line_addr, Response on_done, bool counted);
   void issue_fetch(Addr line_addr, bool is_write);
   void install_at_grant(Addr line_addr, bool is_write,
                         const noc::BusResult& res);
-  void evict(LineT& victim);
-  void line_off(LineT& ln);
+  void evict(LineT victim);
+  void line_off(LineT ln);
   void retry(EventQueue::Callback fn) { level_.retry(std::move(fn)); }
   void turn_off_clean(Addr line_addr);
   void turn_off_dirty(Addr line_addr);

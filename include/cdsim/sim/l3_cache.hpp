@@ -127,7 +127,7 @@ class L3Cache final : public noc::MemorySideCache {
     bool dirty = false;
   };
   using Level = cache::CacheLevel<Payload>;
-  using LineT = cache::Line<Payload>;
+  using LineT = cache::LineRef<Payload>;
 
   struct Bank {
     template <typename... Args>
@@ -135,8 +135,8 @@ class L3Cache final : public noc::MemorySideCache {
     Level level;
   };
 
-  void line_off(Bank& b, LineT& ln);
-  void evict(std::uint32_t bank, LineT& victim);
+  void line_off(Bank& b, LineT ln);
+  void evict(std::uint32_t bank, LineT victim);
   void push_to_memory(std::uint32_t bank, Addr line);
 
   EventQueue& eq_;

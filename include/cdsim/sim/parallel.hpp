@@ -69,6 +69,16 @@ class ThreadPool {
   /// results[i] needs no locking.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but submits contiguous index ranges of up to
+  /// `batch` indices per pool task: one queue push, one mutex round trip
+  /// and one std::function allocation amortize over the whole range. The
+  /// call order inside a task is ascending, and every index still runs
+  /// exactly once — so any fn whose work is a pure function of its index
+  /// (the grid determinism contract) produces bit-identical results for
+  /// every batch size, 1 included. `batch == 0` is clamped to 1.
+  void parallel_for_batched(std::size_t n, std::size_t batch,
+                            const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
 

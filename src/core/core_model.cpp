@@ -1,5 +1,7 @@
 #include "cdsim/core/core_model.hpp"
 
+#include <bit>
+
 #include "cdsim/common/assert.hpp"
 
 namespace cdsim::core {
@@ -31,6 +33,8 @@ CoreModel::CoreModel(EventQueue& eq, const CoreConfig& cfg, CoreId id,
   CDSIM_ASSERT(cfg_.issue_width >= 1);
   CDSIM_ASSERT(cfg_.max_outstanding_loads >= 1);
   CDSIM_ASSERT(instr_budget >= 1);
+  pow2_width_ = std::has_single_bit(cfg_.issue_width);
+  gap_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg_.issue_width));
   port_.set_resources_freed([this] { wake(); });
 }
 
@@ -58,12 +62,21 @@ void CoreModel::advance() {
   have_op_ = true;
 
   // The gap's non-memory instructions retire at issue_width per cycle;
-  // carry fractional cycles so pacing is exact in the long run.
+  // carry fractional cycles so pacing is exact in the long run. For
+  // power-of-two widths the carry lives in integer 1/width units (exactly
+  // the value the double path would hold — /2^k is exact in binary FP).
   committed_ += op_.gap;
-  gap_carry_ +=
-      static_cast<double>(op_.gap) / static_cast<double>(cfg_.issue_width);
-  const auto delay = static_cast<Cycle>(gap_carry_);
-  gap_carry_ -= static_cast<double>(delay);
+  Cycle delay;
+  if (pow2_width_) {
+    gap_rem_ += op_.gap;
+    delay = gap_rem_ >> gap_shift_;
+    gap_rem_ &= (std::uint64_t{1} << gap_shift_) - 1;
+  } else {
+    gap_carry_ +=
+        static_cast<double>(op_.gap) / static_cast<double>(cfg_.issue_width);
+    delay = static_cast<Cycle>(gap_carry_);
+    gap_carry_ -= static_cast<double>(delay);
+  }
 
   // Zero-delay ops issue in the same cycle; calling directly (with a depth
   // guard) avoids an event per operation on the hot path.

@@ -31,19 +31,35 @@ void DirectoryMesh::attach(Snooper* s) {
   snoopers_.push_back(s);
 }
 
+std::uint32_t DirectoryMesh::alloc_tx(Tx&& tx) {
+  if (tx_free_.empty()) {
+    tx_pool_.push_back(std::move(tx));
+    return static_cast<TxId>(tx_pool_.size() - 1);
+  }
+  const TxId id = tx_free_.back();
+  tx_free_.pop_back();
+  tx_pool_[id] = std::move(tx);
+  return id;
+}
+
+void DirectoryMesh::free_tx(TxId id) {
+  Tx& t = tx_pool_[id];
+  t.hooks = RequestHooks{};  // drop hook captures now, not at slot reuse
+  t.next = kNoTx;
+  tx_free_.push_back(id);
+}
+
 void DirectoryMesh::request(BusTxKind kind, Addr line_addr, CoreId requester,
                             std::uint32_t bytes, RequestHooks hooks) {
   CDSIM_ASSERT(requester < snoopers_.size());
-  auto tx = std::make_unique<Tx>(
-      Tx{kind, line_addr, requester, bytes, std::move(hooks)});
+  const TxId id =
+      alloc_tx(Tx{kind, line_addr, requester, bytes, std::move(hooks)});
   // A write-back's request packet carries the line; everything else is a
   // control message.
   const std::uint32_t payload =
       kind == BusTxKind::kWriteBack ? bytes : cfg_.ctrl_bytes;
   noc_.send(requester, home_tile(line_addr), payload,
-            [this, tx = std::move(tx)](Cycle) mutable {
-              home_arrive(std::move(tx));
-            });
+            [this, id](Cycle) { home_arrive(id); });
 }
 
 void DirectoryMesh::attach_l3(MemorySideCache* l3) {
@@ -75,31 +91,64 @@ void DirectoryMesh::note_clean_drop(CoreId core, Addr line_addr) {
   noc_.send(core, home_tile(line_addr), cfg_.ctrl_bytes, {});
 }
 
-void DirectoryMesh::home_arrive(TxPtr tx) {
+void DirectoryMesh::defer_append(DefList& q, TxId id) {
+  tx_pool_[id].next = kNoTx;
+  if (q.tail == kNoTx) {
+    q.head = q.tail = id;
+  } else {
+    tx_pool_[q.tail].next = id;
+    q.tail = id;
+  }
+}
+
+void DirectoryMesh::home_arrive(TxId id) {
   // Preserve per-line arrival order past a parked queue: anything that is
   // not the unblocking write-back joins the queue's tail.
-  if (tx->kind != BusTxKind::kWriteBack) {
-    const auto it = deferred_.find(tx->line);
-    if (it != deferred_.end() && !it->second.empty()) {
+  Tx& t = tx_pool_[id];
+  if (t.kind != BusTxKind::kWriteBack) {
+    const auto it = deferred_.find(t.line);
+    if (it != deferred_.end()) {
       dir_.stats().deferrals.inc();
-      it->second.push_back(std::move(tx));
+      defer_append(it->second, id);
       return;
     }
   }
-  const std::uint32_t home = home_tile(tx->line);
+  const std::uint32_t home = home_tile(t.line);
   const Cycle earliest = eq_.now() + cfg_.directory_latency;
   const Cycle grant = earliest > bank_free_[home] ? earliest : bank_free_[home];
   bank_free_[home] = grant + cfg_.bank_occupancy;
-  eq_.schedule_at(grant, [this, tx = std::move(tx)]() mutable {
-    process(std::move(tx));
-  });
+  eq_.schedule_at(grant, [this, id] { process(id); });
 }
 
-void DirectoryMesh::process(TxPtr tx) {
+void DirectoryMesh::finish_tx(TxId id, BusResult res, Cycle at) {
+  auto cb = std::move(tx_pool_[id].hooks.on_done);
+  free_tx(id);  // the slot is reusable before the hook reenters request()
+  if (cb) {
+    res.done_at = at;
+    cb(res);
+  }
+}
+
+void DirectoryMesh::wb_finish(TxId id, BusResult res, Cycle at) {
+  // Only schedule the completion event when a hook will observe it — the
+  // event-count metrics are pinned, and the pre-pool code created no event
+  // for a hook-less write-back either.
+  if (!tx_pool_[id].hooks.on_done) {
+    free_tx(id);
+    return;
+  }
+  res.done_at = at;
+  eq_.schedule_at(at, [this, id, res] { finish_tx(id, res, res.done_at); });
+}
+
+void DirectoryMesh::process(TxId id) {
   const prof::ScopedPhase prof_scope(prof::Phase::kFabric);
   const Cycle granted = eq_.now();
-  const Addr line = tx->line;
-  const BusTxKind kind = tx->kind;
+  // Stable across reentrancy: tx_pool_ is a deque, so snoops and hooks
+  // below may alloc_tx() without moving this record.
+  Tx& tx = tx_pool_[id];
+  const Addr line = tx.line;
+  const BusTxKind kind = tx.kind;
 
   // Home-bank grant span: the window this transaction occupies its
   // serialization point (matches the bank_occupancy reserved at arrival).
@@ -110,13 +159,18 @@ void DirectoryMesh::process(TxPtr tx) {
 
   // A cancelled transaction vanishes before its snoop phase: no snoops, no
   // traffic, no memory write — identical to the bus's validator semantics.
-  if (tx->hooks.validator && !tx->hooks.validator()) {
+  if (tx.hooks.validator && !tx.hooks.validator()) {
     cancelled_.inc();
     if (obs_ && kind == BusTxKind::kWriteBack) {
-      obs_->on_writeback_resolved(tx->requester, line, granted,
+      obs_->on_writeback_resolved(tx.requester, line, granted,
                                   /*cancelled=*/true);
     }
-    if (tx->hooks.on_cancel) tx->hooks.on_cancel();
+    // Move the fallback hook out before releasing the slot: on_cancel
+    // reenters request() (e.g. a dropped BusUpgr reissued as BusRdX), which
+    // may immediately reuse this very id.
+    auto on_cancel = std::move(tx.hooks.on_cancel);
+    free_tx(id);
+    if (on_cancel) on_cancel();
     if (kind == BusTxKind::kWriteBack) wake_deferred(line);
     return;
   }
@@ -128,11 +182,11 @@ void DirectoryMesh::process(TxPtr tx) {
     const coherence::DirectoryEntry* e = dir_.find(line);
     if (e != nullptr && e->owner != kNoCore) {
       const bool owner_has_data =
-          e->owner != tx->requester &&
+          e->owner != tx.requester &&
           coherence::holds_data(snoopers_[e->owner]->probe(line));
       if (!owner_has_data) {
         dir_.stats().deferrals.inc();
-        deferred_[line].push_back(std::move(tx));
+        defer_append(deferred_[line], id);
         return;
       }
     }
@@ -154,26 +208,26 @@ void DirectoryMesh::process(TxPtr tx) {
     // power-off completes, and the L2 reports that death through
     // note_clean_drop. Eviction write-backs (the copy died at evict time)
     // release here.
-    if (snoopers_[tx->requester]->probe(line) ==
+    if (snoopers_[tx.requester]->probe(line) ==
         MesiState::kTransientDirty) {
       dir_.stats().owner_writebacks.inc();
     } else {
-      dir_.writeback_granted(tx->requester, line);
+      dir_.writeback_granted(tx.requester, line);
     }
     if (obs_) {
-      obs_->on_writeback_resolved(tx->requester, line, granted,
+      obs_->on_writeback_resolved(tx.requester, line, granted,
                                   /*cancelled=*/false,
                                   /*to_l3=*/l3_ != nullptr);
     }
   } else {
     coherence::DirectoryEntry& e = dir_.lookup(line);
-    targets = dir_.snoop_targets(e, tx->requester);
+    targets = dir_.snoop_targets(e, tx.requester);
 
     // A BusUpgr issued while the requester holds the line in TD is the
     // §III Owned-turn-off invalidation round — served here as a recall
     // directed at exactly the tracked sharers, not a broadcast.
     if (kind == BusTxKind::kBusUpgr &&
-        snoopers_[tx->requester]->probe(line) ==
+        snoopers_[tx.requester]->probe(line) ==
             MesiState::kTransientDirty) {
       dir_.stats().recalls.inc();
     }
@@ -183,7 +237,7 @@ void DirectoryMesh::process(TxPtr tx) {
     for (CoreId t = 0; t < static_cast<CoreId>(snoopers_.size()); ++t) {
       if (((targets >> t) & 1u) == 0) continue;
       dir_.stats().directed_snoops.inc();
-      const SnoopReply r = snoopers_[t]->snoop(kind, line, tx->requester);
+      const SnoopReply r = snoopers_[t]->snoop(kind, line, tx.requester);
       res.shared = res.shared || r.had_line;
       if (r.supplied_data) {
         CDSIM_ASSERT_MSG(supplier == kNoCore, "two suppliers for one line");
@@ -195,7 +249,7 @@ void DirectoryMesh::process(TxPtr tx) {
   }
 
   // Install/commit at the grant — the same atomic contract as the bus.
-  if (tx->hooks.on_grant) tx->hooks.on_grant(res);
+  if (tx.hooks.on_grant) tx.hooks.on_grant(res);
 
   // Bitmap refresh: probe every involved cache, including the requester's
   // just-installed copy. Write-backs change nothing beyond
@@ -203,7 +257,7 @@ void DirectoryMesh::process(TxPtr tx) {
   if (kind != BusTxKind::kWriteBack) {
     coherence::DirectoryEntry& e = dir_.lookup(line);
     const std::uint64_t involved =
-        targets | (std::uint64_t{1} << tx->requester);
+        targets | (std::uint64_t{1} << tx.requester);
     for (CoreId t = 0; t < static_cast<CoreId>(snoopers_.size()); ++t) {
       if (((involved >> t) & 1u) == 0) continue;
       dir_.record_probe(e, t, snoopers_[t]->probe(line));
@@ -213,16 +267,17 @@ void DirectoryMesh::process(TxPtr tx) {
     dir_.drop_if_uncached(line);
   }
 
-  data_legs(std::move(tx), res, targets, flush_mem, supplier);
+  data_legs(id, res, targets, flush_mem, supplier);
   if (kind == BusTxKind::kWriteBack) wake_deferred(line);
 }
 
-void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
+void DirectoryMesh::data_legs(TxId id, BusResult res, std::uint64_t targets,
                               bool flush_mem, CoreId supplier) {
-  const std::uint32_t req_tile = tx->requester;
-  const std::uint32_t home = home_tile(tx->line);
+  Tx& tx = tx_pool_[id];
+  const std::uint32_t req_tile = tx.requester;
+  const std::uint32_t home = home_tile(tx.line);
 
-  switch (tx->kind) {
+  switch (tx.kind) {
     case BusTxKind::kBusRd:
     case BusTxKind::kBusRdX: {
       if (res.supplied_by_cache) {
@@ -231,71 +286,56 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
           // The flush ends ownership (MESI always; MOESI for RdX): the
           // dirty line also travels to the memory tile, posted on arrival.
           // Any L3 copy predates this flush and must not serve again.
-          if (l3_ != nullptr) l3_->invalidate(home, tx->line);
-          const std::uint32_t bytes = tx->bytes;
+          if (l3_ != nullptr) l3_->invalidate(home, tx.line);
+          const std::uint32_t bytes = tx.bytes;
           noc_.send(supplier, cfg_.mem_tile, bytes,
-                    [this, bytes, line = tx->line](Cycle c) {
+                    [this, bytes, line = tx.line](Cycle c) {
                       mem_write(c, bytes, line);
                     });
         }
         // Forward home -> owner, then the line owner -> requester.
-        auto sp = std::shared_ptr<Tx>(std::move(tx));
         noc_.send(home, supplier, cfg_.ctrl_bytes,
-                  [this, sp, res, supplier, req_tile](Cycle) mutable {
-                    noc_.send(supplier, req_tile, sp->bytes,
-                              [sp, res](Cycle arr) mutable {
-                                if (sp->hooks.on_done) {
-                                  BusResult r = res;
-                                  r.done_at = arr;
-                                  sp->hooks.on_done(r);
-                                }
+                  [this, id, res, supplier, req_tile](Cycle) {
+                    noc_.send(supplier, req_tile, tx_pool_[id].bytes,
+                              [this, id, res](Cycle arr) {
+                                finish_tx(id, res, arr);
                               });
                   });
-      } else if (l3_ != nullptr && l3_->lookup_for_fill(home, tx->line)) {
+      } else if (l3_ != nullptr && l3_->lookup_for_fill(home, tx.line)) {
         // Three-level: the home's L3 bank holds the line. The bank is at
         // the serialization point, so the data leaves after the bank's
         // access latency — no off-chip traffic at all.
-        auto sp = std::shared_ptr<Tx>(std::move(tx));
         const Cycle ready = eq_.now() + l3_->access_latency();
-        eq_.schedule_at(ready, [this, sp, res, req_tile, home]() mutable {
-          noc_.send(home, req_tile, sp->bytes, [sp, res](Cycle arr) mutable {
-            if (sp->hooks.on_done) {
-              BusResult r = res;
-              r.done_at = arr;
-              sp->hooks.on_done(r);
-            }
-          });
+        eq_.schedule_at(ready, [this, id, res, req_tile, home] {
+          noc_.send(home, req_tile, tx_pool_[id].bytes,
+                    [this, id, res](Cycle arr) { finish_tx(id, res, arr); });
         });
       } else {
         // home -> memory tile (read request), memory access, then the
         // line memory tile -> requester. With L3 banks attached, the
         // delivered line is also written into the home bank (off the
         // critical path — the bank fill does not delay the requester).
-        auto sp = std::shared_ptr<Tx>(std::move(tx));
         noc_.send(home, cfg_.mem_tile, cfg_.ctrl_bytes,
-                  [this, sp, res, req_tile, home](Cycle arr) mutable {
+                  [this, id, res, req_tile, home](Cycle arr) {
                     // The delivery leg runs when memory has the line: flat
                     // computes the cycle synchronously, kDram resolves it
                     // through the controller's completion callback.
-                    auto deliver = [this, sp, res, req_tile,
-                                    home](Cycle /*ready*/) mutable {
+                    auto deliver = [this, id, res, req_tile,
+                                    home](Cycle /*ready*/) {
                       if (l3_ != nullptr) {
-                        l3_->install_from_memory(home, sp->line);
+                        l3_->install_from_memory(home, tx_pool_[id].line);
                       }
-                      noc_.send(cfg_.mem_tile, req_tile, sp->bytes,
-                                [sp, res](Cycle a2) mutable {
-                                  if (sp->hooks.on_done) {
-                                    BusResult r = res;
-                                    r.done_at = a2;
-                                    sp->hooks.on_done(r);
-                                  }
+                      noc_.send(cfg_.mem_tile, req_tile, tx_pool_[id].bytes,
+                                [this, id, res](Cycle a2) {
+                                  finish_tx(id, res, a2);
                                 });
                     };
                     if (mem_.model() == mem::MemoryModel::kDram) {
-                      mem_.dram_read(arr, sp->bytes, sp->line,
-                                     std::move(deliver));
+                      mem_.dram_read(arr, tx_pool_[id].bytes,
+                                     tx_pool_[id].line, std::move(deliver));
                     } else {
-                      const Cycle ready = mem_.schedule_read(arr, sp->bytes);
+                      const Cycle ready =
+                          mem_.schedule_read(arr, tx_pool_[id].bytes);
                       eq_.schedule_at(
                           ready, [deliver = std::move(deliver),
                                   ready]() mutable { deliver(ready); });
@@ -308,31 +348,25 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
     case BusTxKind::kBusUpgr: {
       // The invalidations were applied at the grant; the packets model the
       // inval/ack round trips, and the requester's ack closes the
-      // transaction once every sharer answered.
-      auto sp = std::shared_ptr<Tx>(std::move(tx));
-      auto remaining =
-          std::make_shared<std::uint32_t>(std::popcount(targets));
-      auto finish = [this, sp, res, req_tile, home]() mutable {
+      // transaction once every sharer answered. The fan-in counter lives
+      // in the pooled record itself (Tx::remaining) — no shared_ptr.
+      tx.remaining = static_cast<std::uint32_t>(std::popcount(targets));
+      if (tx.remaining == 0) {
         noc_.send(home, req_tile, cfg_.ctrl_bytes,
-                  [sp, res](Cycle a) mutable {
-                    if (sp->hooks.on_done) {
-                      BusResult r = res;
-                      r.done_at = a;
-                      sp->hooks.on_done(r);
-                    }
-                  });
-      };
-      if (*remaining == 0) {
-        finish();
+                  [this, id, res](Cycle a) { finish_tx(id, res, a); });
         break;
       }
       for (CoreId t = 0; t < static_cast<CoreId>(snoopers_.size()); ++t) {
         if (((targets >> t) & 1u) == 0) continue;
         noc_.send(home, t, cfg_.ctrl_bytes,
-                  [this, t, home, remaining, finish](Cycle) mutable {
+                  [this, t, home, id, res, req_tile](Cycle) {
                     noc_.send(t, home, cfg_.ctrl_bytes,
-                              [remaining, finish](Cycle) mutable {
-                                if (--*remaining == 0) finish();
+                              [this, id, res, req_tile, home](Cycle) {
+                                if (--tx_pool_[id].remaining != 0) return;
+                                noc_.send(home, req_tile, cfg_.ctrl_bytes,
+                                          [this, id, res](Cycle a) {
+                                            finish_tx(id, res, a);
+                                          });
                               });
                   });
       }
@@ -343,52 +377,39 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
       // The data reached the home with the request. Three-level: the home
       // bank absorbs it (dirty) and the channel sees nothing; two-level:
       // forward it to memory.
-      const std::uint32_t bytes = tx->bytes;
+      const std::uint32_t bytes = tx.bytes;
       const Cycle local_done = res.granted_at + cfg_.directory_latency;
       if (l3_ == nullptr && !mem_.config().posted_writes) {
         // Non-posted: the evicting cache's completion waits for the
         // memory write to land, not just the directory's ack. (An L3
         // absorption completes locally — memory was never involved.)
-        auto sp = std::shared_ptr<Tx>(std::move(tx));
         noc_.send(home, cfg_.mem_tile, bytes,
-                  [this, sp, res, local_done](Cycle c) mutable {
-                    const auto finish = [this](std::shared_ptr<Tx> t,
-                                               BusResult r, Cycle at) {
-                      if (!t->hooks.on_done) return;
-                      r.done_at = at;
-                      eq_.schedule_at(at, [t, r]() mutable {
-                        t->hooks.on_done(r);
-                      });
-                    };
+                  [this, id, res, local_done](Cycle c) {
                     if (mem_.model() == mem::MemoryModel::kDram) {
                       mem_.dram_write(
-                          c, sp->bytes, sp->line,
-                          [finish, sp, res, local_done](Cycle t) mutable {
-                            finish(sp, res,
-                                   t > local_done ? t : local_done);
+                          c, tx_pool_[id].bytes, tx_pool_[id].line,
+                          [this, id, res, local_done](Cycle t) {
+                            wb_finish(id, res,
+                                      t > local_done ? t : local_done);
                           });
                     } else {
-                      const Cycle wdone = mem_.post_write(c, sp->bytes);
-                      finish(sp, res,
-                             wdone > local_done ? wdone : local_done);
+                      const Cycle wdone =
+                          mem_.post_write(c, tx_pool_[id].bytes);
+                      wb_finish(id, res,
+                                wdone > local_done ? wdone : local_done);
                     }
                   });
         break;
       }
       if (l3_ != nullptr) {
-        l3_->absorb_writeback(home, tx->line);
+        l3_->absorb_writeback(home, tx.line);
       } else {
         noc_.send(home, cfg_.mem_tile, bytes,
-                  [this, bytes, line = tx->line](Cycle c) {
+                  [this, bytes, line = tx.line](Cycle c) {
                     mem_write(c, bytes, line);
                   });
       }
-      if (tx->hooks.on_done) {
-        BusResult r = res;
-        r.done_at = local_done;
-        eq_.schedule_at(r.done_at,
-                        [cb = std::move(tx->hooks.on_done), r] { cb(r); });
-      }
+      wb_finish(id, res, local_done);
       break;
     }
   }
@@ -397,19 +418,20 @@ void DirectoryMesh::data_legs(TxPtr tx, BusResult res, std::uint64_t targets,
 void DirectoryMesh::wake_deferred(Addr line) {
   const auto it = deferred_.find(line);
   if (it == deferred_.end()) return;
-  std::deque<TxPtr> queue = std::move(it->second);
+  TxId cur = it->second.head;
   deferred_.erase(it);
   const std::uint32_t home = home_tile(line);
-  for (TxPtr& tx : queue) {
+  while (cur != kNoTx) {
     // Re-grant in FIFO order through the bank; a transaction may defer
     // again if yet another write-back is in flight by then.
+    const TxId id = cur;
+    cur = tx_pool_[id].next;
+    tx_pool_[id].next = kNoTx;
     const Cycle earliest = eq_.now() + cfg_.bank_occupancy;
     const Cycle grant =
         earliest > bank_free_[home] ? earliest : bank_free_[home];
     bank_free_[home] = grant + cfg_.bank_occupancy;
-    eq_.schedule_at(grant, [this, tx = std::move(tx)]() mutable {
-      process(std::move(tx));
-    });
+    eq_.schedule_at(grant, [this, id] { process(id); });
   }
 }
 

@@ -22,18 +22,37 @@ MeshNoc::MeshNoc(EventQueue& eq, const NocConfig& cfg, std::uint32_t width,
   CDSIM_ASSERT(cfg_.link_credits >= 1);
   CDSIM_ASSERT(cfg_.flit_bytes >= 1);
   links_.resize(static_cast<std::size_t>(num_tiles()) * kDirs);
+  // Wait-queue sizing: a packet waiting on link L occupies an input buffer
+  // of L's source router, and that router has at most kDirs inbound links
+  // of link_credits buffers each — so transit waiters per link are bounded
+  // by kDirs * link_credits. Injection waiters (packets still at their
+  // source, holding no buffer) sit on top of that bound, so the ring keeps
+  // its amortized growth path; the assert pins the credit-derived floor.
+  const std::size_t transit_bound =
+      static_cast<std::size_t>(kDirs) * cfg_.link_credits;
+  std::size_t wired = 0;
   for (std::uint32_t t = 0; t < num_tiles(); ++t) {
     const std::uint32_t x = tile_x(t), y = tile_y(t);
     auto wire = [&](std::uint32_t dir, std::uint32_t to) {
       Link& l = links_[t * kDirs + dir];
       l.to = to;
       l.credits = cfg_.link_credits;
+      l.waitq = FifoRing<std::uint32_t>(transit_bound);
+      CDSIM_ASSERT(l.waitq.capacity() >= transit_bound);
+      ++wired;
     };
     if (x + 1 < width_) wire(kEast, t + 1);
     if (x > 0) wire(kWest, t - 1);
     if (y > 0) wire(kNorth, t - width_);
     if (y + 1 < height_) wire(kSouth, t + width_);
   }
+  // Slot-pool sizing: every packet occupying a mesh buffer holds a slot
+  // (wired links x credits), plus one injection in flight per tile. Bursts
+  // beyond that grow the pool to its high-water mark once; steady state
+  // then never allocates (same policy as the EventQueue slot pool).
+  const std::size_t slot_budget = wired * cfg_.link_credits + num_tiles();
+  slots_.reserve(slot_budget);
+  free_slots_.reserve(slot_budget);
 }
 
 std::uint32_t MeshNoc::hops(std::uint32_t src,

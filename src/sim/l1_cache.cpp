@@ -48,12 +48,12 @@ core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
   CDSIM_ASSERT_MSG(l2_ != nullptr, "L1 not connected to an L2");
   const Addr line = level_.geometry().line_addr(addr);
 
-  if (LineT* ln = level_.tags().find(line)) {
+  if (LineT ln = level_.tags().find(line)) {
     // Synchronous hit fast path: no event scheduled, the core accounts the
     // (pipeline-hidden) latency itself.
     level_.stats().read_hits.inc();
     if (obs_) obs_->on_load_hit(core_, line, eq_.now(), /*l1=*/true);
-    level_.touch(*ln);
+    level_.touch(ln);
     return {.accepted = true,
             .completed = true,
             .latency = level_.access_latency()};
@@ -79,8 +79,8 @@ core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
     if (may_cache && coherence::holds_data(l2_->line_state(line))) {
       // Fill the L1 (allocate on read miss). The victim is clean by
       // construction (write-through), so eviction is a silent drop.
-      LineT& slot = level_.tags().pick_victim(line);
-      if (slot.valid) {
+      const LineT slot = level_.tags().pick_victim(line);
+      if (slot.valid()) {
         level_.stats().evictions.inc();
         level_.power_off();
       }
@@ -88,7 +88,8 @@ core::LoadOutcome L1Cache::try_load(Addr addr, core::LoadCallback on_done) {
       p.decay.last_touch = eq_.now();
       // Every L1 line is a clean copy: arm as the equivalent of Shared.
       level_.arm_on_entry(p.decay, coherence::MesiState::kShared);
-      LineT& installed = level_.tags().install(slot, line, std::move(p));
+      const LineT installed =
+          level_.tags().install(slot, line, std::move(p));
       level_.wheel_register(installed);
       level_.power_on();
       level_.clear_attribution(line);
@@ -104,9 +105,9 @@ bool L1Cache::try_store(Addr addr) {
   const Addr line = level_.geometry().line_addr(addr);
 
   // No-write-allocate: update the L1 copy only when present.
-  if (LineT* ln = level_.tags().find(line)) {
+  if (LineT ln = level_.tags().find(line)) {
     level_.stats().write_hits.inc();
-    level_.touch(*ln);
+    level_.touch(ln);
   } else {
     level_.note_miss(line, /*is_write=*/true);
   }
@@ -145,8 +146,8 @@ void L1Cache::drain_write_buffer() {
 }
 
 void L1Cache::back_invalidate(Addr line_addr) {
-  if (LineT* ln = level_.tags().find(line_addr)) {
-    level_.tags().invalidate(*ln);
+  if (LineT ln = level_.tags().find(line_addr)) {
+    level_.tags().invalidate(ln);
     level_.power_off();
     level_.stats().backinvals.inc();
     if (trace_ != nullptr) {
@@ -163,11 +164,11 @@ void L1Cache::back_invalidate(Addr line_addr) {
 void L1Cache::decay_sweep(Cycle now) {
   const prof::ScopedPhase prof_scope(prof::Phase::kDecaySweep);
   std::uint64_t swept = 0;
-  level_.for_each_expired(now, [&](LineT& ln, std::size_t line_index) {
+  level_.for_each_expired(now, [&](LineT ln, std::size_t line_index) {
     // Table I at level 1: a line with a buffered store that has not
     // reached the L2 yet must not be switched off (the store would lose
     // its local copy mid-flight). Re-examine next tick.
-    if (level_.write_buffer().pending_to(ln.tag)) {
+    if (level_.write_buffer().pending_to(ln.tag())) {
       level_.defer_to_next_tick(ln, line_index, now);
       return;
     }
@@ -177,7 +178,7 @@ void L1Cache::decay_sweep(Cycle now) {
     // differential oracle's copy shadow tracks the L2 slice, so an L1
     // turn-off is not a data-movement event.
     level_.stats().decay_turnoffs.inc();
-    level_.mark_decayed(ln.tag);
+    level_.mark_decayed(ln.tag());
     level_.tags().invalidate(ln);
     level_.power_off();
     ++swept;

@@ -57,27 +57,27 @@ void L2Cache::cancel_td_wb(Payload& p) {
   }
 }
 
-void L2Cache::line_off(LineT& ln) {
-  CDSIM_ASSERT(ln.valid);
-  if (obs_) obs_->on_invalidate(core_, ln.tag, eq_.now());
-  cancel_td_wb(ln.payload);
-  ln.payload.state = MesiState::kInvalid;
-  ln.payload.fetching = false;
-  ln.payload.upgrading = false;
+void L2Cache::line_off(LineT ln) {
+  CDSIM_ASSERT(ln.valid());
+  if (obs_) obs_->on_invalidate(core_, ln.tag(), eq_.now());
+  cancel_td_wb(ln.payload());
+  ln.payload().state = MesiState::kInvalid;
+  ln.payload().fetching = false;
+  ln.payload().upgrading = false;
   level_.tags().invalidate(ln);
   level_.power_off();
 }
 
 coherence::MesiState L2Cache::line_state(Addr addr) const {
   const Addr line = level_.geometry().line_addr(addr);
-  const auto* ln = level_.tags().find(line);
-  return ln ? ln->payload.state : MesiState::kInvalid;
+  const LineT ln = level_.tags().find(line);
+  return ln ? ln.payload().state : MesiState::kInvalid;
 }
 
 void L2Cache::for_each_valid_line(
     const std::function<void(Addr, coherence::MesiState)>& fn) const {
   const_cast<cache::TagArray<Payload>&>(level_.tags())
-      .for_each_valid([&](LineT& ln) { fn(ln.tag, ln.payload.state); });
+      .for_each_valid([&](LineT ln) { fn(ln.tag(), ln.payload().state); });
 }
 
 // ---------------------------------------------------------------------------
@@ -90,9 +90,9 @@ void L2Cache::read(Addr addr, Response on_done) {
 }
 
 void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
-  LineT* ln = level_.tags().find(line_addr);
+  LineT ln = level_.tags().find(line_addr);
 
-  if (ln && !coherence::is_stationary(ln->payload.state)) {
+  if (ln && !coherence::is_stationary(ln.payload().state)) {
     // TC/TD: the paper requires requests to wait for a stationary state.
     level_.transient_retries().inc();
     retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
@@ -101,11 +101,11 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
     return;
   }
 
-  if (ln && !ln->payload.fetching) {
+  if (ln && !ln.payload().fetching) {
     // Hit on a stationary line.
     if (!counted) level_.stats().read_hits.inc();
     if (obs_) obs_->on_load_hit(core_, line_addr, eq_.now(), /*l1=*/false);
-    level_.touch(*ln);
+    level_.touch(ln);
     const Cycle done = eq_.now() + level_.access_latency();
     eq_.schedule_at(done, [cb = std::move(on_done), done] { cb(done, true); });
     return;
@@ -116,9 +116,9 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
   // invalidated while its fill was in flight must not be cached above.
   auto fill_responder = [this, line_addr](Response cb) {
     return [this, line_addr, cb = std::move(cb)](Cycle fill_done) {
-      LineT* l2 = level_.tags().find(line_addr);
+      LineT l2 = level_.tags().find(line_addr);
       const bool may_cache =
-          l2 != nullptr && coherence::holds_data(l2->payload.state);
+          static_cast<bool>(l2) && coherence::holds_data(l2.payload().state);
       cb(fill_done, may_cache);
     };
   };
@@ -129,7 +129,7 @@ void L2Cache::do_read(Addr line_addr, Response on_done, bool counted) {
                         fill_responder(std::move(on_done)));
     return;
   }
-  CDSIM_ASSERT_MSG(ln == nullptr || !ln->payload.fetching,
+  CDSIM_ASSERT_MSG(!ln || !ln.payload().fetching,
                    "fetching line without an MSHR entry");
 
   if (level_.mshr().full()) {
@@ -154,9 +154,9 @@ void L2Cache::write(Addr addr, Response on_done) {
 }
 
 void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
-  LineT* ln = level_.tags().find(line_addr);
+  LineT ln = level_.tags().find(line_addr);
 
-  if (ln && !coherence::is_stationary(ln->payload.state)) {
+  if (ln && !coherence::is_stationary(ln.payload().state)) {
     level_.transient_retries().inc();
     retry([this, line_addr, cb = std::move(on_done), counted]() mutable {
       do_write(line_addr, std::move(cb), counted);
@@ -164,7 +164,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
     return;
   }
 
-  if (ln && ln->payload.fetching) {
+  if (ln && ln.payload().fetching) {
     // Write arriving while the line's fill is in flight: retire it after
     // the fill by re-entering (it will then hit, upgrade, or re-miss).
     // Counting waits for that re-entry: if a snoop invalidates the line
@@ -183,12 +183,12 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
   }
 
   if (ln) {
-    Payload& p = ln->payload;
+    Payload& p = ln.payload();
     switch (p.state) {
       case MesiState::kModified: {
         if (!counted) level_.stats().write_hits.inc();
         if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
-        level_.touch(*ln);
+        level_.touch(ln);
         const Cycle done = eq_.now() + level_.access_latency();
         eq_.schedule_at(done,
                         [cb = std::move(on_done), done] { cb(done, true); });
@@ -200,7 +200,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         p.state = MesiState::kModified;
         level_.arm_on_entry(p.decay, MesiState::kModified);
         if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
-        level_.touch(*ln);
+        level_.touch(ln);
         const Cycle done = eq_.now() + level_.access_latency();
         eq_.schedule_at(done,
                         [cb = std::move(on_done), done] { cb(done, true); });
@@ -219,7 +219,7 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         }
         if (!counted) upgrades_.inc();
         p.upgrading = true;
-        level_.touch(*ln);
+        level_.touch(ln);
 
         // Exactly one of on_done / on_cancel fires; share the response.
         auto cb = std::make_shared<Response>(std::move(on_done));
@@ -228,31 +228,31 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
         // Owned) copy; a snoop invalidation while queued turns the upgrade
         // into a write miss.
         hooks.validator = [this, line_addr] {
-          LineT* l2 = level_.tags().find(line_addr);
-          return l2 != nullptr &&
-                 (l2->payload.state == MesiState::kShared ||
-                  l2->payload.state == MesiState::kOwned);
+          LineT l2 = level_.tags().find(line_addr);
+          return static_cast<bool>(l2) &&
+                 (l2.payload().state == MesiState::kShared ||
+                  l2.payload().state == MesiState::kOwned);
         };
         // The hit is only known at the grant: a cancelled upgrade re-enters
         // as an ordinary (still uncounted) write so the resulting miss is
         // recorded in write_misses and runs through note_miss — counting it
         // as a hit up front would silently drop decay-induced attribution.
         hooks.on_cancel = [this, line_addr, cb, counted] {
-          if (LineT* l2 = level_.tags().find(line_addr)) {
-            l2->payload.upgrading = false;
+          if (LineT l2 = level_.tags().find(line_addr)) {
+            l2.payload().upgrading = false;
           }
           do_write(line_addr, std::move(*cb), counted);
         };
         hooks.on_grant = [this, line_addr, counted](const noc::BusResult&) {
-          LineT* l2 = level_.tags().find(line_addr);
-          CDSIM_ASSERT_MSG(l2 != nullptr &&
-                               (l2->payload.state == MesiState::kShared ||
-                                l2->payload.state == MesiState::kOwned),
+          LineT l2 = level_.tags().find(line_addr);
+          CDSIM_ASSERT_MSG(static_cast<bool>(l2) &&
+                               (l2.payload().state == MesiState::kShared ||
+                                l2.payload().state == MesiState::kOwned),
                            "upgrade granted for a non-upgradable line");
           if (!counted) level_.stats().write_hits.inc();
-          l2->payload.upgrading = false;
-          l2->payload.state = MesiState::kModified;
-          level_.arm_on_entry(l2->payload.decay, MesiState::kModified);
+          l2.payload().upgrading = false;
+          l2.payload().state = MesiState::kModified;
+          level_.arm_on_entry(l2.payload().decay, MesiState::kModified);
           if (obs_) obs_->on_write_serialized(core_, line_addr, eq_.now());
         };
         hooks.on_done = [cb](const noc::BusResult& res) {
@@ -293,9 +293,9 @@ void L2Cache::do_write(Addr line_addr, Response on_done, bool counted) {
   level_.mshr().merge(
       e, /*is_write=*/true,
       [this, line_addr, cb = std::move(on_done)](Cycle fill_done) {
-        LineT* l2 = level_.tags().find(line_addr);
+        LineT l2 = level_.tags().find(line_addr);
         const bool may_cache =
-            l2 != nullptr && coherence::holds_data(l2->payload.state);
+            static_cast<bool>(l2) && coherence::holds_data(l2.payload().state);
         cb(fill_done, may_cache);
       });
   issue_fetch(line_addr, /*is_write=*/true);
@@ -313,8 +313,8 @@ void L2Cache::issue_fetch(Addr line_addr, bool is_write) {
   };
   hooks.on_done = [this, line_addr,
                    miss_begin](const noc::BusResult& res) {
-    if (LineT* ln = level_.tags().find(line_addr)) {
-      ln->payload.fetching = false;
+    if (LineT ln = level_.tags().find(line_addr)) {
+      ln.payload().fetching = false;
     }
     level_.fills().inc();
     level_.mshr().complete(line_addr, res.done_at);
@@ -329,24 +329,25 @@ void L2Cache::issue_fetch(Addr line_addr, bool is_write) {
 
 void L2Cache::install_at_grant(Addr line_addr, bool is_write,
                                const noc::BusResult& res) {
-  CDSIM_ASSERT_MSG(level_.tags().find(line_addr) == nullptr,
+  CDSIM_ASSERT_MSG(!level_.tags().find(line_addr),
                    "fill granted for an already-present line");
   // Never evict a way whose own fill is still in flight.
-  LineT* slot = level_.tags().pick_victim_if(
-      line_addr, [](const LineT& ln) { return !ln.payload.fetching; });
-  if (slot == nullptr) {
+  const LineT slot = level_.tags().pick_victim_if(
+      line_addr, [](LineT ln) { return !ln.payload().fetching; });
+  if (!slot) {
     // Pathological: every way of the set is mid-fill. Serve the requester
     // without caching (the MSHR completion path handles the absent tag).
     return;
   }
-  if (slot->valid) evict(*slot);
+  if (slot.valid()) evict(slot);
 
   Payload p;
   p.state = coherence::fill_state(is_write, res.shared);
   p.fetching = true;
   p.decay.last_touch = eq_.now();
   level_.arm_on_entry(p.decay, p.state);
-  LineT& installed = level_.tags().install(*slot, line_addr, std::move(p));
+  const LineT installed =
+      level_.tags().install(slot, line_addr, std::move(p));
   level_.wheel_register(installed);
   level_.power_on();
   level_.clear_attribution(line_addr);
@@ -360,17 +361,17 @@ void L2Cache::install_at_grant(Addr line_addr, bool is_write,
   }
 }
 
-void L2Cache::evict(LineT& victim) {
-  CDSIM_ASSERT(victim.valid);
-  const Addr vline = victim.tag;
+void L2Cache::evict(LineT victim) {
+  CDSIM_ASSERT(victim.valid());
+  const Addr vline = victim.tag();
   // Inclusion: the L1 copy (if any) must go.
   upper_->back_invalidate(vline);
   level_.stats().evictions.inc();
 
-  if (coherence::is_dirty(victim.payload.state)) {
+  if (coherence::is_dirty(victim.payload().state)) {
     // Dirty data must reach memory. Any pending TD turn-off write-back for
     // this line is superseded by the eviction write-back.
-    cancel_td_wb(victim.payload);
+    cancel_td_wb(victim.payload());
     level_.stats().writebacks.inc();
     if (trace_ != nullptr) {
       trace_->instant(trace_track_, "wb.evict", eq_.now(), "line", vline);
@@ -394,10 +395,10 @@ void L2Cache::evict(LineT& victim) {
 noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
                                CoreId /*requester*/) {
   const prof::ScopedPhase prof_scope(prof::Phase::kCoherence);
-  LineT* ln = level_.tags().find(line_addr);
-  if (ln == nullptr) return {};
+  LineT ln = level_.tags().find(line_addr);
+  if (!ln) return {};
 
-  Payload& p = ln->payload;
+  Payload& p = ln.payload();
   const coherence::SnoopOutcome out =
       coherence::apply_snoop(cfg_.protocol, p.state, kind);
   noc::SnoopReply reply{out.had_line, out.supply_data, out.memory_update};
@@ -412,7 +413,7 @@ noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
   if (out.invalidated) {
     upper_->back_invalidate(line_addr);
     level_.stats().coherence_invals.inc();
-    line_off(*ln);
+    line_off(ln);
   } else if (out.next != p.state) {
     // Downgrade (e.g. M->S on a remote BusRd, or MOESI's M->O): a
     // transition into S arms Selective Decay and restarts the countdown;
@@ -421,7 +422,7 @@ noc::SnoopReply L2Cache::snoop(coherence::BusTxKind kind, Addr line_addr,
     p.state = out.next;
     level_.arm_on_entry(p.decay, out.next);
     p.decay.last_touch = eq_.now();
-    level_.wheel_register(*ln);
+    level_.wheel_register(ln);
   }
   return reply;
 }
@@ -438,17 +439,17 @@ void L2Cache::decay_sweep(Cycle now) {
   // turn-off events (and the bus traffic they cause) are scheduled in an
   // identical order. What remains here is the L2's legality gates and the
   // Figure-2 choreography.
-  level_.for_each_expired(now, [&](LineT& ln, std::size_t line_index) {
-    Payload& p = ln.payload;
+  level_.for_each_expired(now, [&](LineT ln, std::size_t line_index) {
+    Payload& p = ln.payload();
     if (!coherence::is_stationary(p.state) || p.fetching || p.upgrading ||
         // Table I gate: a line with a pending write in the L1 write buffer
         // must not be switched off.
-        upper_->pending_write(ln.tag)) {
+        upper_->pending_write(ln.tag())) {
       level_.defer_to_next_tick(ln, line_index, now);
       return;
     }
 
-    const Addr line_addr = ln.tag;
+    const Addr line_addr = ln.tag();
     switch (coherence::classify_turnoff(cfg_.protocol, p.state)) {
       case coherence::MoesiTurnOffClass::kCleanTurnOff:
         p.state = MesiState::kTransientClean;
@@ -484,13 +485,13 @@ void L2Cache::decay_sweep(Cycle now) {
 }
 
 void L2Cache::turn_off_clean(Addr line_addr) {
-  LineT* ln = level_.tags().find(line_addr);
+  LineT ln = level_.tags().find(line_addr);
   // A snoop or eviction may have finished the line off already.
-  if (ln == nullptr || ln->payload.state != MesiState::kTransientClean) return;
+  if (!ln || ln.payload().state != MesiState::kTransientClean) return;
   upper_->back_invalidate(line_addr);
   level_.stats().decay_turnoffs.inc();
   level_.mark_decayed(line_addr);
-  line_off(*ln);
+  line_off(ln);
   if (trace_ != nullptr) {
     trace_->instant(trace_track_, "toff.clean", eq_.now(), "line", line_addr);
   }
@@ -501,23 +502,23 @@ void L2Cache::turn_off_clean(Addr line_addr) {
 }
 
 void L2Cache::turn_off_dirty(Addr line_addr) {
-  LineT* ln = level_.tags().find(line_addr);
-  if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) return;
+  LineT ln = level_.tags().find(line_addr);
+  if (!ln || ln.payload().state != MesiState::kTransientDirty) return;
   upper_->back_invalidate(line_addr);
   issue_turnoff_writeback(line_addr);
 }
 
 void L2Cache::turn_off_owned(Addr line_addr) {
-  LineT* ln = level_.tags().find(line_addr);
+  LineT ln = level_.tags().find(line_addr);
   // A snoop or eviction may have finished the line off already.
-  if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) return;
+  if (!ln || ln.payload().state != MesiState::kTransientDirty) return;
   upper_->back_invalidate(line_addr);
 
   // Ownership-revocation broadcast: invalidate the remaining S copies
   // system-wide, then flush like a dirty turn-off. The validator drops the
   // broadcast when a snoop already finished this line off (the snoop's
   // flush-and-cancel also cleared the token).
-  std::shared_ptr<bool> token = ln->payload.td_wb_token;
+  std::shared_ptr<bool> token = ln.payload().td_wb_token;
   CDSIM_ASSERT(token != nullptr);
   noc::RequestHooks hooks;
   hooks.validator = [token] { return *token; };
@@ -529,8 +530,8 @@ void L2Cache::turn_off_owned(Addr line_addr) {
 }
 
 void L2Cache::issue_turnoff_writeback(Addr line_addr) {
-  LineT* ln = level_.tags().find(line_addr);
-  if (ln == nullptr || ln->payload.state != MesiState::kTransientDirty) {
+  LineT ln = level_.tags().find(line_addr);
+  if (!ln || ln.payload().state != MesiState::kTransientDirty) {
     return;  // finished via snoop/eviction while this step was in flight
   }
 
@@ -545,27 +546,27 @@ void L2Cache::issue_turnoff_writeback(Addr line_addr) {
     // write-back this fault just swallowed.
     level_.stats().decay_turnoffs.inc();
     level_.mark_decayed(line_addr);
-    line_off(*ln);
+    line_off(ln);
     ic_.note_clean_drop(core_, line_addr);
     return;
   }
 
   // Flush on the bus (Grant/Flush edge); the validator lets a snoop that
   // already moved the data cancel this write-back.
-  std::shared_ptr<bool> token = ln->payload.td_wb_token;
+  std::shared_ptr<bool> token = ln.payload().td_wb_token;
   CDSIM_ASSERT(token != nullptr);
   if (obs_) obs_->on_writeback_initiated(core_, line_addr, eq_.now());
   noc::RequestHooks hooks;
   hooks.validator = [token] { return *token; };
   hooks.on_done = [this, line_addr](const noc::BusResult&) {
-    LineT* l2 = level_.tags().find(line_addr);
-    if (l2 == nullptr || l2->payload.state != MesiState::kTransientDirty) {
+    LineT l2 = level_.tags().find(line_addr);
+    if (!l2 || l2.payload().state != MesiState::kTransientDirty) {
       return;  // finished via snoop/eviction while the flush was queued
     }
     level_.stats().decay_turnoffs.inc();
     level_.stats().writebacks.inc();
     level_.mark_decayed(line_addr);
-    line_off(*l2);
+    line_off(l2);
     if (trace_ != nullptr) {
       trace_->instant(trace_track_, "toff.dirty", eq_.now(), "line",
                       line_addr);

@@ -49,10 +49,10 @@ void L3Cache::stop() {
 // Line death / memory push
 // ---------------------------------------------------------------------------
 
-void L3Cache::line_off(Bank& b, LineT& ln) {
-  CDSIM_ASSERT(ln.valid);
-  if (obs_) obs_->on_l3_invalidate(ln.tag, eq_.now());
-  ln.payload.dirty = false;
+void L3Cache::line_off(Bank& b, LineT ln) {
+  CDSIM_ASSERT(ln.valid());
+  if (obs_) obs_->on_l3_invalidate(ln.tag(), eq_.now());
+  ln.payload().dirty = false;
   b.level.tags().invalidate(ln);
   b.level.power_off();
 }
@@ -66,14 +66,14 @@ void L3Cache::push_to_memory(std::uint32_t bank, Addr line) {
   mem_port_(bank, line, cfg_.line_bytes);
 }
 
-void L3Cache::evict(std::uint32_t bank, LineT& victim) {
+void L3Cache::evict(std::uint32_t bank, LineT victim) {
   Bank& b = *banks_[bank];
   b.level.stats().evictions.inc();
-  if (victim.payload.dirty) {
+  if (victim.payload().dirty) {
     // §III legality at the last level: dirty data the channel never saw
     // must reach memory before the line may die.
     b.level.stats().writebacks.inc();
-    push_to_memory(bank, victim.tag);
+    push_to_memory(bank, victim.tag());
   }
   line_off(b, victim);
 }
@@ -84,26 +84,26 @@ void L3Cache::evict(std::uint32_t bank, LineT& victim) {
 
 bool L3Cache::lookup_for_fill(std::uint32_t bank, Addr line) {
   Bank& b = *banks_.at(bank);
-  LineT* ln = b.level.tags().find(line);
-  if (ln == nullptr) {
+  LineT ln = b.level.tags().find(line);
+  if (!ln) {
     b.level.note_miss(line, /*is_write=*/false);
     return false;
   }
   b.level.stats().read_hits.inc();
-  b.level.touch(*ln);
+  b.level.touch(ln);
   return true;
 }
 
 void L3Cache::install_from_memory(std::uint32_t bank, Addr line) {
   Bank& b = *banks_.at(bank);
-  if (LineT* ln = b.level.tags().find(line)) {
+  if (LineT ln = b.level.tags().find(line)) {
     // A same-line fill raced this one through the channel (the first
     // install landed before the second read returned): just refresh.
-    b.level.touch(*ln);
+    b.level.touch(ln);
     return;
   }
-  LineT& slot = b.level.tags().pick_victim(line);
-  if (slot.valid) evict(bank, slot);
+  const LineT slot = b.level.tags().pick_victim(line);
+  if (slot.valid()) evict(bank, slot);
 
   Payload p;
   p.dirty = false;
@@ -111,7 +111,8 @@ void L3Cache::install_from_memory(std::uint32_t bank, Addr line) {
   // A clean bank line is the L3 analogue of Shared: cheap to drop, so
   // both decay flavours arm it.
   b.level.arm_on_entry(p.decay, MesiState::kShared);
-  LineT& installed = b.level.tags().install(slot, line, std::move(p));
+  const LineT installed =
+      b.level.tags().install(slot, line, std::move(p));
   b.level.wheel_register(installed);
   b.level.power_on();
   b.level.clear_attribution(line);
@@ -121,13 +122,13 @@ void L3Cache::install_from_memory(std::uint32_t bank, Addr line) {
 
 void L3Cache::absorb_writeback(std::uint32_t bank, Addr line) {
   Bank& b = *banks_.at(bank);
-  if (LineT* ln = b.level.tags().find(line)) {
+  if (LineT ln = b.level.tags().find(line)) {
     // Overwrite in place: the write-back data supersedes whatever the bank
     // held (a clean copy, or an earlier absorbed version).
     b.level.stats().write_hits.inc();
-    ln->payload.dirty = true;
-    b.level.arm_on_entry(ln->payload.decay, MesiState::kModified);
-    b.level.touch(*ln);
+    ln.payload().dirty = true;
+    b.level.arm_on_entry(ln.payload().decay, MesiState::kModified);
+    b.level.touch(ln);
     return;
   }
   // An allocating absorb is a write "miss" for occupancy bookkeeping, but
@@ -136,8 +137,8 @@ void L3Cache::absorb_writeback(std::uint32_t bank, Addr line) {
   // Bypassing note_miss leaves any attribution entry for this line to the
   // next genuine fill miss (the event that actually pays a refetch).
   b.level.stats().write_misses.inc();
-  LineT& slot = b.level.tags().pick_victim(line);
-  if (slot.valid) evict(bank, slot);
+  const LineT slot = b.level.tags().pick_victim(line);
+  if (slot.valid()) evict(bank, slot);
 
   Payload p;
   p.dirty = true;
@@ -145,7 +146,8 @@ void L3Cache::absorb_writeback(std::uint32_t bank, Addr line) {
   // Dirty is the L3 analogue of Modified: Selective Decay disarms it (its
   // turn-off costs a memory write), full Decay arms everything.
   b.level.arm_on_entry(p.decay, MesiState::kModified);
-  LineT& installed = b.level.tags().install(slot, line, std::move(p));
+  const LineT installed =
+      b.level.tags().install(slot, line, std::move(p));
   b.level.wheel_register(installed);
   b.level.power_on();
   b.level.clear_attribution(line);
@@ -157,11 +159,11 @@ void L3Cache::absorb_writeback(std::uint32_t bank, Addr line) {
 
 void L3Cache::invalidate(std::uint32_t bank, Addr line) {
   Bank& b = *banks_.at(bank);
-  if (LineT* ln = b.level.tags().find(line)) {
+  if (LineT ln = b.level.tags().find(line)) {
     // A memory-updating owner flush just overwrote the channel copy: the
     // bank's copy — even a dirty one — is older and must not serve again.
     b.level.stats().coherence_invals.inc();
-    line_off(b, *ln);
+    line_off(b, ln);
   }
 }
 
@@ -173,15 +175,15 @@ void L3Cache::decay_sweep(std::uint32_t bank, Cycle now) {
   const prof::ScopedPhase prof_scope(prof::Phase::kDecaySweep);
   Bank& b = *banks_[bank];
   std::uint64_t swept = 0;
-  b.level.for_each_expired(now, [&](LineT& ln, std::size_t /*line_index*/) {
+  b.level.for_each_expired(now, [&](LineT ln, std::size_t /*line_index*/) {
     // The home bank is the serialization point, so the Figure-2 transient
     // choreography degenerates: no snooper can race this turn-off.
     b.level.stats().decay_turnoffs.inc();
-    b.level.mark_decayed(ln.tag);
-    if (ln.payload.dirty) {
+    b.level.mark_decayed(ln.tag());
+    if (ln.payload().dirty) {
       // Dirty turn-off: the absorbed write-back must reach memory.
       b.level.stats().writebacks.inc();
-      push_to_memory(bank, ln.tag);
+      push_to_memory(bank, ln.tag());
     }
     // Clean turn-off: silent drop — memory already holds the data.
     line_off(b, ln);
@@ -274,12 +276,12 @@ double L3Cache::occupation(Cycle now) const {
 }
 
 bool L3Cache::has_line(std::uint32_t bank, Addr line) const {
-  return banks_.at(bank)->level.tags().find(line) != nullptr;
+  return static_cast<bool>(banks_.at(bank)->level.tags().find(line));
 }
 
 bool L3Cache::line_dirty(std::uint32_t bank, Addr line) const {
-  const LineT* ln = banks_.at(bank)->level.tags().find(line);
-  return ln != nullptr && ln->payload.dirty;
+  const LineT ln = banks_.at(bank)->level.tags().find(line);
+  return ln && ln.payload().dirty;
 }
 
 }  // namespace cdsim::sim

@@ -55,6 +55,19 @@ void ThreadPool::parallel_for(std::size_t n,
   wait_idle();
 }
 
+void ThreadPool::parallel_for_batched(
+    std::size_t n, std::size_t batch,
+    const std::function<void(std::size_t)>& fn) {
+  if (batch == 0) batch = 1;
+  for (std::size_t b = 0; b < n; b += batch) {
+    const std::size_t end = b + batch < n ? b + batch : n;
+    submit([&fn, b, end] {
+      for (std::size_t i = b; i < end; ++i) fn(i);
+    });
+  }
+  wait_idle();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -126,11 +139,22 @@ SweepStats ExperimentRunner::run_grid(
   // contents are independent of thread scheduling.
   //
   // Happens-before: each worker's results[i] store -> its --in_flight_
-  // under the pool mutex -> parallel_for's wait_idle observing 0 -> the
-  // unguarded reads of results[] in the merge loop below. No slot is ever
-  // touched by two threads, so the barrier is the only edge needed.
+  // under the pool mutex -> parallel_for_batched's wait_idle observing 0 ->
+  // the unguarded reads of results[] in the merge loop below. No slot is
+  // ever touched by two threads, so the barrier is the only edge needed.
+  //
+  // Batching: a simulation dwarfs a queue round trip, but a large grid on
+  // many workers still pays jobs.size() submit()s of mutex traffic and
+  // std::function heap churn. Chunking several configs per pool task keeps
+  // ~4 tasks in flight per worker for load balance while amortizing the
+  // scheduling overhead. Each config still seeds from its own description
+  // alone (simulate() takes only the cell's parameters), so the merge —
+  // done after the barrier, in job order — is bit-identical for every
+  // batch size, parallel or serial.
+  const std::size_t batch_hint = jobs.size() / (std::size_t{4} * stats.workers);
+  const std::size_t batch = batch_hint < 1 ? 1 : batch_hint;
   std::vector<RunMetrics> results(jobs.size());
-  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+  pool.parallel_for_batched(jobs.size(), batch, [&](std::size_t i) {
     results[i] = simulate(*jobs[i].bench, jobs[i].bytes, jobs[i].technique);
   });
 

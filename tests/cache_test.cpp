@@ -51,15 +51,15 @@ struct Meta {
 
 TEST(TagArray, FindAfterInstall) {
   TagArray<Meta> t(Geometry(4 * KiB, 64, 4));
-  EXPECT_EQ(t.find(0x1000), nullptr);
-  auto& slot = t.pick_victim(0x1000);
+  EXPECT_FALSE(t.find(0x1000));
+  const auto slot = t.pick_victim(0x1000);
   t.install(slot, 0x1000, Meta{42});
-  auto* ln = t.find(0x1000);
-  ASSERT_NE(ln, nullptr);
-  EXPECT_EQ(ln->payload.value, 42);
-  // Any address within the line matches.
+  const auto ln = t.find(0x1000);
+  ASSERT_TRUE(ln);
+  EXPECT_EQ(ln.payload().value, 42);
+  // Any address within the line matches (same handle: equal index).
   EXPECT_EQ(t.find(0x103F), ln);
-  EXPECT_EQ(t.find(0x1040), nullptr);
+  EXPECT_FALSE(t.find(0x1040));
 }
 
 TEST(TagArray, LruVictimSelection) {
@@ -72,9 +72,9 @@ TEST(TagArray, LruVictimSelection) {
   t.install(t.pick_victim(a), a, Meta{1});
   t.install(t.pick_victim(b), b, Meta{2});
   t.touch(a);  // a becomes MRU; b is LRU
-  auto& victim = t.pick_victim(c);
-  EXPECT_TRUE(victim.valid);
-  EXPECT_EQ(victim.tag, b);
+  const auto victim = t.pick_victim(c);
+  EXPECT_TRUE(victim.valid());
+  EXPECT_EQ(victim.tag(), b);
 }
 
 TEST(TagArray, InvalidWayPreferredOverEviction) {
@@ -82,8 +82,8 @@ TEST(TagArray, InvalidWayPreferredOverEviction) {
   TagArray<Meta> t(g);
   const Addr a = 0x0000;
   t.install(t.pick_victim(a), a, Meta{1});
-  auto& slot = t.pick_victim(a + 64 * 64);
-  EXPECT_FALSE(slot.valid);  // empty way chosen, no eviction needed
+  const auto slot = t.pick_victim(a + 64 * 64);
+  EXPECT_FALSE(slot.valid());  // empty way chosen, no eviction needed
 }
 
 TEST(TagArray, PickVictimIfRespectsPin) {
@@ -95,13 +95,13 @@ TEST(TagArray, PickVictimIfRespectsPin) {
   t.touch(a);
   // b would be the LRU victim; pin it and expect a instead... but a is
   // pinned too -> nullptr.
-  auto* none = t.pick_victim_if(
-      c, [](const Line<Meta>&) { return false; });
-  EXPECT_EQ(none, nullptr);
-  auto* only_b = t.pick_victim_if(
-      c, [](const Line<Meta>& ln) { return ln.payload.value == 2; });
-  ASSERT_NE(only_b, nullptr);
-  EXPECT_EQ(only_b->tag, b);
+  const auto none =
+      t.pick_victim_if(c, [](LineRef<Meta>) { return false; });
+  EXPECT_FALSE(none);
+  const auto only_b = t.pick_victim_if(
+      c, [](LineRef<Meta> ln) { return ln.payload().value == 2; });
+  ASSERT_TRUE(only_b);
+  EXPECT_EQ(only_b.tag(), b);
 }
 
 TEST(TagArray, CountValidAndForEach) {
@@ -111,17 +111,17 @@ TEST(TagArray, CountValidAndForEach) {
   }
   EXPECT_EQ(t.count_valid(), 10u);
   int sum = 0;
-  t.for_each_valid([&](Line<Meta>& ln) { sum += ln.payload.value; });
+  t.for_each_valid([&](LineRef<Meta> ln) { sum += ln.payload().value; });
   EXPECT_EQ(sum, 45);
 }
 
 TEST(TagArray, InvalidateRemovesLine) {
   TagArray<Meta> t(Geometry(4 * KiB, 64, 4));
   t.install(t.pick_victim(0x40), 0x40, Meta{});
-  auto* ln = t.find(0x40);
-  ASSERT_NE(ln, nullptr);
-  t.invalidate(*ln);
-  EXPECT_EQ(t.find(0x40), nullptr);
+  const auto ln = t.find(0x40);
+  ASSERT_TRUE(ln);
+  t.invalidate(ln);
+  EXPECT_FALSE(t.find(0x40));
   EXPECT_EQ(t.count_valid(), 0u);
 }
 

@@ -76,6 +76,10 @@ LintConfig fixture_config() {
   LintConfig cfg;
   cfg.hot_paths.push_back("lint_fixtures/hot_event_queue.hpp");
   cfg.uninit_field_scopes = {"lint_fixtures/"};
+  // Narrow (one fixture, not the directory): other fixtures deliberately
+  // use node containers to exercise their own rules and must not also
+  // trip hot-alloc.
+  cfg.hot_alloc_scopes.push_back("lint_fixtures/bad_hot_alloc.hpp");
   return cfg;
 }
 
@@ -145,6 +149,16 @@ TEST(CdlintGolden, HotPathRuleNeedsHotList) {
 
 TEST(CdlintGolden, UninitializedFields) {
   expect_golden("bad_uninit_field.hpp");
+}
+
+TEST(CdlintGolden, HotPathAllocations) { expect_golden("bad_hot_alloc.hpp"); }
+
+TEST(CdlintGolden, HotAllocScopedToHotHeaders) {
+  // Outside the configured scopes (default: include/cdsim/{cache,noc,bus,
+  // core}/) the same shapes are legal — e.g. sim/ controllers own
+  // unique_ptr'd subsystems at construction time.
+  LintConfig cfg;  // defaults: fixture path is not a hot-alloc scope
+  EXPECT_TRUE(lint_fixture("bad_hot_alloc.hpp", cfg).empty());
 }
 
 TEST(CdlintGolden, UninitFieldScopedToHeaders) {

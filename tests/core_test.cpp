@@ -44,7 +44,7 @@ class FakePort final : public LoadStorePort {
     return !reject_stores;
   }
 
-  void set_resources_freed(std::function<void()> cb) override {
+  void set_resources_freed(core::FreedCallback cb) override {
     freed = std::move(cb);
   }
 
@@ -55,7 +55,7 @@ class FakePort final : public LoadStorePort {
   int loads = 0, stores = 0, misses = 0;
   int reject_next_loads = 0;
   bool reject_stores = false;
-  std::function<void()> freed;
+  core::FreedCallback freed;
 };
 
 MemOp load(Addr a, std::uint32_t gap = 0, bool dep = false,

@@ -163,7 +163,7 @@ class FakePort final : public core::LoadStorePort {
   bool accept = true;
   Cycle hit_latency = 3;
   std::uint64_t loads = 0;
-  std::function<void()> freed;
+  core::FreedCallback freed;
 
   core::LoadOutcome try_load(Addr, core::LoadCallback) override {
     if (!accept) return {};
@@ -171,7 +171,7 @@ class FakePort final : public core::LoadStorePort {
     return {.accepted = true, .completed = true, .latency = hit_latency};
   }
   bool try_store(Addr) override { return true; }
-  void set_resources_freed(std::function<void()> cb) override {
+  void set_resources_freed(core::FreedCallback cb) override {
     freed = std::move(cb);
   }
 };

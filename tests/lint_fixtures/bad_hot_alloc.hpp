@@ -1,0 +1,62 @@
+// Fixture for the hot-alloc rule: steady-state heap allocation shapes that
+// must never appear in a hot-path header (cache/, noc/, bus/, core/),
+// alongside the benign shapes the rule must leave alone.
+//
+// Linted with the fixture path registered as a hot_alloc scope; the
+// scope-negative test lints the same file under the default config and
+// expects silence.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Record {
+  std::uint64_t key = 0;
+  int value = 0;
+};
+
+struct BadFabric {
+  // Chunk-allocating FIFO on the event path.
+  std::deque<Record> waitq;  // CDLINT-EXPECT: hot-alloc
+
+  // Node-per-entry associative containers.
+  std::map<std::uint64_t, Record> by_line;  // CDLINT-EXPECT: hot-alloc
+  std::unordered_map<std::uint64_t, int> idx;  // CDLINT-EXPECT: hot-alloc
+
+  void enqueue() {
+    // Per-object allocations per transaction.
+    auto owned = std::make_unique<Record>();  // CDLINT-EXPECT: hot-alloc
+    auto shared = std::make_shared<Record>();  // CDLINT-EXPECT: hot-alloc
+    Record* raw = new Record();  // CDLINT-EXPECT: hot-alloc
+    delete raw;
+    (void)owned;
+    (void)shared;
+  }
+};
+
+struct GoodFabric {
+  // The blessed shapes: contiguous storage the constructor pre-sizes.
+  std::vector<Record> slots;
+  std::vector<std::uint32_t> free_list;
+
+  explicit GoodFabric(std::size_t budget) {
+    slots.reserve(budget);
+    free_list.reserve(budget);
+  }
+
+  // `operator new` is the customization point, not an allocation site.
+  static void* operator new(std::size_t n);
+
+  // An unqualified local name that happens to collide with a banned
+  // container name is not std::deque.
+  struct deque {
+    int depth = 0;
+  };
+  deque local;
+};
+
+}  // namespace fixture

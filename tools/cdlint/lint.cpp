@@ -275,8 +275,9 @@ bool Allowlist::allows(std::string_view path, std::string_view rule) const {
 
 const std::vector<std::string>& known_rules() {
   static const std::vector<std::string> kRules = {
-      "float-accum-unordered", "hot-std-function", "ptr-key",
-      "raw-random",            "uninit-field",     "unordered-iter",
+      "float-accum-unordered", "hot-alloc",    "hot-std-function",
+      "ptr-key",               "raw-random",   "uninit-field",
+      "unordered-iter",
   };
   return kRules;
 }
@@ -314,6 +315,14 @@ std::string_view suggestion_for(std::string_view rule) {
            "`= {}`) — indeterminate fields make two identical configs "
            "diverge and are UB to read";
   }
+  if (rule == "hot-alloc") {
+    return "keep the per-event path heap-free: replace the node container "
+           "with a reserve()d std::vector, a FifoRing (common/ring.hpp), or "
+           "a slot pool with a free list (EventQueue/MeshNoc are the "
+           "templates); if occupancy is provably bounded or growth stops at "
+           "a high-water mark, grant it in tools/cdlint/allowlist.txt with "
+           "that argument";
+  }
   return "";
 }
 
@@ -331,6 +340,17 @@ LintConfig::LintConfig() {
   };
   random_homes = {"common/rng.hpp", "common/rng.cpp"};
   uninit_field_scopes = {"include/cdsim/"};
+  // Headers whose code runs per simulated event: every cache access walks
+  // cache/, every coherence transaction walks noc/ or bus/, every
+  // instruction walks core/. Steady-state allocation here is a host-time
+  // regression the throughput bench would pay on each of millions of
+  // events.
+  hot_alloc_scopes = {
+      "include/cdsim/cache/",
+      "include/cdsim/noc/",
+      "include/cdsim/bus/",
+      "include/cdsim/core/",
+  };
 }
 
 // ---------------------------------------------------------------------------
@@ -650,6 +670,54 @@ struct Linter {
     }
   }
 
+  // --- rule: hot-alloc -----------------------------------------------------
+
+  void rule_hot_alloc() {
+    if (!path_contains(cfg.hot_alloc_scopes)) return;
+    // Containers whose growth allocates nodes or chunks as the structure
+    // is used (vs. a vector whose reserve() is a one-time cost the caller
+    // controls).
+    static const std::set<std::string> kNodeContainers = {
+        "deque",         "list",
+        "forward_list",  "map",
+        "multimap",      "set",
+        "multiset",      "unordered_map",
+        "unordered_multimap", "unordered_set",
+        "unordered_multiset",
+    };
+    static const std::set<std::string> kAllocCalls = {"make_unique",
+                                                      "make_shared"};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const bool std_qualified =
+          i >= 2 && is(i - 1, TokKind::kPunct, "::") && ident(i - 2, "std");
+      if (std_qualified && kNodeContainers.count(t[i].text) != 0 &&
+          punct(i + 1, "<")) {
+        report(t[i].line, "hot-alloc",
+               "std::" + t[i].text +
+                   " in a hot-path header: node/chunk-based containers "
+                   "allocate as they are used — pre-size a vector, FifoRing "
+                   "or slot pool instead");
+        continue;
+      }
+      if (kAllocCalls.count(t[i].text) != 0 &&
+          (punct(i + 1, "<") || punct(i + 1, "("))) {
+        report(t[i].line, "hot-alloc",
+               "'" + t[i].text +
+                   "' in a hot-path header: per-object heap allocation on "
+                   "the event path — pool the records and pass handles");
+        continue;
+      }
+      // `new` expressions; `operator new` declarations are the customization
+      // point itself, not an allocation site.
+      if (ident(i, "new") && !(i > 0 && ident(i - 1, "operator"))) {
+        report(t[i].line, "hot-alloc",
+               "'new' in a hot-path header: per-object heap allocation on "
+               "the event path — pool the records and pass handles");
+      }
+    }
+  }
+
   // --- rule: float-accum-unordered -----------------------------------------
 
   void rule_float_accum() {
@@ -827,6 +895,7 @@ struct Linter {
     rule_raw_random();
     rule_ptr_key();
     rule_hot_std_function();
+    rule_hot_alloc();
     rule_float_accum();
     rule_uninit_field();
     std::stable_sort(findings.begin(), findings.end(),

@@ -43,6 +43,15 @@
 //                         initializer. Indeterminate fields are how two
 //                         "identical" configs diverge (and how MSan/valgrind
 //                         findings are born).
+//   hot-alloc             Steady-state heap allocation in a hot-path header
+//                         (cache/, noc/, bus/, core/): `new`,
+//                         make_unique/make_shared, or a node/chunk-based
+//                         std container (deque, list, map/set families,
+//                         unordered_*). The SoA/arena PR moved the fabric
+//                         and tag arrays onto pre-sized pools and rings;
+//                         this rule keeps allocation from creeping back.
+//                         Grants must argue either bounded occupancy or
+//                         high-water-only growth (see allowlist.txt).
 //
 // Escapes, both deliberate and committed to review history:
 //   - tools/cdlint/allowlist.txt: `<rule-id> <path-suffix>  # why`
@@ -139,6 +148,9 @@ struct LintConfig {
   /// headers; .cpp-local structs are caught by -Werror=uninitialized at
   /// use sites instead).
   std::vector<std::string> uninit_field_scopes;
+  /// Path prefixes/substrings in which hot-alloc applies (the headers of
+  /// the per-event machinery: caches, fabric, bus, core model).
+  std::vector<std::string> hot_alloc_scopes;
 
   LintConfig();
 };
